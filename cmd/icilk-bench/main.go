@@ -1,0 +1,144 @@
+// Command icilk-bench regenerates the paper's evaluation (Section 5):
+//
+//	icilk-bench -experiment table1      # Table 1: type-system overhead
+//	icilk-bench -experiment fig13      # Figure 13: responsiveness ratios
+//	icilk-bench -experiment fig14      # Figure 14: compute-time ratios
+//	icilk-bench -experiment jserver    # Figure 14, jserver panel
+//	icilk-bench -experiment ablations  # quantum / γ / threshold sweeps
+//	icilk-bench -experiment all
+//
+// Ratios are baseline (Cilk-F) time over I-Cilk time: higher means the
+// prioritized scheduler wins. Expect the paper's shape, not its absolute
+// microseconds — the substrate is a user-level runtime, not a 40-thread
+// Xeon (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "table1, fig13, fig14, jserver, ablations, or all")
+		workers  = flag.Int("workers", 4, "virtual cores P")
+		duration = flag.Duration("duration", 400*time.Millisecond, "request window per data point")
+		conns    = flag.String("connections", "90,120,150,180", "comma-separated client counts")
+		seed     = flag.Int64("seed", 20200406, "random seed")
+		iters    = flag.Int("iters", 50, "iterations for Table 1 timing")
+	)
+	flag.Parse()
+
+	cfg := experiments.EvalConfig{
+		Workers:  *workers,
+		Duration: *duration,
+		Seed:     *seed,
+	}
+	for _, c := range strings.Split(*conns, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(c))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "icilk-bench: bad connection count %q\n", c)
+			os.Exit(2)
+		}
+		cfg.Connections = append(cfg.Connections, n)
+	}
+
+	run := func(name string, f func()) {
+		switch *exp {
+		case name, "all":
+			f()
+		}
+	}
+	run("table1", func() { table1(*iters) })
+	run("fig13", func() { fig13(cfg) })
+	run("fig14", func() { fig14(cfg) })
+	run("jserver", func() { fig14JServer(cfg) })
+	run("ablations", func() { ablations(cfg) })
+}
+
+func table1(iters int) {
+	fmt.Println("=== Table 1: static overhead of the priority type system ===")
+	fmt.Println("(λ4i model checking time and elaborated-program size; the paper")
+	fmt.Println(" measured clang compile time and binary size — see DESIGN.md)")
+	rows, err := experiments.Table1(iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icilk-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-10s %14s %14s %8s %10s %10s %8s\n",
+		"case study", "check w/out", "check with", "ratio", "size w/out", "size with", "ratio")
+	for _, r := range rows {
+		fmt.Printf("%-10s %14v %14v %7.2fx %10d %10d %7.2fx\n",
+			r.App, r.TimeNoPrio, r.TimeWithPrio, r.TimeOverhead(),
+			r.SizeNoPrio, r.SizeWithPrio, r.SizeOverhead())
+	}
+	fmt.Println()
+}
+
+func fig13(cfg experiments.EvalConfig) {
+	fmt.Println("=== Figure 13: responsiveness ratio (Cilk-F / I-Cilk; higher = I-Cilk wins) ===")
+	rows := experiments.Fig13(cfg)
+	fmt.Printf("%-8s %6s %12s %12s %12s %12s %9s %9s\n",
+		"app", "conns", "icilk avg", "icilk p95", "base avg", "base p95", "ratio", "ratio95")
+	for _, r := range rows {
+		fmt.Printf("%-8s %6d %12v %12v %12v %12v %8.2fx %8.2fx\n",
+			r.App, r.Connections,
+			r.ICilk.Mean.Round(time.Microsecond), r.ICilk.P95.Round(time.Microsecond),
+			r.Baseline.Mean.Round(time.Microsecond), r.Baseline.P95.Round(time.Microsecond),
+			r.RatioAvg, r.RatioP95)
+	}
+	fmt.Println()
+}
+
+func fig14(cfg experiments.EvalConfig) {
+	fmt.Println("=== Figure 14 (proxy & email): compute-time ratio per component ===")
+	rows := experiments.Fig14ProxyEmail(cfg)
+	printFig14(rows)
+}
+
+func fig14JServer(cfg experiments.EvalConfig) {
+	fmt.Println("=== Figure 14 (jserver): compute-time ratio per job type ===")
+	rows := experiments.Fig14JServer(cfg)
+	printFig14(rows)
+}
+
+func printFig14(rows []experiments.Fig14Row) {
+	for _, row := range rows {
+		fmt.Printf("--- %s @ %s ---\n", row.App, row.Load)
+		fmt.Printf("  %-10s %5s %12s %12s %9s %9s\n",
+			"component", "prio", "icilk avg", "base avg", "ratio", "ratio95")
+		for _, comp := range row.Components {
+			if comp.ICilk.Count == 0 || comp.Baseline.Count == 0 {
+				fmt.Printf("  %-10s %5d %12s %12s %9s %9s\n",
+					comp.Name, comp.Prio, "-", "-", "-", "-")
+				continue
+			}
+			fmt.Printf("  %-10s %5d %12v %12v %8.2fx %8.2fx\n",
+				comp.Name, comp.Prio,
+				comp.ICilk.Mean.Round(time.Microsecond),
+				comp.Baseline.Mean.Round(time.Microsecond),
+				comp.RatioAvg, comp.RatioP95)
+		}
+	}
+	fmt.Println()
+}
+
+func ablations(cfg experiments.EvalConfig) {
+	fmt.Println("=== Ablations: event-loop response vs scheduler parameters (email app) ===")
+	for _, pts := range [][]experiments.AblationPoint{
+		experiments.AblationQuantum(cfg),
+		experiments.AblationGamma(cfg),
+		experiments.AblationThreshold(cfg),
+	} {
+		for _, pt := range pts {
+			fmt.Printf("  %-10s = %-8s -> %s\n", pt.Param, pt.Value, pt.Response)
+		}
+	}
+	fmt.Println()
+}

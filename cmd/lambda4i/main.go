@@ -1,0 +1,123 @@
+// Command lambda4i is the λ4i toolchain: it parses, typechecks, runs, and
+// analyzes λ4i programs, and can emit their cost graphs in Graphviz DOT
+// format with the weak edges dashed.
+//
+// Usage:
+//
+//	lambda4i [flags] program.l4i
+//
+// Examples:
+//
+//	lambda4i -check prog.l4i                 # typecheck only
+//	lambda4i -run -policy prompt -P 4 x.l4i  # run under a prompt policy
+//	lambda4i -run -dag out.dot x.l4i         # also dump the cost graph
+//	lambda4i -run -verify -bounds x.l4i      # check Theorems 3.7 / 3.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/machine"
+	"repro/internal/parser"
+	"repro/internal/types"
+)
+
+func main() {
+	var (
+		checkOnly = flag.Bool("check", false, "typecheck and exit")
+		noPrio    = flag.Bool("noprio", false, "disable priority-inversion checking (Table 1 ablation mode)")
+		run       = flag.Bool("run", true, "run the program")
+		policy    = flag.String("policy", "prompt", "scheduling policy: runall, seq, child, prompt")
+		pFlag     = flag.Int("P", 2, "cores for the prompt policy")
+		dagOut    = flag.String("dag", "", "write the cost graph as DOT to this file")
+		verify    = flag.Bool("verify", true, "verify strong well-formedness and admissibility of the run")
+		bounds    = flag.Bool("bounds", false, "verify the Theorem 2.3 response-time bound for every thread")
+		maxSteps  = flag.Int("max-steps", 10_000_000, "step limit for the run")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: lambda4i [flags] program.l4i")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := realMain(flag.Arg(0), *checkOnly, *noPrio, *run, *policy, *pFlag, *dagOut, *verify, *bounds, *maxSteps); err != nil {
+		fmt.Fprintln(os.Stderr, "lambda4i:", err)
+		os.Exit(1)
+	}
+}
+
+func realMain(path string, checkOnly, noPrio, run bool, policyName string, p int,
+	dagOut string, verify, bounds bool, maxSteps int) error {
+
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prog, err := parser.Parse(string(src))
+	if err != nil {
+		return fmt.Errorf("parse: %w", err)
+	}
+	checker := types.New(prog.Order)
+	checker.CheckPriorities = !noPrio
+	got, err := checker.Cmd(types.NewEnv(prog.Order), types.Signature{}, prog.Main, prog.MainPrio)
+	if err != nil {
+		return fmt.Errorf("typecheck: %w", err)
+	}
+	fmt.Printf("typechecked: main : %s @ %s\n", got, prog.MainPrio)
+	if checkOnly || !run {
+		return nil
+	}
+
+	var pol machine.Policy
+	switch policyName {
+	case "runall":
+		pol = machine.RunAll{}
+	case "seq":
+		pol = machine.Sequential{}
+	case "child":
+		pol = machine.ChildFirst{}
+	case "prompt":
+		pol = machine.Prompt{P: p}
+	default:
+		return fmt.Errorf("unknown policy %q", policyName)
+	}
+
+	mc := machine.New(prog.Order, prog.MainPrio, prog.Main)
+	if err := mc.Run(pol, maxSteps); err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	v, _ := mc.FinalValue("main")
+	fmt.Printf("main = %s\n", v)
+	fmt.Printf("threads: %d, vertices: %d, parallel steps: %d\n",
+		len(mc.ThreadOrder()), mc.Graph.NumVertices(), len(mc.Steps))
+
+	if verify {
+		if err := mc.VerifyExecution(); err != nil {
+			return fmt.Errorf("verification: %w", err)
+		}
+		fmt.Println("verified: graph strongly well-formed, schedule admissible")
+	}
+	if bounds {
+		for _, id := range mc.ThreadOrder() {
+			rep, err := mc.ResponseBound(id, p)
+			if err != nil {
+				return err
+			}
+			status := "OK"
+			if !rep.Holds {
+				status = "VIOLATED"
+			}
+			fmt.Printf("bound %-10s T=%-6d W=%-6d S=%-6d bound=%8.1f  %s\n",
+				id, rep.ResponseTime, rep.CompetitorWork, rep.ASpan, rep.Bound, status)
+		}
+	}
+	if dagOut != "" {
+		if err := os.WriteFile(dagOut, []byte(mc.Graph.Dot(path)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("cost graph written to %s\n", dagOut)
+	}
+	return nil
+}

@@ -1,0 +1,36 @@
+// The email-client case study (Section 5.1) as a runnable example: six
+// priority levels, Huffman compression in the background, and the
+// print/compress handle-swap protocol, compared across schedulers.
+//
+// Run with: go run ./examples/email
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/email"
+	"repro/internal/icilk"
+)
+
+func main() {
+	cfg := email.Config{
+		Clients:  60,
+		Duration: 500 * time.Millisecond,
+		Seed:     1,
+	}
+	for _, prioritize := range []bool{true, false} {
+		rt := icilk.New(icilk.Config{
+			Workers: 4, Levels: email.Levels, Prioritize: prioritize,
+		})
+		res := email.Run(rt, cfg)
+		rt.Shutdown()
+		mode := "I-Cilk  "
+		if !prioritize {
+			mode = "baseline"
+		}
+		fmt.Printf("%s: %5d requests (%d sends, %d sorts, %d prints, %d compressions)\n",
+			mode, res.Requests, res.Sends, res.Sorts, res.Prints, res.Compresses)
+		fmt.Printf("          response %s\n", res.ResponseSummary())
+	}
+}

@@ -1,0 +1,34 @@
+// The proxy-server case study (Section 5.1) as a runnable example,
+// comparing I-Cilk scheduling against the Cilk-F baseline on one load.
+//
+// Run with: go run ./examples/proxy
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/proxy"
+	"repro/internal/icilk"
+)
+
+func main() {
+	cfg := proxy.Config{
+		Clients:  60,
+		Duration: 500 * time.Millisecond,
+		Seed:     1,
+	}
+	for _, prioritize := range []bool{true, false} {
+		rt := icilk.New(icilk.Config{
+			Workers: 4, Levels: proxy.Levels, Prioritize: prioritize,
+		})
+		res := proxy.Run(rt, cfg)
+		rt.Shutdown()
+		mode := "I-Cilk  "
+		if !prioritize {
+			mode = "baseline"
+		}
+		fmt.Printf("%s: %5d requests (%d hits, %d misses), response %s\n",
+			mode, res.Requests, res.Hits, res.Misses, res.ResponseSummary())
+	}
+}

@@ -1,0 +1,92 @@
+// The introduction's basic server: "a high-priority event loop handling
+// queries from a user and a low-priority background thread for optimizing
+// the server's database. [...] If effects were allowed, then the threads
+// could communicate by using a piece of shared state."
+//
+// The background optimizer periodically publishes a fresher index through
+// an atomic pointer; the event loop answers queries against whatever
+// index version is current — no synchronization with the low-priority
+// thread, hence no priority inversion.
+//
+// Run with: go run ./examples/server
+package main
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/icilk"
+	"repro/internal/simio"
+)
+
+const (
+	prioOptimizer icilk.Priority = 0
+	prioEventLoop icilk.Priority = 1
+)
+
+// index is the server's "database index"; version counts rebuilds.
+type index struct {
+	version int
+	entries map[int]string
+}
+
+func buildIndex(version, size int) *index {
+	idx := &index{version: version, entries: make(map[int]string, size)}
+	for i := 0; i < size; i++ {
+		idx.entries[i] = fmt.Sprintf("record-%d-v%d", i, version)
+	}
+	return idx
+}
+
+func main() {
+	rt := icilk.New(icilk.Config{Workers: 2, Levels: 2, Prioritize: true})
+	defer rt.Shutdown()
+
+	var current atomic.Pointer[index]
+	current.Store(buildIndex(0, 1000))
+
+	// Background optimizer: rebuild the index forever at low priority.
+	stop := make(chan struct{})
+	icilk.Go(rt, nil, prioOptimizer, "optimizer", func(c *icilk.Ctx) int {
+		for v := 1; ; v++ {
+			select {
+			case <-stop:
+				return v
+			default:
+			}
+			next := buildIndex(v, 1000)
+			current.Store(next) // publish through shared state
+			c.Yield()
+		}
+	})
+
+	// Event loop: queries arrive via a Poisson process and are answered
+	// at high priority against the current index.
+	queries := simio.NewPoisson(2*time.Millisecond, 42)
+	qStop := make(chan struct{})
+	time.AfterFunc(200*time.Millisecond, func() { close(qStop) })
+	var worst atomic.Int64
+	served := queries.Run(qStop, func(i int) {
+		arrival := time.Now()
+		icilk.Go(rt, nil, prioEventLoop, "query", func(c *icilk.Ctx) string {
+			idx := current.Load()
+			ans := idx.entries[i%len(idx.entries)]
+			lat := time.Since(arrival)
+			for {
+				old := worst.Load()
+				if int64(lat) <= old || worst.CompareAndSwap(old, int64(lat)) {
+					break
+				}
+			}
+			return ans
+		})
+	})
+	close(stop)
+	if err := rt.WaitIdle(5 * time.Second); err != nil {
+		panic(err)
+	}
+	fmt.Printf("served %d queries; worst event-loop latency %v; final index v%d\n",
+		served, time.Duration(worst.Load()).Round(time.Microsecond),
+		current.Load().version)
+}

@@ -1,0 +1,110 @@
+package email
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/huffman"
+	"repro/internal/icilk"
+)
+
+func shortCfg(seed int64) Config {
+	return Config{
+		Users:         4,
+		EmailsPerUser: 12,
+		Clients:       6,
+		Duration:      150 * time.Millisecond,
+		MeanThink:     4 * time.Millisecond,
+		Seed:          seed,
+	}
+}
+
+func TestEmailServesRequests(t *testing.T) {
+	rt := icilk.New(icilk.Config{Workers: 4, Levels: Levels, Prioritize: true})
+	defer rt.Shutdown()
+	res := Run(rt, shortCfg(1))
+	if res.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if res.Sends+res.Sorts+res.Prints == 0 {
+		t.Error("no operations performed")
+	}
+	if int64(len(res.Responses)) != res.Requests {
+		t.Errorf("responses %d != requests %d", len(res.Responses), res.Requests)
+	}
+}
+
+func TestEmailCompressionHappens(t *testing.T) {
+	rt := icilk.New(icilk.Config{Workers: 4, Levels: Levels, Prioritize: true})
+	defer rt.Shutdown()
+	cfg := shortCfg(2)
+	cfg.Duration = 300 * time.Millisecond
+	res := Run(rt, cfg)
+	if res.Compresses == 0 {
+		t.Error("the check component should have fired compressions")
+	}
+}
+
+func TestEmailBaselineMode(t *testing.T) {
+	rt := icilk.New(icilk.Config{Workers: 4, Levels: Levels, Prioritize: false})
+	defer rt.Shutdown()
+	res := Run(rt, shortCfg(3))
+	if res.Requests == 0 {
+		t.Fatal("no requests under baseline scheduling")
+	}
+}
+
+func TestEmailComponentRecords(t *testing.T) {
+	rt := icilk.New(icilk.Config{Workers: 4, Levels: Levels, Prioritize: true})
+	defer rt.Shutdown()
+	cfg := shortCfg(4)
+	cfg.Duration = 300 * time.Millisecond
+	Run(rt, cfg)
+	recs := rt.Records()
+	seen := map[string]bool{}
+	for _, r := range recs {
+		seen[r.Name] = true
+	}
+	for _, want := range []string{"event", "send", "sort", "print", "compress", "check", "main"} {
+		if !seen[want] {
+			t.Errorf("no task records for component %q", want)
+		}
+	}
+}
+
+func TestPrintDecompressesCorrectly(t *testing.T) {
+	// Direct check of the print/compress interaction on one mailbox:
+	// compress an email, then print it — print must see valid content.
+	rt := icilk.New(icilk.Config{Workers: 2, Levels: Levels, Prioritize: true})
+	defer rt.Shutdown()
+	srv := &Server{rt: rt}
+	cfg := Config{}.withDefaults()
+	srv.printer = newTestDevice(cfg)
+	box := newTestMailbox(3)
+	srv.boxes = []*mailbox{box}
+
+	original := append([]byte(nil), box.emails[1].body...)
+	box.emails[1].body = huffman.Encode(box.emails[1].body)
+	box.emails[1].compressed = true
+
+	fut := icilk.GoSelf(rt, nil, PrioCompress, "print",
+		func(c *icilk.Ctx, self *icilk.Future[int]) int {
+			srv.print(c, box, 1, self)
+			return 0
+		})
+	if _, err := icilk.Await(fut, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := huffman.Decode(box.emails[1].body)
+	if err != nil {
+		t.Fatalf("body should still be a valid blob: %v", err)
+	}
+	if !bytes.Equal(dec, original) {
+		t.Error("compressed body corrupted by print")
+	}
+}
+
+func newTestDevice(cfg Config) *deviceAlias {
+	return deviceForTest(cfg)
+}

@@ -1,0 +1,29 @@
+package email
+
+import (
+	"fmt"
+
+	"repro/internal/conc"
+	"repro/internal/simio"
+)
+
+// Test-only helpers exposing internals without widening the public API.
+
+type deviceAlias = simio.Device
+
+func deviceForTest(cfg Config) *simio.Device {
+	return simio.NewDevice("printer", cfg.PrinterLatency, 1)
+}
+
+func newTestMailbox(n int) *mailbox {
+	box := &mailbox{slots: conc.NewSlotTable(n * 2)}
+	for e := 0; e < n; e++ {
+		box.emails = append(box.emails, &email{
+			id:      e,
+			subject: fmt.Sprintf("s-%d", e),
+			body:    body(0, e),
+		})
+		box.order = append(box.order, e)
+	}
+	return box
+}

@@ -1,0 +1,138 @@
+// Package jserver implements the paper's third case study (Section 5.1):
+// a job server executing arriving jobs under a smallest-work-first
+// policy. Four job types arrive via a Poisson process; the server knows
+// each type's work and gives the least work the highest priority. Unlike
+// proxy and email, jobs at different levels are independent, and the
+// arrival rate dials the server from lightly to heavily loaded.
+package jserver
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/icilk"
+	"repro/internal/simio"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Levels is the number of priority levels jserver needs (one per type).
+const Levels = 4
+
+// Priorities by job type: matmul > fib > sort > sw, the paper's
+// smallest-work-first order with our calibrated sizes.
+func priorityOf(t workload.JobType) icilk.Priority {
+	switch t {
+	case workload.JobMatMul:
+		return 3
+	case workload.JobFib:
+		return 2
+	case workload.JobSort:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// MeanArrival is the mean interarrival time of jobs; smaller = more
+	// heavily loaded.
+	MeanArrival time.Duration
+	// Duration is the arrival window.
+	Duration time.Duration
+	// Sizes (zero = defaults calibrated so matmul < fib < sort < sw in
+	// sequential work).
+	MatMulN, FibN, SortN, SWN int
+	Seed                      int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MeanArrival <= 0 {
+		c.MeanArrival = 10 * time.Millisecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.MatMulN <= 0 {
+		c.MatMulN = 64
+	}
+	if c.FibN <= 0 {
+		c.FibN = 27
+	}
+	if c.SortN <= 0 {
+		c.SortN = 300_000
+	}
+	if c.SWN <= 0 {
+		c.SWN = 700
+	}
+	return c
+}
+
+// Result holds per-type response times (arrival to completion).
+type Result struct {
+	PerType map[workload.JobType][]time.Duration
+	Jobs    int
+}
+
+// Summary returns the response summary for one job type.
+func (r Result) Summary(t workload.JobType) stats.Summary {
+	return stats.Summarize(r.PerType[t])
+}
+
+// Run executes the job server on the given runtime (≥ Levels levels).
+func Run(rt *icilk.Runtime, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	// Pre-generate inputs so job cost excludes input construction.
+	ma := workload.RandomMatrix(cfg.MatMulN, cfg.Seed)
+	mb := workload.RandomMatrix(cfg.MatMulN, cfg.Seed+1)
+	ints := workload.RandomInts(cfg.SortN, cfg.Seed+2)
+	seqA := workload.RandomSeq(cfg.SWN, cfg.Seed+3)
+	seqB := workload.RandomSeq(cfg.SWN, cfg.Seed+4)
+
+	var (
+		mu      sync.Mutex
+		perType = map[workload.JobType][]time.Duration{}
+		jobs    int
+	)
+	record := func(t workload.JobType, d time.Duration) {
+		mu.Lock()
+		perType[t] = append(perType[t], d)
+		jobs++
+		mu.Unlock()
+	}
+
+	gen := simio.NewPoisson(cfg.MeanArrival, cfg.Seed+5)
+	stop := make(chan struct{})
+	time.AfterFunc(cfg.Duration, func() { close(stop) })
+	state := uint64(cfg.Seed)*2654435761 + 99991
+	gen.Run(stop, func(i int) {
+		state = state*6364136223846793005 + 1442695040888963407
+		jt := workload.JobType((state >> 33) % 4)
+		p := priorityOf(jt)
+		arrival := time.Now()
+		icilk.Go(rt, nil, p, jt.String(), func(c *icilk.Ctx) int {
+			switch jt {
+			case workload.JobMatMul:
+				workload.MatMul(rt, c, p, ma, mb)
+			case workload.JobFib:
+				workload.Fib(rt, c, p, cfg.FibN)
+			case workload.JobSort:
+				workload.MergeSort(rt, c, p, ints)
+			case workload.JobSW:
+				workload.SmithWaterman(rt, c, p, seqA, seqB)
+			}
+			record(jt, time.Since(arrival))
+			return 0
+		})
+	})
+	_ = rt.WaitIdle(60 * time.Second)
+
+	mu.Lock()
+	defer mu.Unlock()
+	out := Result{PerType: map[workload.JobType][]time.Duration{}, Jobs: jobs}
+	for t, ds := range perType {
+		out.PerType[t] = append([]time.Duration(nil), ds...)
+	}
+	return out
+}

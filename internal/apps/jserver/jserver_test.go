@@ -1,0 +1,74 @@
+package jserver
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/icilk"
+	"repro/internal/workload"
+)
+
+func shortCfg(seed int64) Config {
+	return Config{
+		MeanArrival: 8 * time.Millisecond,
+		Duration:    250 * time.Millisecond,
+		MatMulN:     32,
+		FibN:        22,
+		SortN:       50_000,
+		SWN:         256,
+		Seed:        seed,
+	}
+}
+
+func TestJServerRunsJobs(t *testing.T) {
+	rt := icilk.New(icilk.Config{Workers: 4, Levels: Levels, Prioritize: true})
+	defer rt.Shutdown()
+	res := Run(rt, shortCfg(1))
+	if res.Jobs == 0 {
+		t.Fatal("no jobs ran")
+	}
+	total := 0
+	for _, ds := range res.PerType {
+		total += len(ds)
+	}
+	if total != res.Jobs {
+		t.Errorf("per-type records %d != jobs %d", total, res.Jobs)
+	}
+}
+
+func TestJServerBaseline(t *testing.T) {
+	rt := icilk.New(icilk.Config{Workers: 4, Levels: Levels, Prioritize: false})
+	defer rt.Shutdown()
+	res := Run(rt, shortCfg(2))
+	if res.Jobs == 0 {
+		t.Fatal("no jobs under baseline scheduling")
+	}
+}
+
+func TestPriorityAssignment(t *testing.T) {
+	// Smallest-work-first: matmul highest, sw lowest.
+	if priorityOf(workload.JobMatMul) != 3 {
+		t.Error("matmul should be priority 3")
+	}
+	if priorityOf(workload.JobFib) != 2 {
+		t.Error("fib should be priority 2")
+	}
+	if priorityOf(workload.JobSort) != 1 {
+		t.Error("sort should be priority 1")
+	}
+	if priorityOf(workload.JobSW) != 0 {
+		t.Error("sw should be priority 0")
+	}
+}
+
+func TestSummaryAccess(t *testing.T) {
+	rt := icilk.New(icilk.Config{Workers: 4, Levels: Levels, Prioritize: true})
+	defer rt.Shutdown()
+	res := Run(rt, shortCfg(3))
+	for _, jt := range []workload.JobType{workload.JobMatMul, workload.JobFib, workload.JobSort, workload.JobSW} {
+		s := res.Summary(jt)
+		if len(res.PerType[jt]) > 0 && s.Mean <= 0 {
+			t.Errorf("%v: summary %v inconsistent with %d samples", jt, s, len(res.PerType[jt]))
+		}
+	}
+}

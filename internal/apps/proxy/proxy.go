@@ -1,0 +1,238 @@
+// Package proxy implements the paper's first case study (Section 5.1): a
+// caching proxy server. Clients request URLs; the server answers from a
+// concurrent cache or fetches the site on a miss, masking the client.
+//
+// Priority levels, highest to lowest, follow the paper:
+//
+//	PrioEvent  — the accept loop and per-client event loops
+//	PrioFetch  — website fetches on cache misses
+//	PrioStats  — the statistics logger
+//	PrioMain   — startup/shutdown
+//
+// The priority specification favors response time for client requests.
+// Network I/O is simulated by internal/simio (see DESIGN.md for the
+// substitution rationale).
+package proxy
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/conc"
+	"repro/internal/icilk"
+	"repro/internal/simio"
+	"repro/internal/stats"
+)
+
+// Priority levels (indices into a 4-level runtime).
+const (
+	PrioMain  icilk.Priority = 0
+	PrioStats icilk.Priority = 1
+	PrioFetch icilk.Priority = 2
+	PrioEvent icilk.Priority = 3
+)
+
+// Levels is the number of priority levels the proxy needs.
+const Levels = 4
+
+// Config parameterizes a proxy run.
+type Config struct {
+	// Clients is the number of concurrent client connections.
+	Clients int
+	// Duration is how long clients keep issuing requests.
+	Duration time.Duration
+	// MeanThink is each client's mean think time between requests.
+	MeanThink time.Duration
+	// Sites is the size of the URL space (smaller = higher hit rate).
+	Sites int
+	// FetchLatency is the simulated remote-site latency.
+	FetchLatency simio.Latency
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Clients <= 0 {
+		c.Clients = 30
+	}
+	if c.Duration <= 0 {
+		c.Duration = time.Second
+	}
+	if c.MeanThink <= 0 {
+		c.MeanThink = 5 * time.Millisecond
+	}
+	if c.Sites <= 0 {
+		c.Sites = 200
+	}
+	if c.FetchLatency.Base == 0 {
+		c.FetchLatency = simio.Latency{Base: 3 * time.Millisecond, Jitter: 5 * time.Millisecond}
+	}
+	return c
+}
+
+// Result summarizes a run.
+type Result struct {
+	// Responses are per-request response times: from the client sending
+	// the request to the event loop handling it (the paper's definition —
+	// requests are always handled by the highest-priority thread).
+	Responses []time.Duration
+	Hits      int64
+	Misses    int64
+	Requests  int64
+}
+
+// ResponseSummary summarizes the response-time sample.
+func (r Result) ResponseSummary() stats.Summary { return stats.Summarize(r.Responses) }
+
+// site returns deterministic fake content for a URL.
+func site(url string) string {
+	h := fnv.New64a()
+	h.Write([]byte(url))
+	return fmt.Sprintf("<html>content of %s: %x</html>", url, h.Sum64())
+}
+
+// Run executes the proxy workload on the given runtime, which must have
+// at least Levels priority levels.
+func Run(rt *icilk.Runtime, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	cache := conc.NewMap[string]()
+	remote := simio.NewDevice("origin", cfg.FetchLatency, cfg.Seed)
+
+	var (
+		mu        sync.Mutex
+		responses []time.Duration
+		hits      atomic.Int64
+		misses    atomic.Int64
+		requests  atomic.Int64
+	)
+
+	// Main component (lowest priority): startup.
+	startup := icilk.Go(rt, nil, PrioMain, "main", func(c *icilk.Ctx) int {
+		return 0
+	})
+
+	// Stats logger (low priority): periodically aggregates counters.
+	statsStop := make(chan struct{})
+	var statsWG sync.WaitGroup
+	statsWG.Add(1)
+	go func() {
+		defer statsWG.Done()
+		tick := time.NewTicker(25 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-statsStop:
+				return
+			case <-tick.C:
+				icilk.Go(rt, nil, PrioStats, "stats", func(c *icilk.Ctx) int {
+					// Aggregate counters with a small amount of work.
+					h, m := hits.Load(), misses.Load()
+					spin(20 * time.Microsecond)
+					c.Checkpoint()
+					return int(h + m)
+				})
+			}
+		}
+	}()
+
+	// Clients: external goroutines issuing requests with think times.
+	stop := make(chan struct{})
+	time.AfterFunc(cfg.Duration, func() { close(stop) })
+	var clientWG sync.WaitGroup
+	for cl := 0; cl < cfg.Clients; cl++ {
+		clientWG.Add(1)
+		go func(cl int) {
+			defer clientWG.Done()
+			gen := simio.NewPoisson(cfg.MeanThink, cfg.Seed+int64(cl)*7919)
+			urls := newURLPicker(cfg.Sites, cfg.Seed+int64(cl))
+			gen.Run(stop, func(i int) {
+				url := urls.pick()
+				arrival := time.Now()
+				requests.Add(1)
+				// The per-client event loop handles the request at the
+				// highest priority.
+				icilk.Go(rt, nil, PrioEvent, "event", func(c *icilk.Ctx) int {
+					if _, ok := cache.Get(url); ok {
+						hits.Add(1)
+						spin(15 * time.Microsecond) // compose response
+						record(&mu, &responses, time.Since(arrival))
+						return 1
+					}
+					misses.Add(1)
+					// Delegate the fetch to the lower-priority component;
+					// the event loop is done once the fetch is dispatched.
+					icilk.Go(rt, c, PrioFetch, "fetch", func(c *icilk.Ctx) int {
+						body := simio.Read(rt, remote, PrioFetch, func() string {
+							return site(url)
+						}).Touch(c)
+						spin(150 * time.Microsecond) // parse/validate
+						c.Checkpoint()
+						cache.Put(url, body)
+						return len(body)
+					})
+					record(&mu, &responses, time.Since(arrival))
+					return 0
+				})
+			})
+		}(cl)
+	}
+	clientWG.Wait()
+	statsStop <- struct{}{}
+	statsWG.Wait()
+	// Shutdown component at main priority.
+	icilk.Go(rt, nil, PrioMain, "main", func(c *icilk.Ctx) int { return 0 })
+	if _, err := icilk.Await(startup, time.Second); err != nil {
+		// Startup not completing means the runtime is wedged; surface it
+		// through an empty result rather than hanging the harness.
+		return Result{}
+	}
+	_ = rt.WaitIdle(10 * time.Second)
+
+	mu.Lock()
+	defer mu.Unlock()
+	return Result{
+		Responses: append([]time.Duration(nil), responses...),
+		Hits:      hits.Load(),
+		Misses:    misses.Load(),
+		Requests:  requests.Load(),
+	}
+}
+
+func record(mu *sync.Mutex, dst *[]time.Duration, d time.Duration) {
+	mu.Lock()
+	*dst = append(*dst, d)
+	mu.Unlock()
+}
+
+// spin burns roughly d of CPU.
+func spin(d time.Duration) {
+	end := time.Now().Add(d)
+	x := 1
+	for time.Now().Before(end) {
+		for i := 0; i < 64; i++ {
+			x = x*31 + i
+		}
+	}
+	_ = x
+}
+
+// urlPicker draws Zipf-ish URLs (hot sites repeat, so caching matters).
+type urlPicker struct {
+	sites int
+	state uint64
+}
+
+func newURLPicker(sites int, seed int64) *urlPicker {
+	return &urlPicker{sites: sites, state: uint64(seed)*2654435761 + 1}
+}
+
+func (u *urlPicker) pick() string {
+	u.state = u.state*6364136223846793005 + 1442695040888963407
+	r := u.state >> 33
+	// Square the uniform draw to skew toward low indices.
+	idx := int((r % uint64(u.sites)) * (r % uint64(u.sites)) / uint64(u.sites))
+	return fmt.Sprintf("http://site-%d.example/", idx)
+}

@@ -1,0 +1,338 @@
+package ast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prio"
+)
+
+func TestTypeEqual(t *testing.T) {
+	h := prio.Const("high")
+	l := prio.Const("low")
+	cases := []struct {
+		a, b Type
+		want bool
+	}{
+		{UnitT{}, UnitT{}, true},
+		{NatT{}, UnitT{}, false},
+		{ArrowT{NatT{}, NatT{}}, ArrowT{NatT{}, NatT{}}, true},
+		{ArrowT{NatT{}, NatT{}}, ArrowT{NatT{}, UnitT{}}, false},
+		{ProdT{NatT{}, UnitT{}}, ProdT{NatT{}, UnitT{}}, true},
+		{SumT{NatT{}, UnitT{}}, ProdT{NatT{}, UnitT{}}, false},
+		{RefT{NatT{}}, RefT{NatT{}}, true},
+		{ThreadT{NatT{}, h}, ThreadT{NatT{}, h}, true},
+		{ThreadT{NatT{}, h}, ThreadT{NatT{}, l}, false},
+		{CmdT{NatT{}, h}, CmdT{NatT{}, h}, true},
+		{CmdT{NatT{}, h}, ThreadT{NatT{}, h}, false},
+	}
+	for _, c := range cases {
+		if got := TypeEqual(c.a, c.b); got != c.want {
+			t.Errorf("TypeEqual(%s, %s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestTypeEqualForallAlpha(t *testing.T) {
+	// ∀π∼(π ⪯ high).nat cmd[π] should be alpha-equal under renaming of π.
+	h := prio.Const("high")
+	a := ForallT{
+		Pi: "pi",
+		C:  prio.Constraints{{Lo: prio.Var("pi"), Hi: h}},
+		T:  CmdT{NatT{}, prio.Var("pi")},
+	}
+	b := ForallT{
+		Pi: "rho",
+		C:  prio.Constraints{{Lo: prio.Var("rho"), Hi: h}},
+		T:  CmdT{NatT{}, prio.Var("rho")},
+	}
+	if !TypeEqual(a, b) {
+		t.Errorf("alpha-equivalent foralls should be equal: %s vs %s", a, b)
+	}
+	c := ForallT{
+		Pi: "rho",
+		C:  prio.Constraints{{Lo: h, Hi: prio.Var("rho")}},
+		T:  CmdT{NatT{}, prio.Var("rho")},
+	}
+	if TypeEqual(a, c) {
+		t.Errorf("foralls with different constraints should differ: %s vs %s", a, c)
+	}
+}
+
+func TestSubstPrioType(t *testing.T) {
+	pi := prio.Var("pi")
+	h := prio.Const("high")
+	ty := ArrowT{From: ThreadT{NatT{}, pi}, To: CmdT{UnitT{}, pi}}
+	got := SubstPrioType(h, pi, ty)
+	want := ArrowT{From: ThreadT{NatT{}, h}, To: CmdT{UnitT{}, h}}
+	if !TypeEqual(got, want) {
+		t.Errorf("SubstPrioType = %s, want %s", got, want)
+	}
+	// Shadowing: inner forall binding the same name blocks substitution.
+	shadow := ForallT{Pi: "pi", C: nil, T: CmdT{NatT{}, pi}}
+	got2 := SubstPrioType(h, pi, shadow).(ForallT)
+	if got2.T.(CmdT).P != pi {
+		t.Errorf("substitution should stop at a shadowing forall, got %s", got2)
+	}
+}
+
+func TestIsValue(t *testing.T) {
+	vals := []Expr{
+		Var{"x"}, Unit{}, Nat{3}, Lam{X: "x", Body: Var{"x"}},
+		Pair{Nat{1}, Unit{}}, Inl{V: Nat{0}}, Inr{V: Unit{}},
+		Ref{"s"}, Tid{"a"}, CmdVal{prio.Const("p"), Ret{Unit{}}},
+		PLam{Pi: "pi", Body: Nat{1}},
+	}
+	for _, v := range vals {
+		if !IsValue(v) {
+			t.Errorf("IsValue(%s) = false, want true", v)
+		}
+	}
+	nonvals := []Expr{
+		Let{"x", Nat{1}, Var{"x"}},
+		App{Lam{X: "x", Body: Var{"x"}}, Nat{1}},
+		Pair{Let{"x", Nat{1}, Var{"x"}}, Unit{}},
+		Fst{Pair{Nat{1}, Nat{2}}},
+		Ifz{Nat{0}, Nat{1}, "n", Var{"n"}},
+		Fix{"f", NatT{}, Var{"f"}},
+		PApp{PLam{Pi: "pi", Body: Nat{1}}, prio.Const("p")},
+	}
+	for _, e := range nonvals {
+		if IsValue(e) {
+			t.Errorf("IsValue(%s) = true, want false", e)
+		}
+	}
+}
+
+func TestSubstBasic(t *testing.T) {
+	// [3/x](x + binder shadow checks)
+	e := Let{"y", Var{"x"}, App{Var{"y"}, Var{"x"}}}
+	got := Subst(Nat{3}, "x", e)
+	want := Let{"y", Nat{3}, App{Var{"y"}, Nat{3}}}
+	if got.String() != want.String() {
+		t.Errorf("Subst = %s, want %s", got, want)
+	}
+}
+
+func TestSubstShadowing(t *testing.T) {
+	// [3/x](fn x => x) must leave the lambda alone.
+	e := Lam{X: "x", Body: Var{"x"}}
+	got := Subst(Nat{3}, "x", e)
+	if got.String() != e.String() {
+		t.Errorf("Subst under shadowing binder = %s, want %s", got, e)
+	}
+	// [3/x](let x = x in x): only the right-hand side is substituted.
+	le := Let{"x", Var{"x"}, Var{"x"}}
+	got2 := Subst(Nat{3}, "x", le).(Let)
+	if got2.E1.String() != "3" || got2.E2.String() != "x" {
+		t.Errorf("Subst let-shadow = %s", got2)
+	}
+}
+
+func TestSubstCaptureAvoidance(t *testing.T) {
+	// [y/x](fn y => x y): the binder y must be renamed so the free y in
+	// the substituted value is not captured.
+	e := Lam{X: "y", Body: App{Var{"x"}, Var{"y"}}}
+	got := Subst(Var{"y"}, "x", e).(Lam)
+	if got.X == "y" {
+		t.Fatalf("binder not renamed: %s", got)
+	}
+	app := got.Body.(App)
+	if app.F.(Var).Name != "y" {
+		t.Errorf("free y was not substituted: %s", got)
+	}
+	if app.A.(Var).Name != got.X {
+		t.Errorf("bound occurrence should follow the renamed binder: %s", got)
+	}
+}
+
+func TestSubstCmd(t *testing.T) {
+	m := Bind{"r", Var{"c"}, Ret{Var{"r"}}}
+	got := SubstCmd(CmdVal{prio.Const("p"), Ret{Unit{}}}, "c", m).(Bind)
+	if _, ok := got.E.(CmdVal); !ok {
+		t.Errorf("SubstCmd did not substitute into bind expr: %s", got)
+	}
+	// Bind binder shadows.
+	m2 := Bind{"x", Var{"x"}, Ret{Var{"x"}}}
+	got2 := SubstCmd(Nat{5}, "x", m2).(Bind)
+	if got2.E.String() != "5" || got2.M.String() != "ret x" {
+		t.Errorf("SubstCmd shadowing wrong: %s", got2)
+	}
+}
+
+func TestSubstPrioShadowing(t *testing.T) {
+	pi := prio.Var("pi")
+	h := prio.Const("high")
+	e := PLam{Pi: "pi", Body: CmdVal{pi, Ret{Unit{}}}}
+	got := SubstPrio(h, pi, e).(PLam)
+	if got.Body.(CmdVal).P != pi {
+		t.Errorf("SubstPrio should stop at shadowing PLam: %s", got)
+	}
+	e2 := CmdVal{pi, Fcreate{P: pi, T: UnitT{}, M: Ret{Unit{}}}}
+	got2 := SubstPrio(h, pi, e2).(CmdVal)
+	if got2.P != h || got2.M.(Fcreate).P != h {
+		t.Errorf("SubstPrio should reach fcreate priority: %s", got2)
+	}
+}
+
+func TestFreeVars(t *testing.T) {
+	e := Let{"x", Var{"a"}, App{Var{"x"}, Var{"b"}}}
+	fv := FreeVars(e)
+	if !fv["a"] || !fv["b"] || fv["x"] {
+		t.Errorf("FreeVars = %v", fv)
+	}
+	m := CmdVal{prio.Const("p"), Bind{"y", Var{"c"}, Ret{Var{"y"}}}}
+	fv2 := FreeVars(m)
+	if !fv2["c"] || fv2["y"] {
+		t.Errorf("FreeVars through command = %v", fv2)
+	}
+}
+
+func TestNormalizeApp(t *testing.T) {
+	// (f (g x)) is not ANF; normalization must let-bind (g x).
+	e := App{Var{"f"}, App{Var{"g"}, Var{"x"}}}
+	if InANF(e) {
+		t.Fatal("test premise wrong: e should not be in ANF")
+	}
+	ne := Normalize(e)
+	if !InANF(ne) {
+		t.Errorf("Normalize produced non-ANF: %s", ne)
+	}
+}
+
+func TestNormalizePreservesValues(t *testing.T) {
+	vals := []Expr{Nat{4}, Lam{X: "x", Body: Var{"x"}}, Pair{Nat{1}, Nat{2}}}
+	for _, v := range vals {
+		if got := Normalize(v); got.String() != v.String() {
+			t.Errorf("Normalize(%s) = %s, want unchanged", v, got)
+		}
+	}
+}
+
+func TestNormalizeCmd(t *testing.T) {
+	m := Bind{
+		X: "r",
+		E: App{Var{"mk"}, App{Var{"g"}, Nat{1}}},
+		M: Ret{Var{"r"}},
+	}
+	nm := NormalizeCmd(m)
+	if !CmdInANF(nm) {
+		t.Errorf("NormalizeCmd produced non-ANF: %s", nm)
+	}
+}
+
+func TestValueEqual(t *testing.T) {
+	if !ValueEqual(Pair{Nat{1}, Inl{V: Unit{}}}, Pair{Nat{1}, Inl{V: Unit{}}}) {
+		t.Error("structurally equal pairs should be ValueEqual")
+	}
+	if ValueEqual(Nat{1}, Nat{2}) {
+		t.Error("distinct nats should not be ValueEqual")
+	}
+	if !ValueEqual(Tid{"a"}, Tid{"a"}) || ValueEqual(Tid{"a"}, Tid{"b"}) {
+		t.Error("tid equality wrong")
+	}
+	if !ValueEqual(Ref{"s"}, Ref{"s"}) || ValueEqual(Ref{"s"}, Ref{"r"}) {
+		t.Error("ref equality wrong")
+	}
+}
+
+func TestNatOf(t *testing.T) {
+	if NatOf(-3).N != 0 {
+		t.Error("NatOf should clamp negatives to zero")
+	}
+	if NatOf(7).N != 7 {
+		t.Error("NatOf(7)")
+	}
+}
+
+// randomExpr builds a random (possibly non-ANF) expression tree.
+func randomExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return Var{Name: string(rune('a' + rng.Intn(4)))}
+		case 1:
+			return Nat{N: rng.Intn(10)}
+		default:
+			return Unit{}
+		}
+	}
+	switch rng.Intn(10) {
+	case 0:
+		return Lam{X: "x", Body: randomExpr(rng, depth-1)}
+	case 1:
+		return Pair{L: randomExpr(rng, depth-1), R: randomExpr(rng, depth-1)}
+	case 2:
+		return Inl{V: randomExpr(rng, depth-1)}
+	case 3:
+		return Let{X: "y", E1: randomExpr(rng, depth-1), E2: randomExpr(rng, depth-1)}
+	case 4:
+		return App{F: randomExpr(rng, depth-1), A: randomExpr(rng, depth-1)}
+	case 5:
+		return Fst{V: randomExpr(rng, depth-1)}
+	case 6:
+		return Ifz{
+			V:    randomExpr(rng, depth-1),
+			Zero: randomExpr(rng, depth-1),
+			X:    "n",
+			Succ: randomExpr(rng, depth-1),
+		}
+	case 7:
+		return Case{
+			V: randomExpr(rng, depth-1),
+			X: "l", L: randomExpr(rng, depth-1),
+			Y: "r", R: randomExpr(rng, depth-1),
+		}
+	case 8:
+		return Snd{V: randomExpr(rng, depth-1)}
+	default:
+		return randomExpr(rng, 0)
+	}
+}
+
+// Property: normalization always yields ANF.
+func TestQuickNormalizeProducesANF(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 5)
+		return InANF(Normalize(e))
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: normalization is idempotent up to printing.
+func TestQuickNormalizeIdempotent(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := Normalize(randomExpr(rng, 5))
+		return Normalize(e).String() == e.String()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: free variables are preserved by normalization.
+func TestQuickNormalizePreservesFreeVars(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := randomExpr(rng, 5)
+		before := FreeVars(e)
+		after := FreeVars(Normalize(e))
+		if len(before) != len(after) {
+			return false
+		}
+		for v := range before {
+			if !after[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

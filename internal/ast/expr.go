@@ -1,0 +1,405 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/prio"
+)
+
+// Expr is a λ4i expression e. The grammar of Figure 4 is in A-normal form:
+// most subexpressions not under binders are values. The parser accepts
+// general expressions and the Normalize pass restores ANF.
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// Var is a variable x.
+type Var struct{ Name string }
+
+// Unit is the unit value ⟨⟩.
+type Unit struct{}
+
+// Nat is a numeral n.
+type Nat struct{ N int }
+
+// Lam is a lambda abstraction λx.e. T annotates the parameter type for
+// the algorithmic type checker; it may be nil in untyped contexts.
+type Lam struct {
+	X    string
+	T    Type
+	Body Expr
+}
+
+// Pair is the pair (e1, e2); in ANF both components are values.
+type Pair struct{ L, R Expr }
+
+// Inl injects into the left of a sum. T optionally annotates the full
+// sum type for the checker.
+type Inl struct {
+	V Expr
+	T Type
+}
+
+// Inr injects into the right of a sum. T optionally annotates the full
+// sum type for the checker.
+type Inr struct {
+	V Expr
+	T Type
+}
+
+// Ref is the runtime reference value ref[s]; it appears during execution
+// and in signatures, never in source programs.
+type Ref struct{ Loc string }
+
+// Tid is the runtime thread-handle value tid[a].
+type Tid struct{ Thread string }
+
+// CmdVal is an encapsulated command cmd[ρ]{m}.
+type CmdVal struct {
+	P prio.Prio
+	M Cmd
+}
+
+// Let is the sequencing form let x = e1 in e2.
+type Let struct {
+	X  string
+	E1 Expr
+	E2 Expr
+}
+
+// Ifz is the zero test ifz v {e1; x.e2}: e1 if v = 0, [n/x]e2 if v = n+1.
+type Ifz struct {
+	V    Expr
+	Zero Expr
+	X    string
+	Succ Expr
+}
+
+// App is application v1 v2 (values in ANF).
+type App struct{ F, A Expr }
+
+// Fst projects the first component of a pair.
+type Fst struct{ V Expr }
+
+// Snd projects the second component of a pair.
+type Snd struct{ V Expr }
+
+// Case analyzes a sum: case v {x.e1; y.e2}.
+type Case struct {
+	V Expr
+	X string
+	L Expr
+	Y string
+	R Expr
+}
+
+// Fix is the fixed point fix x:τ is e.
+type Fix struct {
+	X string
+	T Type
+	E Expr
+}
+
+// PLam is priority abstraction Λπ∼C.e.
+type PLam struct {
+	Pi   string
+	C    prio.Constraints
+	Body Expr
+}
+
+// PApp is priority application v[ρ].
+type PApp struct {
+	V Expr
+	P prio.Prio
+}
+
+func (Var) isExpr()    {}
+func (Unit) isExpr()   {}
+func (Nat) isExpr()    {}
+func (Lam) isExpr()    {}
+func (Pair) isExpr()   {}
+func (Inl) isExpr()    {}
+func (Inr) isExpr()    {}
+func (Ref) isExpr()    {}
+func (Tid) isExpr()    {}
+func (CmdVal) isExpr() {}
+func (Let) isExpr()    {}
+func (Ifz) isExpr()    {}
+func (App) isExpr()    {}
+func (Fst) isExpr()    {}
+func (Snd) isExpr()    {}
+func (Case) isExpr()   {}
+func (Fix) isExpr()    {}
+func (PLam) isExpr()   {}
+func (PApp) isExpr()   {}
+
+func (e Var) String() string { return e.Name }
+func (Unit) String() string  { return "()" }
+func (e Nat) String() string { return fmt.Sprint(e.N) }
+func (e Lam) String() string {
+	if e.T != nil {
+		return fmt.Sprintf("(fn %s : %s => %s)", e.X, e.T, e.Body)
+	}
+	return fmt.Sprintf("(fn %s => %s)", e.X, e.Body)
+}
+func (e Pair) String() string { return fmt.Sprintf("(%s, %s)", e.L, e.R) }
+func (e Inl) String() string  { return fmt.Sprintf("(inl %s)", e.V) }
+func (e Inr) String() string  { return fmt.Sprintf("(inr %s)", e.V) }
+func (e Ref) String() string  { return fmt.Sprintf("ref[%s]", e.Loc) }
+func (e Tid) String() string  { return fmt.Sprintf("tid[%s]", e.Thread) }
+func (e CmdVal) String() string {
+	return fmt.Sprintf("cmd[%s] { %s }", e.P, e.M)
+}
+func (e Let) String() string {
+	return fmt.Sprintf("(let %s = %s in %s)", e.X, e.E1, e.E2)
+}
+func (e Ifz) String() string {
+	return fmt.Sprintf("(ifz %s { %s ; %s . %s })", e.V, e.Zero, e.X, e.Succ)
+}
+func (e App) String() string { return fmt.Sprintf("(%s %s)", e.F, e.A) }
+func (e Fst) String() string { return fmt.Sprintf("(fst %s)", e.V) }
+func (e Snd) String() string { return fmt.Sprintf("(snd %s)", e.V) }
+func (e Case) String() string {
+	return fmt.Sprintf("(case %s { %s . %s ; %s . %s })", e.V, e.X, e.L, e.Y, e.R)
+}
+func (e Fix) String() string {
+	return fmt.Sprintf("(fix %s : %s is %s)", e.X, e.T, e.E)
+}
+func (e PLam) String() string {
+	return fmt.Sprintf("(pfn %s ~ %s => %s)", e.Pi, e.C, e.Body)
+}
+func (e PApp) String() string { return fmt.Sprintf("%s[%s]", e.V, e.P) }
+
+// IsValue reports whether e is a value v of Figure 4.
+func IsValue(e Expr) bool {
+	switch e := e.(type) {
+	case Var, Unit, Nat, Lam, Ref, Tid, CmdVal, PLam:
+		return true
+	case Pair:
+		return IsValue(e.L) && IsValue(e.R)
+	case Inl:
+		return IsValue(e.V)
+	case Inr:
+		return IsValue(e.V)
+	default:
+		return false
+	}
+}
+
+// Cmd is a λ4i command m.
+//
+//	m ::= fcreate[ρ;τ]{m} | ftouch e | dcl[τ] s := e in m
+//	    | !e | e := e | x ← e; m | ret e | cas(e, e, e)
+//
+// CAS is the Section 3.3 extension.
+type Cmd interface {
+	isCmd()
+	String() string
+}
+
+// Fcreate creates a thread running m at priority ρ: fcreate[ρ;τ]{m}.
+type Fcreate struct {
+	P prio.Prio
+	T Type
+	M Cmd
+}
+
+// Ftouch waits for the thread denoted by e and returns its value.
+type Ftouch struct{ E Expr }
+
+// Dcl declares a new reference: dcl[τ] s := e in m.
+type Dcl struct {
+	T Type
+	S string
+	E Expr
+	M Cmd
+}
+
+// Get dereferences: !e.
+type Get struct{ E Expr }
+
+// Set assigns: e1 := e2 (returns the new value).
+type Set struct{ L, R Expr }
+
+// Bind sequences commands: x ← e; m, where e evaluates to an encapsulated
+// command.
+type Bind struct {
+	X string
+	E Expr
+	M Cmd
+}
+
+// Ret embeds an expression into the command layer: ret e.
+type Ret struct{ E Expr }
+
+// CAS is the compare-and-swap extension: cas(eRef, eOld, eNew) writes eNew
+// to the reference if its current contents equal eOld, returning 1 on
+// success and 0 on failure.
+type CAS struct{ Ref, Old, New Expr }
+
+func (Fcreate) isCmd() {}
+func (Ftouch) isCmd()  {}
+func (Dcl) isCmd()     {}
+func (Get) isCmd()     {}
+func (Set) isCmd()     {}
+func (Bind) isCmd()    {}
+func (Ret) isCmd()     {}
+func (CAS) isCmd()     {}
+
+func (m Fcreate) String() string {
+	return fmt.Sprintf("fcreate[%s; %s] { %s }", m.P, m.T, m.M)
+}
+func (m Ftouch) String() string { return fmt.Sprintf("ftouch %s", m.E) }
+func (m Dcl) String() string {
+	return fmt.Sprintf("dcl %s : %s := %s in %s", m.S, m.T, m.E, m.M)
+}
+func (m Get) String() string  { return fmt.Sprintf("!%s", m.E) }
+func (m Set) String() string  { return fmt.Sprintf("%s := %s", m.L, m.R) }
+func (m Bind) String() string { return fmt.Sprintf("%s <- %s ; %s", m.X, m.E, m.M) }
+func (m Ret) String() string  { return fmt.Sprintf("ret %s", m.E) }
+func (m CAS) String() string {
+	return fmt.Sprintf("cas(%s, %s, %s)", m.Ref, m.Old, m.New)
+}
+
+// ValueEqual compares two closed values structurally. It is used by the
+// CAS rule (D-CAS1/D-CAS2) to compare heap contents against the expected
+// old value. Lambdas, commands and priority abstractions compare by
+// printed representation, which is sound for the closed values that reach
+// the heap.
+func ValueEqual(a, b Expr) bool {
+	switch a := a.(type) {
+	case Unit:
+		_, ok := b.(Unit)
+		return ok
+	case Nat:
+		b, ok := b.(Nat)
+		return ok && a.N == b.N
+	case Pair:
+		b, ok := b.(Pair)
+		return ok && ValueEqual(a.L, b.L) && ValueEqual(a.R, b.R)
+	case Inl:
+		b, ok := b.(Inl)
+		return ok && ValueEqual(a.V, b.V)
+	case Inr:
+		b, ok := b.(Inr)
+		return ok && ValueEqual(a.V, b.V)
+	case Ref:
+		b, ok := b.(Ref)
+		return ok && a.Loc == b.Loc
+	case Tid:
+		b, ok := b.(Tid)
+		return ok && a.Thread == b.Thread
+	default:
+		return a != nil && b != nil && a.String() == b.String()
+	}
+}
+
+// FreeVars returns the free expression variables of e.
+func FreeVars(e Expr) map[string]bool {
+	out := make(map[string]bool)
+	freeExpr(e, map[string]bool{}, out)
+	return out
+}
+
+func freeExpr(e Expr, bound, out map[string]bool) {
+	switch e := e.(type) {
+	case Var:
+		if !bound[e.Name] {
+			out[e.Name] = true
+		}
+	case Unit, Nat, Ref, Tid:
+	case Lam:
+		freeExpr(e.Body, with(bound, e.X), out)
+	case Pair:
+		freeExpr(e.L, bound, out)
+		freeExpr(e.R, bound, out)
+	case Inl:
+		freeExpr(e.V, bound, out)
+	case Inr:
+		freeExpr(e.V, bound, out)
+	case CmdVal:
+		freeCmd(e.M, bound, out)
+	case Let:
+		freeExpr(e.E1, bound, out)
+		freeExpr(e.E2, with(bound, e.X), out)
+	case Ifz:
+		freeExpr(e.V, bound, out)
+		freeExpr(e.Zero, bound, out)
+		freeExpr(e.Succ, with(bound, e.X), out)
+	case App:
+		freeExpr(e.F, bound, out)
+		freeExpr(e.A, bound, out)
+	case Fst:
+		freeExpr(e.V, bound, out)
+	case Snd:
+		freeExpr(e.V, bound, out)
+	case Case:
+		freeExpr(e.V, bound, out)
+		freeExpr(e.L, with(bound, e.X), out)
+		freeExpr(e.R, with(bound, e.Y), out)
+	case Fix:
+		freeExpr(e.E, with(bound, e.X), out)
+	case PLam:
+		freeExpr(e.Body, bound, out)
+	case PApp:
+		freeExpr(e.V, bound, out)
+	default:
+		panic(fmt.Sprintf("ast: unknown expression %T", e))
+	}
+}
+
+func freeCmd(m Cmd, bound, out map[string]bool) {
+	switch m := m.(type) {
+	case Fcreate:
+		freeCmd(m.M, bound, out)
+	case Ftouch:
+		freeExpr(m.E, bound, out)
+	case Dcl:
+		freeExpr(m.E, bound, out)
+		freeCmd(m.M, bound, out)
+	case Get:
+		freeExpr(m.E, bound, out)
+	case Set:
+		freeExpr(m.L, bound, out)
+		freeExpr(m.R, bound, out)
+	case Bind:
+		freeExpr(m.E, bound, out)
+		freeCmd(m.M, with(bound, m.X), out)
+	case Ret:
+		freeExpr(m.E, bound, out)
+	case CAS:
+		freeExpr(m.Ref, bound, out)
+		freeExpr(m.Old, bound, out)
+		freeExpr(m.New, bound, out)
+	default:
+		panic(fmt.Sprintf("ast: unknown command %T", m))
+	}
+}
+
+func with(bound map[string]bool, x string) map[string]bool {
+	if bound[x] {
+		return bound
+	}
+	next := make(map[string]bool, len(bound)+1)
+	for k := range bound {
+		next[k] = true
+	}
+	next[x] = true
+	return next
+}
+
+// NatOf converts a Go int to a λ4i numeral, clamping negatives to zero
+// (naturals have no negatives).
+func NatOf(n int) Nat {
+	if n < 0 {
+		n = 0
+	}
+	return Nat{N: n}
+}
+
+// indentless helpers for multi-command printing used by the CLI.
+func CmdLines(m Cmd) []string {
+	return strings.Split(m.String(), " ; ")
+}

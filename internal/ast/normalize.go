@@ -1,0 +1,159 @@
+package ast
+
+import "fmt"
+
+// Normalize converts a general expression into A-normal form: every
+// subexpression position that Figure 4 requires to be a value is either a
+// value already or gets let-bound. The stack dynamics of Figure 11 only
+// know how to evaluate ANF programs, so the parser runs this pass over
+// every parsed program.
+func Normalize(e Expr) Expr {
+	return norm(e)
+}
+
+// NormalizeCmd normalizes every expression embedded in a command.
+// Expressions appearing directly under a command constructor may be
+// arbitrary computations (the machine pushes a frame and evaluates them),
+// but they must be internally in ANF.
+func NormalizeCmd(m Cmd) Cmd {
+	switch m := m.(type) {
+	case Fcreate:
+		return Fcreate{P: m.P, T: m.T, M: NormalizeCmd(m.M)}
+	case Ftouch:
+		return Ftouch{E: norm(m.E)}
+	case Dcl:
+		return Dcl{T: m.T, S: m.S, E: norm(m.E), M: NormalizeCmd(m.M)}
+	case Get:
+		return Get{E: norm(m.E)}
+	case Set:
+		return Set{L: norm(m.L), R: norm(m.R)}
+	case Bind:
+		return Bind{X: m.X, E: norm(m.E), M: NormalizeCmd(m.M)}
+	case Ret:
+		return Ret{E: norm(m.E)}
+	case CAS:
+		return CAS{Ref: norm(m.Ref), Old: norm(m.Old), New: norm(m.New)}
+	}
+	panic(fmt.Sprintf("ast: unknown command %T", m))
+}
+
+func norm(e Expr) Expr {
+	switch e := e.(type) {
+	case Var, Unit, Nat, Ref, Tid:
+		return e
+	case Lam:
+		return Lam{X: e.X, T: e.T, Body: norm(e.Body)}
+	case CmdVal:
+		return CmdVal{P: e.P, M: NormalizeCmd(e.M)}
+	case PLam:
+		return PLam{Pi: e.Pi, C: e.C, Body: norm(e.Body)}
+	case Fix:
+		return Fix{X: e.X, T: e.T, E: norm(e.E)}
+	case Let:
+		return Let{X: e.X, E1: norm(e.E1), E2: norm(e.E2)}
+	case Pair:
+		return bind2(e.L, e.R, func(l, r Expr) Expr { return Pair{L: l, R: r} })
+	case Inl:
+		return bind1(e.V, func(v Expr) Expr { return Inl{V: v, T: e.T} })
+	case Inr:
+		return bind1(e.V, func(v Expr) Expr { return Inr{V: v, T: e.T} })
+	case Ifz:
+		zero, x, succ := norm(e.Zero), e.X, norm(e.Succ)
+		return bind1(e.V, func(v Expr) Expr {
+			return Ifz{V: v, Zero: zero, X: x, Succ: succ}
+		})
+	case App:
+		return bind2(e.F, e.A, func(f, a Expr) Expr { return App{F: f, A: a} })
+	case Fst:
+		return bind1(e.V, func(v Expr) Expr { return Fst{V: v} })
+	case Snd:
+		return bind1(e.V, func(v Expr) Expr { return Snd{V: v} })
+	case Case:
+		x, l, y, r := e.X, norm(e.L), e.Y, norm(e.R)
+		return bind1(e.V, func(v Expr) Expr {
+			return Case{V: v, X: x, L: l, Y: y, R: r}
+		})
+	case PApp:
+		return bind1(e.V, func(v Expr) Expr { return PApp{V: v, P: e.P} })
+	}
+	panic(fmt.Sprintf("ast: unknown expression %T", e))
+}
+
+// bind1 normalizes e and, if the result is not a value, let-binds it
+// before applying the value context k.
+func bind1(e Expr, k func(Expr) Expr) Expr {
+	ne := norm(e)
+	if IsValue(ne) {
+		return k(ne)
+	}
+	x := freshName("t")
+	return Let{X: x, E1: ne, E2: k(Var{Name: x})}
+}
+
+// bind2 sequences two normalizations left-to-right.
+func bind2(l, r Expr, k func(l, r Expr) Expr) Expr {
+	return bind1(l, func(lv Expr) Expr {
+		return bind1(r, func(rv Expr) Expr { return k(lv, rv) })
+	})
+}
+
+// InANF reports whether e satisfies the A-normal-form invariant of
+// Figure 4: subexpressions not under binders are values.
+func InANF(e Expr) bool {
+	switch e := e.(type) {
+	case Var, Unit, Nat, Ref, Tid:
+		return true
+	case Lam:
+		return InANF(e.Body)
+	case CmdVal:
+		return CmdInANF(e.M)
+	case PLam:
+		return InANF(e.Body)
+	case Fix:
+		return InANF(e.E)
+	case Let:
+		return InANF(e.E1) && InANF(e.E2)
+	case Pair:
+		return IsValue(e.L) && IsValue(e.R) && InANF(e.L) && InANF(e.R)
+	case Inl:
+		return IsValue(e.V) && InANF(e.V)
+	case Inr:
+		return IsValue(e.V) && InANF(e.V)
+	case Ifz:
+		return IsValue(e.V) && InANF(e.Zero) && InANF(e.Succ)
+	case App:
+		return IsValue(e.F) && IsValue(e.A) && InANF(e.F) && InANF(e.A)
+	case Fst:
+		return IsValue(e.V) && InANF(e.V)
+	case Snd:
+		return IsValue(e.V) && InANF(e.V)
+	case Case:
+		return IsValue(e.V) && InANF(e.L) && InANF(e.R)
+	case PApp:
+		return IsValue(e.V) && InANF(e.V)
+	}
+	return false
+}
+
+// CmdInANF reports whether every expression inside m is in ANF.
+func CmdInANF(m Cmd) bool {
+	switch m := m.(type) {
+	case Fcreate:
+		return CmdInANF(m.M)
+	case Ftouch:
+		return InANF(m.E)
+	case Dcl:
+		return InANF(m.E) && CmdInANF(m.M)
+	case Get:
+		return InANF(m.E)
+	case Set:
+		return InANF(m.L) && InANF(m.R)
+	case Bind:
+		return InANF(m.E) && CmdInANF(m.M)
+	case Ret:
+		return InANF(m.E)
+	case CAS:
+		return InANF(m.Ref) && InANF(m.Old) && InANF(m.New)
+	}
+	return false
+}

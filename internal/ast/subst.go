@@ -1,0 +1,328 @@
+package ast
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/prio"
+)
+
+var freshCounter atomic.Int64
+
+// freshName returns a variable name guaranteed not to clash with any
+// source-level name (source identifiers cannot contain '#').
+func freshName(base string) string {
+	return fmt.Sprintf("%s#%d", base, freshCounter.Add(1))
+}
+
+// Subst performs the capture-avoiding substitution [v/x]e of Lemma 3.1.
+// Binders whose bound variable occurs free in v are renamed first.
+func Subst(v Expr, x string, e Expr) Expr {
+	return substExpr(v, x, e)
+}
+
+// SubstCmd performs [v/x]m over commands.
+func SubstCmd(v Expr, x string, m Cmd) Cmd {
+	return substCmd(v, x, m)
+}
+
+func substExpr(v Expr, x string, e Expr) Expr {
+	switch e := e.(type) {
+	case Var:
+		if e.Name == x {
+			return v
+		}
+		return e
+	case Unit, Nat, Ref, Tid:
+		return e
+	case Lam:
+		if e.X == x {
+			return e
+		}
+		bx, body := avoid(v, e.X, e.Body)
+		return Lam{X: bx, T: e.T, Body: substExpr(v, x, body)}
+	case Pair:
+		return Pair{L: substExpr(v, x, e.L), R: substExpr(v, x, e.R)}
+	case Inl:
+		return Inl{V: substExpr(v, x, e.V), T: e.T}
+	case Inr:
+		return Inr{V: substExpr(v, x, e.V), T: e.T}
+	case CmdVal:
+		return CmdVal{P: e.P, M: substCmd(v, x, e.M)}
+	case Let:
+		e1 := substExpr(v, x, e.E1)
+		if e.X == x {
+			return Let{X: e.X, E1: e1, E2: e.E2}
+		}
+		bx, body := avoid(v, e.X, e.E2)
+		return Let{X: bx, E1: e1, E2: substExpr(v, x, body)}
+	case Ifz:
+		cond := substExpr(v, x, e.V)
+		zero := substExpr(v, x, e.Zero)
+		if e.X == x {
+			return Ifz{V: cond, Zero: zero, X: e.X, Succ: e.Succ}
+		}
+		bx, succ := avoid(v, e.X, e.Succ)
+		return Ifz{V: cond, Zero: zero, X: bx, Succ: substExpr(v, x, succ)}
+	case App:
+		return App{F: substExpr(v, x, e.F), A: substExpr(v, x, e.A)}
+	case Fst:
+		return Fst{V: substExpr(v, x, e.V)}
+	case Snd:
+		return Snd{V: substExpr(v, x, e.V)}
+	case Case:
+		scrut := substExpr(v, x, e.V)
+		l, lx := e.L, e.X
+		if e.X != x {
+			lx, l = avoid(v, e.X, e.L)
+			l = substExpr(v, x, l)
+		}
+		r, rx := e.R, e.Y
+		if e.Y != x {
+			rx, r = avoid(v, e.Y, e.R)
+			r = substExpr(v, x, r)
+		}
+		return Case{V: scrut, X: lx, L: l, Y: rx, R: r}
+	case Fix:
+		if e.X == x {
+			return e
+		}
+		bx, body := avoid(v, e.X, e.E)
+		return Fix{X: bx, T: e.T, E: substExpr(v, x, body)}
+	case PLam:
+		return PLam{Pi: e.Pi, C: e.C, Body: substExpr(v, x, e.Body)}
+	case PApp:
+		return PApp{V: substExpr(v, x, e.V), P: e.P}
+	}
+	panic(fmt.Sprintf("ast: unknown expression %T", e))
+}
+
+func substCmd(v Expr, x string, m Cmd) Cmd {
+	switch m := m.(type) {
+	case Fcreate:
+		return Fcreate{P: m.P, T: m.T, M: substCmd(v, x, m.M)}
+	case Ftouch:
+		return Ftouch{E: substExpr(v, x, m.E)}
+	case Dcl:
+		return Dcl{T: m.T, S: m.S, E: substExpr(v, x, m.E), M: substCmd(v, x, m.M)}
+	case Get:
+		return Get{E: substExpr(v, x, m.E)}
+	case Set:
+		return Set{L: substExpr(v, x, m.L), R: substExpr(v, x, m.R)}
+	case Bind:
+		e := substExpr(v, x, m.E)
+		if m.X == x {
+			return Bind{X: m.X, E: e, M: m.M}
+		}
+		bx, body := avoidCmd(v, m.X, m.M)
+		return Bind{X: bx, E: e, M: substCmd(v, x, body)}
+	case Ret:
+		return Ret{E: substExpr(v, x, m.E)}
+	case CAS:
+		return CAS{
+			Ref: substExpr(v, x, m.Ref),
+			Old: substExpr(v, x, m.Old),
+			New: substExpr(v, x, m.New),
+		}
+	}
+	panic(fmt.Sprintf("ast: unknown command %T", m))
+}
+
+// avoid renames the binder bx in body if bx occurs free in v, returning
+// the (possibly fresh) binder name and renamed body.
+func avoid(v Expr, bx string, body Expr) (string, Expr) {
+	if !FreeVars(v)[bx] {
+		return bx, body
+	}
+	fresh := freshName(bx)
+	return fresh, substExpr(Var{Name: fresh}, bx, body)
+}
+
+func avoidCmd(v Expr, bx string, body Cmd) (string, Cmd) {
+	if !FreeVars(v)[bx] {
+		return bx, body
+	}
+	fresh := freshName(bx)
+	return fresh, substCmd(Var{Name: fresh}, bx, body)
+}
+
+// SubstPrio performs the priority substitution [ρ/π]e of Lemma 3.1(3).
+func SubstPrio(rho, pi prio.Prio, e Expr) Expr {
+	switch e := e.(type) {
+	case Var, Unit, Nat, Ref, Tid:
+		return e
+	case Lam:
+		var t Type
+		if e.T != nil {
+			t = SubstPrioType(rho, pi, e.T)
+		}
+		return Lam{X: e.X, T: t, Body: SubstPrio(rho, pi, e.Body)}
+	case Pair:
+		return Pair{L: SubstPrio(rho, pi, e.L), R: SubstPrio(rho, pi, e.R)}
+	case Inl:
+		var t Type
+		if e.T != nil {
+			t = SubstPrioType(rho, pi, e.T)
+		}
+		return Inl{V: SubstPrio(rho, pi, e.V), T: t}
+	case Inr:
+		var t Type
+		if e.T != nil {
+			t = SubstPrioType(rho, pi, e.T)
+		}
+		return Inr{V: SubstPrio(rho, pi, e.V), T: t}
+	case CmdVal:
+		return CmdVal{P: prio.Subst(rho, pi, e.P), M: SubstPrioCmd(rho, pi, e.M)}
+	case Let:
+		return Let{X: e.X, E1: SubstPrio(rho, pi, e.E1), E2: SubstPrio(rho, pi, e.E2)}
+	case Ifz:
+		return Ifz{
+			V:    SubstPrio(rho, pi, e.V),
+			Zero: SubstPrio(rho, pi, e.Zero),
+			X:    e.X,
+			Succ: SubstPrio(rho, pi, e.Succ),
+		}
+	case App:
+		return App{F: SubstPrio(rho, pi, e.F), A: SubstPrio(rho, pi, e.A)}
+	case Fst:
+		return Fst{V: SubstPrio(rho, pi, e.V)}
+	case Snd:
+		return Snd{V: SubstPrio(rho, pi, e.V)}
+	case Case:
+		return Case{
+			V: SubstPrio(rho, pi, e.V),
+			X: e.X, L: SubstPrio(rho, pi, e.L),
+			Y: e.Y, R: SubstPrio(rho, pi, e.R),
+		}
+	case Fix:
+		return Fix{X: e.X, T: SubstPrioType(rho, pi, e.T), E: SubstPrio(rho, pi, e.E)}
+	case PLam:
+		if e.Pi == pi.Name() {
+			return e // shadowed
+		}
+		return PLam{Pi: e.Pi, C: e.C.Subst(rho, pi), Body: SubstPrio(rho, pi, e.Body)}
+	case PApp:
+		return PApp{V: SubstPrio(rho, pi, e.V), P: prio.Subst(rho, pi, e.P)}
+	}
+	panic(fmt.Sprintf("ast: unknown expression %T", e))
+}
+
+// SubstPrioCmd performs [ρ/π]m over commands (Lemma 3.1(4)).
+func SubstPrioCmd(rho, pi prio.Prio, m Cmd) Cmd {
+	switch m := m.(type) {
+	case Fcreate:
+		return Fcreate{
+			P: prio.Subst(rho, pi, m.P),
+			T: SubstPrioType(rho, pi, m.T),
+			M: SubstPrioCmd(rho, pi, m.M),
+		}
+	case Ftouch:
+		return Ftouch{E: SubstPrio(rho, pi, m.E)}
+	case Dcl:
+		return Dcl{
+			T: SubstPrioType(rho, pi, m.T),
+			S: m.S,
+			E: SubstPrio(rho, pi, m.E),
+			M: SubstPrioCmd(rho, pi, m.M),
+		}
+	case Get:
+		return Get{E: SubstPrio(rho, pi, m.E)}
+	case Set:
+		return Set{L: SubstPrio(rho, pi, m.L), R: SubstPrio(rho, pi, m.R)}
+	case Bind:
+		return Bind{X: m.X, E: SubstPrio(rho, pi, m.E), M: SubstPrioCmd(rho, pi, m.M)}
+	case Ret:
+		return Ret{E: SubstPrio(rho, pi, m.E)}
+	case CAS:
+		return CAS{
+			Ref: SubstPrio(rho, pi, m.Ref),
+			Old: SubstPrio(rho, pi, m.Old),
+			New: SubstPrio(rho, pi, m.New),
+		}
+	}
+	panic(fmt.Sprintf("ast: unknown command %T", m))
+}
+
+// SubstLoc renames the memory location oldLoc to newLoc in an expression:
+// every ref[oldLoc] becomes ref[newLoc]. Inner dcl binders of the same
+// name shadow the renaming.
+func SubstLoc(newLoc, oldLoc string, e Expr) Expr {
+	switch e := e.(type) {
+	case Var, Unit, Nat, Tid:
+		return e
+	case Ref:
+		if e.Loc == oldLoc {
+			return Ref{Loc: newLoc}
+		}
+		return e
+	case Lam:
+		return Lam{X: e.X, T: e.T, Body: SubstLoc(newLoc, oldLoc, e.Body)}
+	case Pair:
+		return Pair{L: SubstLoc(newLoc, oldLoc, e.L), R: SubstLoc(newLoc, oldLoc, e.R)}
+	case Inl:
+		return Inl{V: SubstLoc(newLoc, oldLoc, e.V), T: e.T}
+	case Inr:
+		return Inr{V: SubstLoc(newLoc, oldLoc, e.V), T: e.T}
+	case CmdVal:
+		return CmdVal{P: e.P, M: SubstLocCmd(newLoc, oldLoc, e.M)}
+	case Let:
+		return Let{X: e.X, E1: SubstLoc(newLoc, oldLoc, e.E1), E2: SubstLoc(newLoc, oldLoc, e.E2)}
+	case Ifz:
+		return Ifz{
+			V:    SubstLoc(newLoc, oldLoc, e.V),
+			Zero: SubstLoc(newLoc, oldLoc, e.Zero),
+			X:    e.X,
+			Succ: SubstLoc(newLoc, oldLoc, e.Succ),
+		}
+	case App:
+		return App{F: SubstLoc(newLoc, oldLoc, e.F), A: SubstLoc(newLoc, oldLoc, e.A)}
+	case Fst:
+		return Fst{V: SubstLoc(newLoc, oldLoc, e.V)}
+	case Snd:
+		return Snd{V: SubstLoc(newLoc, oldLoc, e.V)}
+	case Case:
+		return Case{
+			V: SubstLoc(newLoc, oldLoc, e.V),
+			X: e.X, L: SubstLoc(newLoc, oldLoc, e.L),
+			Y: e.Y, R: SubstLoc(newLoc, oldLoc, e.R),
+		}
+	case Fix:
+		return Fix{X: e.X, T: e.T, E: SubstLoc(newLoc, oldLoc, e.E)}
+	case PLam:
+		return PLam{Pi: e.Pi, C: e.C, Body: SubstLoc(newLoc, oldLoc, e.Body)}
+	case PApp:
+		return PApp{V: SubstLoc(newLoc, oldLoc, e.V), P: e.P}
+	}
+	panic(fmt.Sprintf("ast: unknown expression %T", e))
+}
+
+// SubstLocCmd renames a memory location in a command.
+func SubstLocCmd(newLoc, oldLoc string, m Cmd) Cmd {
+	switch m := m.(type) {
+	case Fcreate:
+		return Fcreate{P: m.P, T: m.T, M: SubstLocCmd(newLoc, oldLoc, m.M)}
+	case Ftouch:
+		return Ftouch{E: SubstLoc(newLoc, oldLoc, m.E)}
+	case Dcl:
+		e := SubstLoc(newLoc, oldLoc, m.E)
+		if m.S == oldLoc {
+			return Dcl{T: m.T, S: m.S, E: e, M: m.M} // shadowed
+		}
+		return Dcl{T: m.T, S: m.S, E: e, M: SubstLocCmd(newLoc, oldLoc, m.M)}
+	case Get:
+		return Get{E: SubstLoc(newLoc, oldLoc, m.E)}
+	case Set:
+		return Set{L: SubstLoc(newLoc, oldLoc, m.L), R: SubstLoc(newLoc, oldLoc, m.R)}
+	case Bind:
+		return Bind{X: m.X, E: SubstLoc(newLoc, oldLoc, m.E), M: SubstLocCmd(newLoc, oldLoc, m.M)}
+	case Ret:
+		return Ret{E: SubstLoc(newLoc, oldLoc, m.E)}
+	case CAS:
+		return CAS{
+			Ref: SubstLoc(newLoc, oldLoc, m.Ref),
+			Old: SubstLoc(newLoc, oldLoc, m.Old),
+			New: SubstLoc(newLoc, oldLoc, m.New),
+		}
+	}
+	panic(fmt.Sprintf("ast: unknown command %T", m))
+}

@@ -1,0 +1,158 @@
+// Package ast defines the abstract syntax of λ4i (Figure 4 of Muller et
+// al., PLDI 2020): types, expressions in A-normal form, and commands,
+// together with substitution and an ANF normalization pass used by the
+// parser front end.
+package ast
+
+import (
+	"fmt"
+
+	"repro/internal/prio"
+)
+
+// Type is a λ4i type τ.
+//
+//	τ ::= unit | nat | τ → τ | τ × τ | τ + τ
+//	    | τ ref | τ thread[ρ] | τ cmd[ρ] | ∀π∼C.τ
+type Type interface {
+	isType()
+	String() string
+}
+
+// UnitT is the unit type.
+type UnitT struct{}
+
+// NatT is the type of natural numbers.
+type NatT struct{}
+
+// ArrowT is the function type τ1 → τ2.
+type ArrowT struct{ From, To Type }
+
+// ProdT is the product type τ1 × τ2.
+type ProdT struct{ L, R Type }
+
+// SumT is the sum type τ1 + τ2.
+type SumT struct{ L, R Type }
+
+// RefT is the reference type τ ref.
+type RefT struct{ T Type }
+
+// ThreadT is the thread-handle type τ thread[ρ].
+type ThreadT struct {
+	T Type
+	P prio.Prio
+}
+
+// CmdT is the encapsulated-command type τ cmd[ρ].
+type CmdT struct {
+	T Type
+	P prio.Prio
+}
+
+// ForallT is the priority-polymorphic type ∀π∼C.τ.
+type ForallT struct {
+	Pi string
+	C  prio.Constraints
+	T  Type
+}
+
+func (UnitT) isType()   {}
+func (NatT) isType()    {}
+func (ArrowT) isType()  {}
+func (ProdT) isType()   {}
+func (SumT) isType()    {}
+func (RefT) isType()    {}
+func (ThreadT) isType() {}
+func (CmdT) isType()    {}
+func (ForallT) isType() {}
+
+func (UnitT) String() string    { return "unit" }
+func (NatT) String() string     { return "nat" }
+func (t ArrowT) String() string { return fmt.Sprintf("(%s -> %s)", t.From, t.To) }
+func (t ProdT) String() string  { return fmt.Sprintf("(%s * %s)", t.L, t.R) }
+func (t SumT) String() string   { return fmt.Sprintf("(%s + %s)", t.L, t.R) }
+func (t RefT) String() string   { return fmt.Sprintf("%s ref", t.T) }
+func (t ThreadT) String() string {
+	return fmt.Sprintf("%s thread[%s]", t.T, t.P)
+}
+func (t CmdT) String() string { return fmt.Sprintf("%s cmd[%s]", t.T, t.P) }
+func (t ForallT) String() string {
+	return fmt.Sprintf("(forall %s ~ %s . %s)", t.Pi, t.C, t.T)
+}
+
+// TypeEqual reports structural equality of types, up to alpha-renaming of
+// bound priority variables in ∀ types.
+func TypeEqual(a, b Type) bool {
+	switch a := a.(type) {
+	case UnitT:
+		_, ok := b.(UnitT)
+		return ok
+	case NatT:
+		_, ok := b.(NatT)
+		return ok
+	case ArrowT:
+		b, ok := b.(ArrowT)
+		return ok && TypeEqual(a.From, b.From) && TypeEqual(a.To, b.To)
+	case ProdT:
+		b, ok := b.(ProdT)
+		return ok && TypeEqual(a.L, b.L) && TypeEqual(a.R, b.R)
+	case SumT:
+		b, ok := b.(SumT)
+		return ok && TypeEqual(a.L, b.L) && TypeEqual(a.R, b.R)
+	case RefT:
+		b, ok := b.(RefT)
+		return ok && TypeEqual(a.T, b.T)
+	case ThreadT:
+		b, ok := b.(ThreadT)
+		return ok && a.P == b.P && TypeEqual(a.T, b.T)
+	case CmdT:
+		b, ok := b.(CmdT)
+		return ok && a.P == b.P && TypeEqual(a.T, b.T)
+	case ForallT:
+		b, ok := b.(ForallT)
+		if !ok || len(a.C) != len(b.C) {
+			return false
+		}
+		// Rename both bodies to a common fresh variable before comparing.
+		fresh := prio.Var(a.Pi + b.Pi + "#eq")
+		ac := a.C.Subst(fresh, prio.Var(a.Pi))
+		bc := b.C.Subst(fresh, prio.Var(b.Pi))
+		for i := range ac {
+			if ac[i] != bc[i] {
+				return false
+			}
+		}
+		return TypeEqual(
+			SubstPrioType(fresh, prio.Var(a.Pi), a.T),
+			SubstPrioType(fresh, prio.Var(b.Pi), b.T),
+		)
+	}
+	return false
+}
+
+// SubstPrioType substitutes the priority rho for the priority variable pi
+// throughout a type: [ρ/π]τ.
+func SubstPrioType(rho, pi prio.Prio, t Type) Type {
+	switch t := t.(type) {
+	case UnitT, NatT:
+		return t
+	case ArrowT:
+		return ArrowT{From: SubstPrioType(rho, pi, t.From), To: SubstPrioType(rho, pi, t.To)}
+	case ProdT:
+		return ProdT{L: SubstPrioType(rho, pi, t.L), R: SubstPrioType(rho, pi, t.R)}
+	case SumT:
+		return SumT{L: SubstPrioType(rho, pi, t.L), R: SubstPrioType(rho, pi, t.R)}
+	case RefT:
+		return RefT{T: SubstPrioType(rho, pi, t.T)}
+	case ThreadT:
+		return ThreadT{T: SubstPrioType(rho, pi, t.T), P: prio.Subst(rho, pi, t.P)}
+	case CmdT:
+		return CmdT{T: SubstPrioType(rho, pi, t.T), P: prio.Subst(rho, pi, t.P)}
+	case ForallT:
+		if t.Pi == pi.Name() {
+			return t // shadowed
+		}
+		return ForallT{Pi: t.Pi, C: t.C.Subst(rho, pi), T: SubstPrioType(rho, pi, t.T)}
+	}
+	panic(fmt.Sprintf("ast: unknown type %T", t))
+}

@@ -1,0 +1,122 @@
+// Package conc provides the concurrent data structures the paper's case
+// studies rely on (Section 5.1): a sharded hash map (the proxy server's
+// website cache) and an atomic slot table supporting compare-and-swap of
+// future handles (the email client's print/compress coordination).
+package conc
+
+import (
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/icilk"
+)
+
+const shardCount = 16
+
+// Map is a sharded concurrent hash map from string keys to values.
+type Map[V any] struct {
+	shards [shardCount]mapShard[V]
+}
+
+type mapShard[V any] struct {
+	mu sync.RWMutex
+	m  map[string]V
+}
+
+// NewMap returns an empty concurrent map.
+func NewMap[V any]() *Map[V] {
+	m := &Map[V]{}
+	for i := range m.shards {
+		m.shards[i].m = make(map[string]V)
+	}
+	return m
+}
+
+func (m *Map[V]) shard(key string) *mapShard[V] {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return &m.shards[h.Sum32()%shardCount]
+}
+
+// Get returns the value for key.
+func (m *Map[V]) Get(key string) (V, bool) {
+	s := m.shard(key)
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[key]
+	return v, ok
+}
+
+// Put stores value under key.
+func (m *Map[V]) Put(key string, v V) {
+	s := m.shard(key)
+	s.mu.Lock()
+	s.m[key] = v
+	s.mu.Unlock()
+}
+
+// PutIfAbsent stores v only if key is unbound, returning the value now
+// bound and whether this call bound it.
+func (m *Map[V]) PutIfAbsent(key string, v V) (V, bool) {
+	s := m.shard(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if old, ok := s.m[key]; ok {
+		return old, false
+	}
+	s.m[key] = v
+	return v, true
+}
+
+// Delete removes key.
+func (m *Map[V]) Delete(key string) {
+	s := m.shard(key)
+	s.mu.Lock()
+	delete(s.m, key)
+	s.mu.Unlock()
+}
+
+// Len counts entries (approximate under concurrency).
+func (m *Map[V]) Len() int {
+	n := 0
+	for i := range m.shards {
+		m.shards[i].mu.RLock()
+		n += len(m.shards[i].m)
+		m.shards[i].mu.RUnlock()
+	}
+	return n
+}
+
+// SlotTable is an array of atomic future-handle slots indexed by integer
+// IDs. It is the email application's coordination structure: "within each
+// user's inbox data structure is an array indexed using the email ID
+// where any thread attempting to print or compress the email will store
+// its own handle" (Section 5.1). Swap is the CAS-style atomic exchange
+// used there: install your own handle, obtain the previous one, and touch
+// it before proceeding.
+type SlotTable struct {
+	slots []atomic.Pointer[icilk.Handle]
+}
+
+// NewSlotTable creates a table with n slots, all empty.
+func NewSlotTable(n int) *SlotTable {
+	return &SlotTable{slots: make([]atomic.Pointer[icilk.Handle], n)}
+}
+
+// Len returns the number of slots.
+func (s *SlotTable) Len() int { return len(s.slots) }
+
+// Swap installs h into slot i and returns the previously installed
+// handle, or nil if the slot was empty.
+func (s *SlotTable) Swap(i int, h *icilk.Handle) *icilk.Handle {
+	return s.slots[i].Swap(h)
+}
+
+// Load returns the current handle in slot i without modifying it.
+func (s *SlotTable) Load(i int) *icilk.Handle { return s.slots[i].Load() }
+
+// CompareAndSwap installs next only if the slot currently holds old.
+func (s *SlotTable) CompareAndSwap(i int, old, next *icilk.Handle) bool {
+	return s.slots[i].CompareAndSwap(old, next)
+}

@@ -1,0 +1,361 @@
+// Package dag implements the cost-graph model of Muller et al. (PLDI
+// 2020), Section 2: DAGs whose vertices belong to prioritized threads,
+// with strong edges (continuation, fcreate, ftouch) and weak edges that
+// reify happens-before dependencies through mutable state.
+//
+// A graph g is the quadruple (T, Ec, Et, Ew). Threads map to a priority
+// and a vertex sequence; consecutive vertices of a thread are linked by
+// continuation edges. Ec holds fcreate edges (u, b) — shorthand for an
+// edge from u to the first vertex of b; Et holds ftouch edges (b, u) —
+// shorthand for an edge from the last vertex of b to u; Ew holds weak
+// edges between vertices.
+package dag
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/prio"
+)
+
+// VertexID identifies a vertex; IDs are dense, starting at 0.
+type VertexID int
+
+// ThreadID identifies a thread (the symbols a, b of the paper).
+type ThreadID string
+
+// EdgeKind distinguishes the four edge sets of a cost graph.
+type EdgeKind uint8
+
+const (
+	// Continuation edges link consecutive vertices of one thread.
+	Continuation EdgeKind = iota
+	// Create is an fcreate edge from the creating vertex to the created
+	// thread's first vertex.
+	Create
+	// Touch is an ftouch edge from the touched thread's last vertex to
+	// the touching vertex.
+	Touch
+	// Weak is a happens-before edge recording a read of state written by
+	// another vertex. Weak edges do not gate readiness; instead they
+	// restrict which schedules are admissible for this graph.
+	Weak
+	// Strengthened marks strong edges introduced by the a-strengthening
+	// transform (Definition 2); they behave like strong edges.
+	Strengthened
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case Continuation:
+		return "cont"
+	case Create:
+		return "create"
+	case Touch:
+		return "touch"
+	case Weak:
+		return "weak"
+	case Strengthened:
+		return "strengthened"
+	}
+	return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+}
+
+// Strong reports whether the edge kind is a strong edge (everything but
+// Weak).
+func (k EdgeKind) Strong() bool { return k != Weak }
+
+// Edge is a resolved vertex-to-vertex edge.
+type Edge struct {
+	From, To VertexID
+	Kind     EdgeKind
+}
+
+// Thread is a thread a ↪ρ u1·…·un.
+type Thread struct {
+	ID       ThreadID
+	Prio     prio.Prio
+	Vertices []VertexID
+}
+
+// First returns the thread's first vertex (s) and whether it has one.
+func (t *Thread) First() (VertexID, bool) {
+	if len(t.Vertices) == 0 {
+		return 0, false
+	}
+	return t.Vertices[0], true
+}
+
+// Last returns the thread's last vertex (t) and whether it has one.
+func (t *Thread) Last() (VertexID, bool) {
+	if len(t.Vertices) == 0 {
+		return 0, false
+	}
+	return t.Vertices[len(t.Vertices)-1], true
+}
+
+// createEdge is an unresolved fcreate edge (u, b).
+type createEdge struct {
+	From VertexID
+	To   ThreadID
+}
+
+// touchEdge is an unresolved ftouch edge (b, u).
+type touchEdge struct {
+	From ThreadID
+	To   VertexID
+}
+
+// Graph is a cost graph under construction or analysis.
+type Graph struct {
+	order       *prio.Order
+	threads     map[ThreadID]*Thread
+	threadOrder []ThreadID
+
+	threadOf []ThreadID // vertex -> owning thread
+	labels   []string   // vertex -> debug label
+
+	creates []createEdge
+	touches []touchEdge
+	weaks   []Edge
+	extra   []Edge // strengthened edges added by Strengthen
+
+	// contRemoved marks continuation edges deleted by the strengthening
+	// transform. Continuation edges are implicit in thread vertex
+	// sequences, so removal is recorded here and honored by Edges().
+	contRemoved map[[2]VertexID]bool
+}
+
+// New returns an empty graph over the given priority order.
+func New(order *prio.Order) *Graph {
+	return &Graph{order: order, threads: make(map[ThreadID]*Thread)}
+}
+
+// Order returns the graph's priority order R.
+func (g *Graph) Order() *prio.Order { return g.order }
+
+// NumVertices returns the number of vertices in the graph.
+func (g *Graph) NumVertices() int { return len(g.threadOf) }
+
+// AddThread declares a thread with the given priority. It is an error to
+// redeclare an existing thread.
+func (g *Graph) AddThread(id ThreadID, p prio.Prio) error {
+	if _, ok := g.threads[id]; ok {
+		return fmt.Errorf("dag: thread %q already declared", id)
+	}
+	g.threads[id] = &Thread{ID: id, Prio: p}
+	g.threadOrder = append(g.threadOrder, id)
+	return nil
+}
+
+// Thread returns the named thread, or nil.
+func (g *Graph) Thread(id ThreadID) *Thread { return g.threads[id] }
+
+// Threads returns the thread IDs in declaration order.
+func (g *Graph) Threads() []ThreadID { return g.threadOrder }
+
+// AddVertex appends a fresh vertex to the given thread, adding the implied
+// continuation edge from the thread's previous vertex.
+func (g *Graph) AddVertex(id ThreadID, label string) (VertexID, error) {
+	th, ok := g.threads[id]
+	if !ok {
+		return 0, fmt.Errorf("dag: unknown thread %q", id)
+	}
+	v := VertexID(len(g.threadOf))
+	g.threadOf = append(g.threadOf, id)
+	g.labels = append(g.labels, label)
+	th.Vertices = append(th.Vertices, v)
+	return v, nil
+}
+
+// MustAddVertex is AddVertex for construction code that has already
+// validated the thread.
+func (g *Graph) MustAddVertex(id ThreadID, label string) VertexID {
+	v, err := g.AddVertex(id, label)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// AddCreateEdge records the fcreate edge (from, to) ∈ Ec.
+func (g *Graph) AddCreateEdge(from VertexID, to ThreadID) {
+	g.creates = append(g.creates, createEdge{From: from, To: to})
+}
+
+// AddTouchEdge records the ftouch edge (from, to) ∈ Et.
+func (g *Graph) AddTouchEdge(from ThreadID, to VertexID) {
+	g.touches = append(g.touches, touchEdge{From: from, To: to})
+}
+
+// AddWeakEdge records a weak edge (from, to) ∈ Ew.
+func (g *Graph) AddWeakEdge(from, to VertexID) {
+	g.weaks = append(g.weaks, Edge{From: from, To: to, Kind: Weak})
+}
+
+// ThreadOf returns the thread owning vertex v.
+func (g *Graph) ThreadOf(v VertexID) ThreadID { return g.threadOf[v] }
+
+// PrioOf returns Prio_g(v), the priority of the thread containing v.
+func (g *Graph) PrioOf(v VertexID) prio.Prio {
+	return g.threads[g.threadOf[v]].Prio
+}
+
+// Label returns the debug label of v.
+func (g *Graph) Label(v VertexID) string { return g.labels[v] }
+
+// CreatorOf returns the vertex that fcreated the given thread, if any.
+func (g *Graph) CreatorOf(id ThreadID) (VertexID, bool) {
+	for _, e := range g.creates {
+		if e.To == id {
+			return e.From, true
+		}
+	}
+	return 0, false
+}
+
+// Edges returns all resolved vertex-to-vertex edges. Create edges to
+// threads that never ran (no vertices) and touch edges from such threads
+// are skipped: they cannot constrain any schedule.
+func (g *Graph) Edges() []Edge {
+	var out []Edge
+	for _, th := range g.threads {
+		for i := 1; i < len(th.Vertices); i++ {
+			if g.contRemoved[[2]VertexID{th.Vertices[i-1], th.Vertices[i]}] {
+				continue
+			}
+			out = append(out, Edge{From: th.Vertices[i-1], To: th.Vertices[i], Kind: Continuation})
+		}
+	}
+	for _, c := range g.creates {
+		if s, ok := g.threads[c.To].First(); ok {
+			out = append(out, Edge{From: c.From, To: s, Kind: Create})
+		}
+	}
+	for _, t := range g.touches {
+		if last, ok := g.threads[t.From].Last(); ok {
+			out = append(out, Edge{From: last, To: t.To, Kind: Touch})
+		}
+	}
+	out = append(out, g.weaks...)
+	out = append(out, g.extra...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].To != out[j].To {
+			return out[i].To < out[j].To
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+// WeakEdges returns the weak edges of the graph.
+func (g *Graph) WeakEdges() []Edge {
+	out := make([]Edge, len(g.weaks))
+	copy(out, g.weaks)
+	return out
+}
+
+// TouchEdges returns the resolved touch edges (lastVertex(b), u) together
+// with the touched thread IDs.
+func (g *Graph) TouchEdges() []struct {
+	Thread ThreadID
+	From   VertexID
+	To     VertexID
+} {
+	var out []struct {
+		Thread ThreadID
+		From   VertexID
+		To     VertexID
+	}
+	for _, t := range g.touches {
+		if last, ok := g.threads[t.From].Last(); ok {
+			out = append(out, struct {
+				Thread ThreadID
+				From   VertexID
+				To     VertexID
+			}{t.From, last, t.To})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	ng := New(g.order)
+	for _, id := range g.threadOrder {
+		th := g.threads[id]
+		nt := &Thread{ID: th.ID, Prio: th.Prio, Vertices: append([]VertexID(nil), th.Vertices...)}
+		ng.threads[id] = nt
+		ng.threadOrder = append(ng.threadOrder, id)
+	}
+	ng.threadOf = append([]ThreadID(nil), g.threadOf...)
+	ng.labels = append([]string(nil), g.labels...)
+	ng.creates = append([]createEdge(nil), g.creates...)
+	ng.touches = append([]touchEdge(nil), g.touches...)
+	ng.weaks = append([]Edge(nil), g.weaks...)
+	ng.extra = append([]Edge(nil), g.extra...)
+	if len(g.contRemoved) > 0 {
+		ng.contRemoved = make(map[[2]VertexID]bool, len(g.contRemoved))
+		for k := range g.contRemoved {
+			ng.contRemoved[k] = true
+		}
+	}
+	return ng
+}
+
+// adjacency returns forward and reverse adjacency lists over resolved
+// edges.
+func (g *Graph) adjacency() (out, in [][]Edge) {
+	n := g.NumVertices()
+	out = make([][]Edge, n)
+	in = make([][]Edge, n)
+	for _, e := range g.Edges() {
+		out[e.From] = append(out[e.From], e)
+		in[e.To] = append(in[e.To], e)
+	}
+	return out, in
+}
+
+// Acyclic reports whether the graph (including weak edges) is acyclic.
+func (g *Graph) Acyclic() bool {
+	_, err := g.TopoOrder()
+	return err == nil
+}
+
+// TopoOrder returns a topological order over all edges, or an error if the
+// graph has a cycle.
+func (g *Graph) TopoOrder() ([]VertexID, error) {
+	n := g.NumVertices()
+	indeg := make([]int, n)
+	out, _ := g.adjacency()
+	for _, es := range out {
+		for _, e := range es {
+			indeg[e.To]++
+		}
+	}
+	queue := make([]VertexID, 0, n)
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			queue = append(queue, VertexID(v))
+		}
+	}
+	order := make([]VertexID, 0, n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range out[v] {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, fmt.Errorf("dag: graph has a cycle")
+	}
+	return order, nil
+}

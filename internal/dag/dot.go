@@ -1,0 +1,44 @@
+package dag
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dot renders the graph in Graphviz DOT format. Threads become clusters;
+// weak edges are dashed, fcreate edges are bold, ftouch edges are drawn
+// with open arrowheads.
+func (g *Graph) Dot(title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n  node [shape=circle];\n")
+	for i, id := range g.threadOrder {
+		th := g.threads[id]
+		fmt.Fprintf(&b, "  subgraph cluster_%d {\n", i)
+		fmt.Fprintf(&b, "    label=\"%s @ %s\";\n", id, th.Prio)
+		for _, v := range th.Vertices {
+			label := g.labels[v]
+			if label == "" {
+				label = fmt.Sprint(v)
+			}
+			fmt.Fprintf(&b, "    v%d [label=%q];\n", v, label)
+		}
+		b.WriteString("  }\n")
+	}
+	for _, e := range g.Edges() {
+		attr := ""
+		switch e.Kind {
+		case Create:
+			attr = " [style=bold color=blue]"
+		case Touch:
+			attr = " [arrowhead=empty color=darkgreen]"
+		case Weak:
+			attr = " [style=dashed color=red constraint=false]"
+		case Strengthened:
+			attr = " [color=purple]"
+		}
+		fmt.Fprintf(&b, "  v%d -> v%d%s;\n", e.From, e.To, attr)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

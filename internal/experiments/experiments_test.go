@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// quickCfg keeps experiment tests fast.
+func quickCfg() EvalConfig {
+	return EvalConfig{
+		Workers:     4,
+		Duration:    120 * time.Millisecond,
+		Connections: []int{20, 40},
+		Seed:        7,
+	}
+}
+
+func TestCaseStudyModelsCheckAndRun(t *testing.T) {
+	for _, app := range caseStudies {
+		for _, variant := range []string{"prio", "noprio"} {
+			if _, err := CheckProgram(app, variant, true); err != nil {
+				t.Errorf("%s/%s does not typecheck: %v", app, variant, err)
+				continue
+			}
+			if err := RunProgram(app, variant); err != nil {
+				t.Errorf("%s/%s does not run cleanly: %v", app, variant, err)
+			}
+		}
+	}
+}
+
+func TestPrioModelsNeedPriorityChecking(t *testing.T) {
+	// The prio variants must also typecheck with priority checking off —
+	// structural typing is unchanged.
+	for _, app := range caseStudies {
+		if _, err := CheckProgram(app, "prio", false); err != nil {
+			t.Errorf("%s/prio fails in no-priority mode: %v", app, err)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.TimeWithPrio <= 0 || r.TimeNoPrio <= 0 {
+			t.Errorf("%s: nonpositive check times: %+v", r.App, r)
+		}
+		if r.SizeWithPrio <= r.SizeNoPrio {
+			t.Errorf("%s: priority variant should be larger: %d vs %d",
+				r.App, r.SizeWithPrio, r.SizeNoPrio)
+		}
+		if r.SizeOverhead() > 2.0 {
+			t.Errorf("%s: size overhead %0.2f× is implausibly large", r.App, r.SizeOverhead())
+		}
+	}
+}
+
+func TestFig13ProducesRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	rows := Fig13(quickCfg())
+	if len(rows) != 4 { // 2 apps × 2 connection counts
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.ICilk.Count == 0 || r.Baseline.Count == 0 {
+			t.Errorf("%s@%d: empty summaries", r.App, r.Connections)
+		}
+		if r.RatioAvg <= 0 {
+			t.Errorf("%s@%d: ratio %f", r.App, r.Connections, r.RatioAvg)
+		}
+	}
+}
+
+func TestFig14ProxyEmailProducesRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	cfg := quickCfg()
+	cfg.Connections = []int{25}
+	rows := Fig14ProxyEmail(cfg)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(rows))
+	}
+	for _, row := range rows {
+		if len(row.Components) == 0 {
+			t.Errorf("%s: no components", row.App)
+		}
+		for _, comp := range row.Components {
+			if comp.ICilk.Count == 0 {
+				t.Errorf("%s/%s: no I-Cilk samples", row.App, comp.Name)
+			}
+		}
+	}
+}
+
+func TestFig14JServerProducesRows(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	cfg := quickCfg()
+	cfg.Duration = 150 * time.Millisecond
+	rows := Fig14JServer(cfg)
+	if len(rows) != len(JServerLoads) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(JServerLoads))
+	}
+	for _, row := range rows {
+		if len(row.Components) != 4 {
+			t.Errorf("%s: components = %d, want 4", row.Load, len(row.Components))
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	cfg := quickCfg()
+	cfg.Duration = 100 * time.Millisecond
+	if pts := AblationQuantum(cfg); len(pts) != 4 {
+		t.Errorf("quantum points = %d", len(pts))
+	}
+	if pts := AblationGamma(cfg); len(pts) != 3 {
+		t.Errorf("gamma points = %d", len(pts))
+	}
+	if pts := AblationThreshold(cfg); len(pts) != 3 {
+		t.Errorf("threshold points = %d", len(pts))
+	}
+}

@@ -1,0 +1,184 @@
+// Package huffman implements Huffman coding (CLRS chapter 16.3, the
+// reference the paper cites for the email client's background compressor).
+// Encoded blobs are self-describing: a header stores the symbol
+// frequencies so Decode can rebuild the tree.
+package huffman
+
+import (
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+)
+
+// node is a Huffman tree node; leaves carry a symbol.
+type node struct {
+	freq        int
+	sym         byte
+	leaf        bool
+	left, right *node
+	order       int // tie-break for deterministic trees
+}
+
+type nodeHeap []*node
+
+func (h nodeHeap) Len() int { return len(h) }
+func (h nodeHeap) Less(i, j int) bool {
+	if h[i].freq != h[j].freq {
+		return h[i].freq < h[j].freq
+	}
+	return h[i].order < h[j].order
+}
+func (h nodeHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x any)     { *h = append(*h, x.(*node)) }
+func (h *nodeHeap) Pop() (out any) { old := *h; n := len(old); out = old[n-1]; *h = old[:n-1]; return }
+
+// buildTree constructs the Huffman tree from symbol frequencies.
+func buildTree(freq *[256]int) *node {
+	h := &nodeHeap{}
+	order := 0
+	for s := 0; s < 256; s++ {
+		if freq[s] > 0 {
+			heap.Push(h, &node{freq: freq[s], sym: byte(s), leaf: true, order: order})
+			order++
+		}
+	}
+	if h.Len() == 0 {
+		return nil
+	}
+	if h.Len() == 1 {
+		// A single distinct symbol still needs one bit: pair it with a
+		// dummy internal node.
+		only := heap.Pop(h).(*node)
+		return &node{freq: only.freq, left: only, order: order}
+	}
+	for h.Len() > 1 {
+		a := heap.Pop(h).(*node)
+		b := heap.Pop(h).(*node)
+		heap.Push(h, &node{freq: a.freq + b.freq, left: a, right: b, order: order})
+		order++
+	}
+	return heap.Pop(h).(*node)
+}
+
+// codes computes the bitstring for every symbol.
+func codes(root *node) [256][]bool {
+	var out [256][]bool
+	var walk func(n *node, prefix []bool)
+	walk = func(n *node, prefix []bool) {
+		if n == nil {
+			return
+		}
+		if n.leaf {
+			code := make([]bool, len(prefix))
+			copy(code, prefix)
+			out[n.sym] = code
+			return
+		}
+		walk(n.left, append(prefix, false))
+		walk(n.right, append(prefix, true))
+	}
+	walk(root, nil)
+	return out
+}
+
+// Encode compresses data. The output layout is:
+//
+//	uint32 original length
+//	uint16 number of distinct symbols k
+//	k × (byte symbol, uint32 frequency)
+//	packed bitstream
+func Encode(data []byte) []byte {
+	var freq [256]int
+	for _, b := range data {
+		freq[b]++
+	}
+	distinct := 0
+	for _, f := range freq {
+		if f > 0 {
+			distinct++
+		}
+	}
+	header := make([]byte, 0, 6+5*distinct)
+	header = binary.BigEndian.AppendUint32(header, uint32(len(data)))
+	header = binary.BigEndian.AppendUint16(header, uint16(distinct))
+	for s := 0; s < 256; s++ {
+		if freq[s] > 0 {
+			header = append(header, byte(s))
+			header = binary.BigEndian.AppendUint32(header, uint32(freq[s]))
+		}
+	}
+	root := buildTree(&freq)
+	table := codes(root)
+	out := header
+	var cur byte
+	bits := 0
+	for _, b := range data {
+		for _, bit := range table[b] {
+			cur <<= 1
+			if bit {
+				cur |= 1
+			}
+			bits++
+			if bits == 8 {
+				out = append(out, cur)
+				cur, bits = 0, 0
+			}
+		}
+	}
+	if bits > 0 {
+		cur <<= uint(8 - bits)
+		out = append(out, cur)
+	}
+	return out
+}
+
+// Decode decompresses a blob produced by Encode.
+func Decode(blob []byte) ([]byte, error) {
+	if len(blob) < 6 {
+		return nil, fmt.Errorf("huffman: blob too short")
+	}
+	n := int(binary.BigEndian.Uint32(blob))
+	distinct := int(binary.BigEndian.Uint16(blob[4:]))
+	pos := 6
+	var freq [256]int
+	for i := 0; i < distinct; i++ {
+		if pos+5 > len(blob) {
+			return nil, fmt.Errorf("huffman: truncated symbol table")
+		}
+		sym := blob[pos]
+		freq[sym] = int(binary.BigEndian.Uint32(blob[pos+1:]))
+		pos += 5
+	}
+	if n == 0 {
+		return []byte{}, nil
+	}
+	root := buildTree(&freq)
+	if root == nil {
+		return nil, fmt.Errorf("huffman: empty symbol table for nonempty data")
+	}
+	out := make([]byte, 0, n)
+	cur := root
+	for _, b := range blob[pos:] {
+		for bit := 7; bit >= 0; bit-- {
+			if cur == nil {
+				return nil, fmt.Errorf("huffman: invalid bitstream")
+			}
+			if b&(1<<uint(bit)) != 0 {
+				cur = cur.right
+			} else {
+				cur = cur.left
+			}
+			if cur == nil {
+				return nil, fmt.Errorf("huffman: invalid bitstream")
+			}
+			if cur.leaf {
+				out = append(out, cur.sym)
+				if len(out) == n {
+					return out, nil
+				}
+				cur = root
+			}
+		}
+	}
+	return nil, fmt.Errorf("huffman: bitstream ended after %d of %d bytes", len(out), n)
+}

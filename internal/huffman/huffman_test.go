@@ -1,0 +1,91 @@
+package huffman
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		[]byte("hello, huffman"),
+		[]byte(""),
+		[]byte("a"),
+		[]byte("aaaaaaaaaa"),
+		[]byte("ababababab"),
+		bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog "), 50),
+		{0, 1, 2, 3, 255, 254, 0, 0},
+	}
+	for _, in := range cases {
+		enc := Encode(in)
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Errorf("Decode(%q): %v", in, err)
+			continue
+		}
+		if !bytes.Equal(dec, in) {
+			t.Errorf("round trip failed for %q: got %q", in, dec)
+		}
+	}
+}
+
+func TestCompressionWins(t *testing.T) {
+	// Skewed text must compress.
+	in := []byte(strings.Repeat("aaaaaaaabbbbc", 400))
+	enc := Encode(in)
+	if len(enc) >= len(in) {
+		t.Errorf("encoded %d bytes >= original %d", len(enc), len(in))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte{1, 2}); err == nil {
+		t.Error("short blob should fail")
+	}
+	// Truncated symbol table.
+	enc := Encode([]byte("abcdef"))
+	if _, err := Decode(enc[:7]); err == nil {
+		t.Error("truncated table should fail")
+	}
+	// Truncated bitstream.
+	if _, err := Decode(enc[:len(enc)-1]); err == nil {
+		t.Error("truncated bitstream should fail")
+	}
+}
+
+// Property: Decode(Encode(x)) == x for random byte strings.
+func TestQuickRoundTrip(t *testing.T) {
+	check := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := make([]byte, int(n))
+		for i := range in {
+			in[i] = byte(rng.Intn(8)) // skewed alphabet
+		}
+		dec, err := Decode(Encode(in))
+		return err == nil && bytes.Equal(dec, in)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	in := bytes.Repeat([]byte("email body text with some repetition repetition "), 100)
+	b.SetBytes(int64(len(in)))
+	for i := 0; i < b.N; i++ {
+		Encode(in)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	in := bytes.Repeat([]byte("email body text with some repetition repetition "), 100)
+	enc := Encode(in)
+	b.SetBytes(int64(len(in)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package icilk
+
+import "sync"
+
+// deque is a double-ended work queue. The owning worker pushes and pops at
+// the bottom; thieves steal from the top, giving the usual work-stealing
+// locality properties. A mutex guards the structure: at the task
+// granularity of this runtime (tasks are fibers, not closures measured in
+// nanoseconds), lock-free subtlety buys nothing, and the simple version is
+// obviously correct under the race detector.
+type deque struct {
+	mu    sync.Mutex
+	items []*task
+}
+
+// pushBottom adds a task at the owner's end.
+func (d *deque) pushBottom(t *task) {
+	d.mu.Lock()
+	d.items = append(d.items, t)
+	d.mu.Unlock()
+}
+
+// popBottom removes the most recently pushed task, or nil.
+func (d *deque) popBottom() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.items)
+	if n == 0 {
+		return nil
+	}
+	t := d.items[n-1]
+	d.items[n-1] = nil
+	d.items = d.items[:n-1]
+	return t
+}
+
+// stealTop removes the oldest task, or nil.
+func (d *deque) stealTop() *task {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.items) == 0 {
+		return nil
+	}
+	t := d.items[0]
+	copy(d.items, d.items[1:])
+	d.items[len(d.items)-1] = nil
+	d.items = d.items[:len(d.items)-1]
+	return t
+}
+
+// size reports the current length (racy snapshot, used for heuristics).
+func (d *deque) size() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}

@@ -1,0 +1,172 @@
+package icilk
+
+import (
+	"sync"
+	"testing"
+)
+
+func mkTask(i int) *task { return &task{name: string(rune('a' + i%26))} }
+
+func TestDequeLIFOOwner(t *testing.T) {
+	d := &deque{}
+	t1, t2, t3 := mkTask(1), mkTask(2), mkTask(3)
+	d.pushBottom(t1)
+	d.pushBottom(t2)
+	d.pushBottom(t3)
+	if d.size() != 3 {
+		t.Errorf("size = %d", d.size())
+	}
+	if got := d.popBottom(); got != t3 {
+		t.Error("owner pops newest first")
+	}
+	if got := d.popBottom(); got != t2 {
+		t.Error("owner pops in LIFO order")
+	}
+}
+
+func TestDequeFIFOThief(t *testing.T) {
+	d := &deque{}
+	t1, t2 := mkTask(1), mkTask(2)
+	d.pushBottom(t1)
+	d.pushBottom(t2)
+	if got := d.stealTop(); got != t1 {
+		t.Error("thief steals oldest first")
+	}
+	if got := d.stealTop(); got != t2 {
+		t.Error("second steal gets the remaining task")
+	}
+	if d.stealTop() != nil || d.popBottom() != nil {
+		t.Error("empty deque should yield nil")
+	}
+}
+
+func TestDequeConcurrentStealers(t *testing.T) {
+	d := &deque{}
+	const n = 1000
+	for i := 0; i < n; i++ {
+		d.pushBottom(mkTask(i))
+	}
+	var got sync.Map
+	var wg sync.WaitGroup
+	var count sync.WaitGroup
+	count.Add(n)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				tk := d.stealTop()
+				if tk == nil {
+					return
+				}
+				if _, loaded := got.LoadOrStore(tk, true); loaded {
+					t.Error("task stolen twice")
+				}
+				count.Done()
+			}
+		}()
+	}
+	wg.Wait()
+	count.Wait() // all n tasks stolen exactly once
+}
+
+func TestLevelPending(t *testing.T) {
+	rt := New(Config{Workers: 2, Levels: 2, Prioritize: true})
+	defer rt.Shutdown()
+	L := rt.levels[0]
+	if L.pending() {
+		t.Error("fresh level should not be pending")
+	}
+	L.inject.pushBottom(mkTask(0))
+	if !L.pending() {
+		t.Error("level with injected work should be pending")
+	}
+	L.inject.stealTop()
+	L.deques[1].pushBottom(mkTask(1))
+	if !L.pending() {
+		t.Error("level with deque work should be pending")
+	}
+	L.deques[1].popBottom()
+}
+
+func TestEffLevel(t *testing.T) {
+	rt := New(Config{Workers: 1, Levels: 3, Prioritize: true})
+	defer rt.Shutdown()
+	cases := []struct {
+		p    Priority
+		want int
+	}{{-1, 0}, {0, 0}, {2, 2}, {7, 2}}
+	for _, c := range cases {
+		if got := rt.effLevel(c.p); got != c.want {
+			t.Errorf("effLevel(%d) = %d, want %d", c.p, got, c.want)
+		}
+	}
+	base := New(Config{Workers: 1, Levels: 3, Prioritize: false})
+	defer base.Shutdown()
+	if base.effLevel(2) != 0 {
+		t.Error("baseline mode maps all priorities to level 0")
+	}
+}
+
+func TestAllocationView(t *testing.T) {
+	rt := New(Config{Workers: 3, Levels: 2, Prioritize: true})
+	defer rt.Shutdown()
+	alloc := rt.Allocation()
+	if len(alloc) != 3 {
+		t.Errorf("allocation size = %d", len(alloc))
+	}
+	for _, l := range alloc {
+		if l < 0 || l >= 2 {
+			t.Errorf("allocation level %d out of range", l)
+		}
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Workers != 4 || c.Levels != 2 || c.Gamma != 2 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	if !c.CheckInversions || !c.CollectMetrics {
+		t.Error("checks and metrics should default on")
+	}
+	c2 := Config{DisableInversionCheck: true, DisableMetrics: true}.withDefaults()
+	if c2.CheckInversions || c2.CollectMetrics {
+		t.Error("disable flags should turn features off")
+	}
+}
+
+func TestGoSelfProvidesOwnFuture(t *testing.T) {
+	rt := New(Config{Workers: 2, Levels: 1})
+	defer rt.Shutdown()
+	fut := GoSelf(rt, nil, 0, "selfaware", func(c *Ctx, self *Future[int]) int {
+		if self == nil {
+			t.Error("self future is nil")
+			return 0
+		}
+		if self.Done() {
+			t.Error("own future cannot be done while running")
+		}
+		if self.Priority() != 0 {
+			t.Error("own future priority wrong")
+		}
+		return 77
+	})
+	v, err := Await(fut, 5e9)
+	if err != nil || v != 77 {
+		t.Errorf("GoSelf: v=%d err=%v", v, err)
+	}
+}
+
+func TestHelpUpward(t *testing.T) {
+	// One worker pinned (by assignment) to the low level must still pick
+	// up high-priority work when its own level is dry.
+	rt := New(Config{Workers: 1, Levels: 2, Prioritize: true})
+	defer rt.Shutdown()
+	// Force the worker onto level 0.
+	rt.assignment[0].Store(0)
+	fut := Go(rt, nil, 1, "high", func(*Ctx) int { return 1 })
+	if v, err := Await(fut, 5e9); err != nil || v != 1 {
+		t.Errorf("help-upward failed: v=%d err=%v", v, err)
+	}
+}

@@ -1,0 +1,156 @@
+package icilk
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// future is the untyped core of a Future: a completion cell with waiters.
+type future struct {
+	mu      sync.Mutex
+	prio    Priority
+	done    bool
+	val     any
+	err     error
+	waiters []*task
+}
+
+// complete stores the value and requeues every waiter at its own level.
+func (f *future) complete(v any) { f.finish(v, nil) }
+
+// fail completes the future with an error; touchers re-panic it.
+func (f *future) fail(err error) { f.finish(nil, err) }
+
+func (f *future) finish(v any, err error) {
+	f.mu.Lock()
+	if f.done {
+		f.mu.Unlock()
+		panic("icilk: future completed twice")
+	}
+	f.done = true
+	f.val = v
+	f.err = err
+	waiters := f.waiters
+	f.waiters = nil
+	f.mu.Unlock()
+	for _, w := range waiters {
+		w.blockedOn = nil
+		w.rt.requeue(w)
+	}
+}
+
+// touch implements ftouch for the running task: if the future is pending,
+// the task parks (releasing its worker slot — the latency-hiding behavior
+// of Section 4.1) until completion.
+func (f *future) touch(c *Ctx) any {
+	t := c.t
+	if t.rt.cfg.CheckInversions && t.prio > f.prio {
+		panic(&PriorityInversionError{Toucher: t.prio, Touched: f.prio})
+	}
+	f.mu.Lock()
+	if f.done {
+		v, err := f.val, f.err
+		f.mu.Unlock()
+		if err != nil {
+			panic(err)
+		}
+		return v
+	}
+	t.blockedOn = f
+	f.waiters = append(f.waiters, t)
+	f.mu.Unlock()
+	t.yield <- yBlocked
+	<-t.resume
+	f.mu.Lock()
+	v, err := f.val, f.err
+	f.mu.Unlock()
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// poll reports completion without blocking. Failed futures report as not
+// done to pollers; the error surfaces only on Touch.
+func (f *future) poll() (any, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.val, f.done && f.err == nil
+}
+
+// Future is a handle to an asynchronous computation of type T running at a
+// fixed priority — the τ thread[ρ] of λ4i.
+type Future[T any] struct{ f *future }
+
+// Priority returns the future's priority.
+func (f *Future[T]) Priority() Priority { return f.f.prio }
+
+// Touch waits for the future and returns its value. Touching a future of
+// strictly lower priority than the running task panics with a
+// PriorityInversionError when the runtime's inversion checking is enabled
+// (the dynamic analogue of the λ4i Touch rule).
+func (f *Future[T]) Touch(c *Ctx) T {
+	return f.f.touch(c).(T)
+}
+
+// TryTouch returns the value if the future has completed, without
+// blocking and without priority checking (a non-blocking poll cannot
+// invert priorities).
+func (f *Future[T]) TryTouch() (T, bool) {
+	v, ok := f.f.poll()
+	if !ok {
+		var zero T
+		return zero, false
+	}
+	return v.(T), true
+}
+
+// Done reports whether the future has completed.
+func (f *Future[T]) Done() bool {
+	_, ok := f.f.poll()
+	return ok
+}
+
+// Untyped returns the untyped handle, used by data structures that store
+// futures of mixed types (e.g. the email app's per-email slots).
+func (f *Future[T]) Untyped() *Handle { return &Handle{f: f.f} }
+
+// Handle is an untyped future handle: first-class, storable in shared
+// state, and touchable — the thread handles of λ4i.
+type Handle struct{ f *future }
+
+// Priority returns the handle's priority.
+func (h *Handle) Priority() Priority { return h.f.prio }
+
+// Touch waits for the underlying future and returns its untyped value.
+func (h *Handle) Touch(c *Ctx) any { return h.f.touch(c) }
+
+// Done reports whether the underlying future completed.
+func (h *Handle) Done() bool {
+	_, ok := h.f.poll()
+	return ok
+}
+
+// Await blocks the calling goroutine (not a task — external code such as
+// test harnesses and client simulators) until the future completes or the
+// timeout elapses. Task code must use Touch, which frees its worker.
+func Await[T any](f *Future[T], timeout time.Duration) (T, error) {
+	var zero T
+	deadline := time.Now().Add(timeout)
+	for {
+		f.f.mu.Lock()
+		done, v, err := f.f.done, f.f.val, f.f.err
+		f.f.mu.Unlock()
+		if done {
+			if err != nil {
+				return zero, err
+			}
+			return v.(T), nil
+		}
+		if time.Now().After(deadline) {
+			return zero, fmt.Errorf("icilk: Await timed out after %v", timeout)
+		}
+		time.Sleep(20 * time.Microsecond)
+	}
+}

@@ -1,0 +1,462 @@
+// Package icilk is a Go reimagining of I-Cilk (Muller et al., PLDI 2020,
+// Section 4): a task-parallel runtime for interactive parallel
+// applications with prioritized futures.
+//
+// Tasks are fibers — goroutines that run only while holding a slot granted
+// by one of P worker goroutines (the "virtual cores"). fcreate is Go,
+// ftouch is Future.Touch; touching an unresolved future parks the fiber
+// and frees the worker, hiding latency exactly as I-Cilk's io_future does.
+//
+// Scheduling is two-level (Section 4.3): each priority level has its own
+// work-stealing scheduler (per-worker deques plus an injection queue), and
+// a master scheduler reassigns workers to levels every quantum using
+// A-STEAL-style desire feedback: a level whose utilization beat the
+// threshold and whose desire was satisfied multiplies its desire by γ; an
+// underutilized level divides it by γ. Cores are granted in priority
+// order. With Prioritize=false the runtime degenerates into the Cilk-F
+// baseline: one priority-oblivious work-stealing pool.
+package icilk
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config configures a Runtime. Zero fields take the defaults documented
+// on each field.
+type Config struct {
+	// Workers is the number of virtual cores P (default 4).
+	Workers int
+	// Levels is the number of priority levels (default 2). Priorities
+	// range over 0..Levels-1, larger = more urgent.
+	Levels int
+	// Quantum is the master scheduler's re-evaluation interval
+	// (default 500µs, the paper's setting).
+	Quantum time.Duration
+	// Gamma is the multiplicative desire growth parameter (default 2).
+	Gamma int
+	// UtilThreshold is the utilization threshold (default 0.9).
+	UtilThreshold float64
+	// Prioritize enables the two-level prioritized scheduler. False gives
+	// the Cilk-F baseline: all levels share one work-stealing pool.
+	Prioritize bool
+	// CheckInversions enables the dynamic priority-inversion check on
+	// Touch (default true; set DisableInversionCheck to turn off).
+	CheckInversions bool
+	// CollectMetrics records per-task timing (default true; set
+	// DisableMetrics to turn off).
+	CollectMetrics bool
+	// DisableInversionCheck and DisableMetrics exist so the zero Config
+	// enables both features.
+	DisableInversionCheck bool
+	DisableMetrics        bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Levels <= 0 {
+		c.Levels = 2
+	}
+	if c.Quantum <= 0 {
+		c.Quantum = 500 * time.Microsecond
+	}
+	if c.Gamma < 2 {
+		c.Gamma = 2
+	}
+	if c.UtilThreshold <= 0 {
+		c.UtilThreshold = 0.9
+	}
+	c.CheckInversions = !c.DisableInversionCheck
+	c.CollectMetrics = !c.DisableMetrics
+	return c
+}
+
+// level is one priority level's work-stealing scheduler state.
+type level struct {
+	deques []*deque // indexed by worker ID
+	inject deque    // external and cross-level submissions (FIFO)
+	desire int      // master-only
+	alloc  int      // master-only: cores granted last quantum
+}
+
+func (l *level) pending() bool {
+	if l.inject.size() > 0 {
+		return true
+	}
+	for _, d := range l.deques {
+		if d.size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// worker is a virtual core.
+type worker struct {
+	rt         *Runtime
+	id         int
+	rng        *rand.Rand
+	busyNs     atomic.Int64
+	idleNs     atomic.Int64
+	grantLevel int32 // level at the moment of the current slot grant
+}
+
+// revoked reports whether the master moved this worker to a different
+// level since the current task was granted the slot.
+func (w *worker) revoked() bool {
+	return w.rt.assignment[w.id].Load() != w.grantLevel
+}
+
+// Runtime is an I-Cilk-style scheduler instance.
+type Runtime struct {
+	cfg        Config
+	levels     []*level
+	workers    []*worker
+	assignment []atomic.Int32
+
+	outstanding atomic.Int64
+	stopped     atomic.Bool
+	wg          sync.WaitGroup
+	masterStop  chan struct{}
+
+	metrics metrics
+}
+
+// New starts a runtime with the given configuration.
+func New(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	rt := &Runtime{
+		cfg:        cfg,
+		assignment: make([]atomic.Int32, cfg.Workers),
+		masterStop: make(chan struct{}),
+	}
+	for l := 0; l < cfg.Levels; l++ {
+		lv := &level{desire: 1}
+		for w := 0; w < cfg.Workers; w++ {
+			lv.deques = append(lv.deques, &deque{})
+		}
+		rt.levels = append(rt.levels, lv)
+	}
+	// Initial assignment: everyone serves the highest level (prioritized)
+	// or level 0 (baseline).
+	init := int32(0)
+	if cfg.Prioritize {
+		init = int32(cfg.Levels - 1)
+	}
+	for w := 0; w < cfg.Workers; w++ {
+		rt.assignment[w].Store(init)
+		wk := &worker{rt: rt, id: w, rng: rand.New(rand.NewSource(int64(w + 1)))}
+		rt.workers = append(rt.workers, wk)
+	}
+	for _, w := range rt.workers {
+		rt.wg.Add(1)
+		go w.loop()
+	}
+	if cfg.Prioritize {
+		rt.wg.Add(1)
+		go rt.master()
+	}
+	return rt
+}
+
+// Shutdown stops the workers and master. Outstanding tasks are abandoned;
+// call WaitIdle first to drain.
+func (rt *Runtime) Shutdown() {
+	if rt.stopped.Swap(true) {
+		return
+	}
+	close(rt.masterStop)
+	rt.wg.Wait()
+}
+
+// WaitIdle blocks until no spawned tasks remain outstanding or the
+// timeout elapses.
+func (rt *Runtime) WaitIdle(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for rt.outstanding.Load() > 0 {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("icilk: %d tasks still outstanding after %v",
+				rt.outstanding.Load(), timeout)
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return nil
+}
+
+// Outstanding returns the number of incomplete tasks and IO futures.
+func (rt *Runtime) Outstanding() int64 { return rt.outstanding.Load() }
+
+// Levels returns the number of priority levels.
+func (rt *Runtime) Levels() int { return rt.cfg.Levels }
+
+// effLevel maps a task priority to a scheduler level: the identity when
+// prioritizing, level 0 in baseline mode.
+func (rt *Runtime) effLevel(p Priority) int {
+	if !rt.cfg.Prioritize {
+		return 0
+	}
+	l := int(p)
+	if l < 0 {
+		l = 0
+	}
+	if l >= rt.cfg.Levels {
+		l = rt.cfg.Levels - 1
+	}
+	return l
+}
+
+// Go spawns fn as a new task at priority p — fcreate. When called from a
+// running task whose worker serves the same level, the child lands on
+// that worker's deque; otherwise it goes through the level's injection
+// queue. The returned future is first-class: store it, pass it, Touch it.
+func Go[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx) T) *Future[T] {
+	if rt.stopped.Load() {
+		panic("icilk: Go on a stopped runtime")
+	}
+	f := &future{prio: p}
+	t := &task{
+		rt:      rt,
+		prio:    p,
+		fut:     f,
+		name:    name,
+		resume:  make(chan struct{}),
+		yield:   make(chan yieldKind),
+		created: time.Now(),
+	}
+	rt.outstanding.Add(1)
+	go t.run(func(c *Ctx) any { return fn(c) })
+	lvl := rt.effLevel(p)
+	if c != nil {
+		if w := c.t.runningOn; w != nil && int(rt.assignment[w.id].Load()) == lvl {
+			rt.levels[lvl].deques[w.id].pushBottom(t)
+			return &Future[T]{f: f}
+		}
+	}
+	rt.levels[lvl].inject.pushBottom(t)
+	return &Future[T]{f: f}
+}
+
+// IO returns a future that completes with mk() after d elapses, without
+// occupying a worker — the io_future of Section 4.1. The simulated I/O
+// substrate (internal/simio) builds on this.
+func IO[T any](rt *Runtime, p Priority, d time.Duration, mk func() T) *Future[T] {
+	f := &future{prio: p}
+	rt.outstanding.Add(1)
+	time.AfterFunc(d, func() {
+		defer rt.outstanding.Add(-1)
+		f.complete(mk())
+	})
+	return &Future[T]{f: f}
+}
+
+// requeue puts an unblocked task back into circulation at its own level.
+func (rt *Runtime) requeue(t *task) {
+	rt.levels[rt.effLevel(t.prio)].inject.pushBottom(t)
+}
+
+// loop is the worker's scheduling loop.
+func (w *worker) loop() {
+	defer w.rt.wg.Done()
+	rt := w.rt
+	backoff := 5 * time.Microsecond
+	for !rt.stopped.Load() {
+		lvl := int(rt.assignment[w.id].Load())
+		t := w.findTask(lvl)
+		if t == nil {
+			start := time.Now()
+			time.Sleep(backoff)
+			w.idleNs.Add(int64(time.Since(start)))
+			if backoff < 100*time.Microsecond {
+				backoff *= 2
+			}
+			continue
+		}
+		backoff = 5 * time.Microsecond
+		w.grantLevel = int32(lvl)
+		t.runningOn = w
+		start := time.Now()
+		t.resume <- struct{}{}
+		k := <-t.yield
+		w.busyNs.Add(int64(time.Since(start)))
+		switch k {
+		case yDone:
+			rt.outstanding.Add(-1)
+		case yYielded:
+			rt.levels[rt.effLevel(t.prio)].deques[w.id].pushBottom(t)
+		case yBlocked:
+			// The future owns the task until completion requeues it.
+		}
+	}
+}
+
+// findTask pops local work, then drains the injection queue, then steals
+// within the worker's assigned level. If the level is dry, the worker
+// helps upward: it serves the highest-priority level with pending work
+// above its assignment. Helping upward can never cause a priority
+// violation (the work taken is more urgent than the worker's mandate) and
+// it removes the up-to-one-quantum latency a fresh high-priority task
+// would otherwise pay while workers idle on lower levels. Helping
+// downward is deliberately not done — that would be baseline behavior.
+func (w *worker) findTask(lvl int) *task {
+	if t := w.findAtLevel(lvl); t != nil {
+		return t
+	}
+	for up := len(w.rt.levels) - 1; up > lvl; up-- {
+		if t := w.findAtLevel(up); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// findAtLevel looks for work at one level: own deque, injection queue,
+// then stealing from a random victim.
+func (w *worker) findAtLevel(lvl int) *task {
+	L := w.rt.levels[lvl]
+	if t := L.deques[w.id].popBottom(); t != nil {
+		return t
+	}
+	if t := L.inject.stealTop(); t != nil {
+		return t
+	}
+	off := w.rng.Intn(len(L.deques))
+	for i := 0; i < len(L.deques); i++ {
+		v := (off + i) % len(L.deques)
+		if v == w.id {
+			continue
+		}
+		if t := L.deques[v].stealTop(); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// master is the top-level scheduler: every quantum it measures per-level
+// utilization, updates desires, and reassigns workers to levels in
+// priority order.
+func (rt *Runtime) master() {
+	defer rt.wg.Done()
+	p := rt.cfg.Workers
+	for {
+		select {
+		case <-rt.masterStop:
+			return
+		case <-time.After(rt.cfg.Quantum):
+		}
+		// Attribute each worker's busy/idle time to its assigned level.
+		busy := make([]int64, rt.cfg.Levels)
+		idle := make([]int64, rt.cfg.Levels)
+		for _, w := range rt.workers {
+			lvl := int(rt.assignment[w.id].Load())
+			busy[lvl] += w.busyNs.Swap(0)
+			idle[lvl] += w.idleNs.Swap(0)
+		}
+		// Desire feedback per level.
+		for i, L := range rt.levels {
+			total := busy[i] + idle[i]
+			util := 0.0
+			if total > 0 {
+				util = float64(busy[i]) / float64(total)
+			}
+			satisfied := L.alloc >= L.desire
+			switch {
+			case util >= rt.cfg.UtilThreshold && satisfied:
+				L.desire = min(L.desire*rt.cfg.Gamma, p)
+			case util >= rt.cfg.UtilThreshold:
+				// Keep the desire: it was not satisfied, so utilization
+				// says nothing about what more cores would do.
+			default:
+				L.desire = max(L.desire/rt.cfg.Gamma, 1)
+			}
+		}
+		// Allocate cores in priority order (highest level first). A level
+		// with nothing queued requests no cores — otherwise, with fewer
+		// workers than levels, the desire floor of 1 would let the top
+		// levels hold every core while idle and starve the rest.
+		remaining := p
+		for i := rt.cfg.Levels - 1; i >= 0; i-- {
+			L := rt.levels[i]
+			want := L.desire
+			if !L.pending() {
+				want = 0
+			}
+			L.alloc = min(want, remaining)
+			remaining -= L.alloc
+		}
+		// Leftover cores go to the highest level with pending work, so
+		// the machine stays work-conserving.
+		if remaining > 0 {
+			granted := false
+			for i := rt.cfg.Levels - 1; i >= 0; i-- {
+				if rt.levels[i].pending() {
+					rt.levels[i].alloc += remaining
+					granted = true
+					break
+				}
+			}
+			if !granted {
+				rt.levels[rt.cfg.Levels-1].alloc += remaining
+			}
+		}
+		// Commit the assignment: contiguous blocks, highest level first.
+		idx := 0
+		for i := rt.cfg.Levels - 1; i >= 0; i-- {
+			for n := 0; n < rt.levels[i].alloc && idx < p; n++ {
+				rt.assignment[idx].Store(int32(i))
+				idx++
+			}
+		}
+		for ; idx < p; idx++ {
+			rt.assignment[idx].Store(0)
+		}
+	}
+}
+
+// Allocation returns the current worker→level assignment (diagnostics).
+func (rt *Runtime) Allocation() []int {
+	out := make([]int, len(rt.assignment))
+	for i := range rt.assignment {
+		out[i] = int(rt.assignment[i].Load())
+	}
+	return out
+}
+
+// GoSelf is Go for tasks that need their own future while running — the
+// paper's email client passes "thisFut" into the compress routine so it
+// can install its own handle in the coordination slot (Section 5.1). The
+// future is created before the fiber starts, so the body receives a fully
+// initialized handle.
+func GoSelf[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx, *Future[T]) T) *Future[T] {
+	var self *Future[T]
+	f := &future{prio: p}
+	self = &Future[T]{f: f}
+	if rt.stopped.Load() {
+		panic("icilk: GoSelf on a stopped runtime")
+	}
+	t := &task{
+		rt:      rt,
+		prio:    p,
+		fut:     f,
+		name:    name,
+		resume:  make(chan struct{}),
+		yield:   make(chan yieldKind),
+		created: time.Now(),
+	}
+	rt.outstanding.Add(1)
+	go t.run(func(c *Ctx) any { return fn(c, self) })
+	lvl := rt.effLevel(p)
+	if c != nil {
+		if w := c.t.runningOn; w != nil && int(rt.assignment[w.id].Load()) == lvl {
+			rt.levels[lvl].deques[w.id].pushBottom(t)
+			return self
+		}
+	}
+	rt.levels[lvl].inject.pushBottom(t)
+	return self
+}

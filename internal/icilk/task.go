@@ -1,0 +1,119 @@
+package icilk
+
+import (
+	"fmt"
+	"time"
+)
+
+// Priority is a runtime priority level. Larger values are more urgent.
+// Unlike λ4i's partially ordered priorities, the runtime's levels are
+// totally ordered — matching I-Cilk, whose two-level scheduler assigns
+// cores to levels "in the order of priority" (Section 4.3).
+type Priority int
+
+// yieldKind tells the worker why a task's fiber returned control.
+type yieldKind uint8
+
+const (
+	yDone    yieldKind = iota // task finished; do not reschedule
+	yBlocked                  // parked on a future; the future requeues it
+	yYielded                  // cooperative yield; requeue now
+)
+
+// task is a fiber: a goroutine that only runs while a worker has granted
+// it the worker's slot. resume grants the slot; yield returns it.
+type task struct {
+	rt   *Runtime
+	prio Priority
+	fut  *future
+	name string
+
+	resume chan struct{}
+	yield  chan yieldKind
+
+	created  time.Time
+	firstRun time.Time
+	done     time.Time
+
+	// blockedOn is set while parked on a future (diagnostics only).
+	blockedOn *future
+
+	// runningOn is the worker currently granting this task its slot. It
+	// is written by the worker before the resume send and read by the
+	// task after the receive, so the channel provides the happens-before
+	// ordering.
+	runningOn *worker
+}
+
+// Ctx is passed to every task body. It identifies the running task and
+// carries the cooperative-scheduling operations.
+type Ctx struct {
+	t *task
+}
+
+// Priority returns the running task's priority.
+func (c *Ctx) Priority() Priority { return c.t.prio }
+
+// Runtime returns the runtime executing this task.
+func (c *Ctx) Runtime() *Runtime { return c.t.rt }
+
+// Yield returns the slot to the worker unconditionally; the task is
+// requeued at its level and resumes when scheduled again. Long-running
+// compute tasks should prefer Checkpoint, which only yields when the
+// master has reassigned this worker.
+func (c *Ctx) Yield() {
+	c.t.yield <- yYielded
+	<-c.t.resume
+}
+
+// Checkpoint yields only if the worker's level assignment changed since
+// it granted this task the slot (the quantum-boundary preemption point of
+// the two-level scheduler). It is cheap enough for inner loops.
+func (c *Ctx) Checkpoint() {
+	if w := c.t.runningOn; w != nil && w.revoked() {
+		c.Yield()
+	}
+}
+
+// PriorityInversionError reports an ftouch from a higher-priority task on
+// a lower-priority future — exactly what the λ4i type system rules out
+// statically and this runtime (C++ being no safer than Go here) detects
+// dynamically.
+type PriorityInversionError struct {
+	Toucher Priority
+	Touched Priority
+}
+
+func (e *PriorityInversionError) Error() string {
+	return fmt.Sprintf("icilk: priority inversion: touch of priority-%d future from priority-%d task",
+		e.Touched, e.Toucher)
+}
+
+// run is the fiber body wrapper: it waits for the first slot grant, runs
+// the user function, completes the future, and returns the slot. A panic
+// in the body (including a PriorityInversionError from a nested Touch)
+// fails the future; touching a failed future re-panics the error in the
+// toucher, so failures propagate along join edges instead of crashing
+// unrelated workers.
+func (t *task) run(fn func(*Ctx) any) {
+	<-t.resume
+	t.firstRun = time.Now()
+	ctx := &Ctx{t: t}
+	defer func() {
+		if r := recover(); r != nil {
+			t.done = time.Now()
+			t.rt.recordTask(t)
+			if err, ok := r.(error); ok {
+				t.fut.fail(fmt.Errorf("icilk: task %q panicked: %w", t.name, err))
+			} else {
+				t.fut.fail(fmt.Errorf("icilk: task %q panicked: %v", t.name, r))
+			}
+			t.yield <- yDone
+		}
+	}()
+	v := fn(ctx)
+	t.done = time.Now()
+	t.rt.recordTask(t)
+	t.fut.complete(v)
+	t.yield <- yDone
+}

@@ -1,0 +1,121 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/prio"
+)
+
+// exprStep implements the pure stack dynamics for expressions of
+// Figure 11 for states of the form k ▷ e. (The k; let x = – in e ◁ v rule
+// is handled in stepThread's PushExpr case, and values simply switch to
+// push mode.)
+func exprStep(k *State) (*State, error) {
+	e := k.Expr
+	if ast.IsValue(e) { // k ▷ v ↦ k ◁ v
+		return k.keep(State{Mode: PushExpr, Val: e}), nil
+	}
+	// The fix rule substitutes the fix term itself — a non-value — into
+	// positions ANF reserves for values (e.g., [fix f is λn.e/f] puts a
+	// fix in function position of recursive calls). Unroll such a fix in
+	// place before applying the elimination rule; this is one machine
+	// step, mirroring k ▷ fix x:τ is e ↦ k ▷ [fix x:τ is e/x]e.
+	if e2, ok := unrollEliminand(e); ok {
+		return k.keep(State{Mode: PopExpr, Expr: e2}), nil
+	}
+	switch e := e.(type) {
+	case ast.Let: // k ▷ let x = e1 in e2 ↦ k; let x = – in e2 ▷ e1
+		return k.push(LetF{X: e.X, E: e.E2}, State{Mode: PopExpr, Expr: e.E1}), nil
+
+	case ast.Ifz:
+		n, ok := e.V.(ast.Nat)
+		if !ok {
+			return nil, fmt.Errorf("ifz of non-numeral %s", e.V)
+		}
+		if n.N == 0 { // k ▷ ifz 0 {e1; x.e2} ↦ k ▷ e1
+			return k.keep(State{Mode: PopExpr, Expr: e.Zero}), nil
+		}
+		// k ▷ ifz n+1 {e1; x.e2} ↦ k ▷ [n/x]e2
+		return k.keep(State{Mode: PopExpr, Expr: ast.Subst(ast.Nat{N: n.N - 1}, e.X, e.Succ)}), nil
+
+	case ast.App: // k ▷ (λx.e) v ↦ k ▷ [v/x]e
+		lam, ok := e.F.(ast.Lam)
+		if !ok {
+			return nil, fmt.Errorf("application of non-lambda %s", e.F)
+		}
+		if !ast.IsValue(e.A) {
+			return nil, fmt.Errorf("application argument %s is not a value (program not in ANF)", e.A)
+		}
+		return k.keep(State{Mode: PopExpr, Expr: ast.Subst(e.A, lam.X, lam.Body)}), nil
+
+	case ast.Fst: // k ▷ fst (v1, v2) ↦ k ◁ v1
+		p, ok := e.V.(ast.Pair)
+		if !ok {
+			return nil, fmt.Errorf("fst of non-pair %s", e.V)
+		}
+		return k.keep(State{Mode: PushExpr, Val: p.L}), nil
+
+	case ast.Snd: // k ▷ snd (v1, v2) ↦ k ◁ v2
+		p, ok := e.V.(ast.Pair)
+		if !ok {
+			return nil, fmt.Errorf("snd of non-pair %s", e.V)
+		}
+		return k.keep(State{Mode: PushExpr, Val: p.R}), nil
+
+	case ast.Case:
+		switch v := e.V.(type) {
+		case ast.Inl: // ↦ k ▷ [v/x]e1
+			return k.keep(State{Mode: PopExpr, Expr: ast.Subst(v.V, e.X, e.L)}), nil
+		case ast.Inr: // ↦ k ▷ [v/y]e2
+			return k.keep(State{Mode: PopExpr, Expr: ast.Subst(v.V, e.Y, e.R)}), nil
+		}
+		return nil, fmt.Errorf("case of non-sum %s", e.V)
+
+	case ast.PApp: // k ▷ (Λπ∼C.e)[ρ] ↦ k ▷ [ρ/π]e
+		plam, ok := e.V.(ast.PLam)
+		if !ok {
+			return nil, fmt.Errorf("priority application of non-abstraction %s", e.V)
+		}
+		return k.keep(State{Mode: PopExpr, Expr: ast.SubstPrio(e.P, prio.Var(plam.Pi), plam.Body)}), nil
+
+	case ast.Fix: // k ▷ fix x:τ is e ↦ k ▷ [fix x:τ is e/x]e
+		return k.keep(State{Mode: PopExpr, Expr: ast.Subst(e, e.X, e.E)}), nil
+	}
+	return nil, fmt.Errorf("no expression rule for %s", e)
+}
+
+// unrollFix performs one unrolling of a fix term.
+func unrollFix(e ast.Fix) ast.Expr { return ast.Subst(e, e.X, e.E) }
+
+// unrollEliminand rewrites an elimination form whose scrutinized operand
+// is a fix term, unrolling the fix once in place.
+func unrollEliminand(e ast.Expr) (ast.Expr, bool) {
+	switch e := e.(type) {
+	case ast.App:
+		if f, ok := e.F.(ast.Fix); ok {
+			return ast.App{F: unrollFix(f), A: e.A}, true
+		}
+	case ast.Ifz:
+		if f, ok := e.V.(ast.Fix); ok {
+			return ast.Ifz{V: unrollFix(f), Zero: e.Zero, X: e.X, Succ: e.Succ}, true
+		}
+	case ast.Fst:
+		if f, ok := e.V.(ast.Fix); ok {
+			return ast.Fst{V: unrollFix(f)}, true
+		}
+	case ast.Snd:
+		if f, ok := e.V.(ast.Fix); ok {
+			return ast.Snd{V: unrollFix(f)}, true
+		}
+	case ast.Case:
+		if f, ok := e.V.(ast.Fix); ok {
+			return ast.Case{V: unrollFix(f), X: e.X, L: e.L, Y: e.Y, R: e.R}, true
+		}
+	case ast.PApp:
+		if f, ok := e.V.(ast.Fix); ok {
+			return ast.PApp{V: unrollFix(f), P: e.P}, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,412 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/dag"
+	"repro/internal/prio"
+	"repro/internal/types"
+)
+
+// HeapCell is a heap binding s ↦ (v, u, Σ): the stored value, the vertex
+// that performed the last write (the source of future weak edges), and the
+// signature of threads one "learns about" by reading the cell.
+type HeapCell struct {
+	V      ast.Expr
+	Writer dag.VertexID
+	Sig    types.Signature
+}
+
+// Thread is one entry of the thread pool µ: a ↪ρ;Σ K.
+type Thread struct {
+	ID    string
+	Prio  prio.Prio
+	Sig   types.Signature
+	State *State
+}
+
+// Finished reports whether the thread has completed with a value.
+func (t *Thread) Finished() bool {
+	_, ok := t.State.Final()
+	return ok
+}
+
+// Machine is a configuration Σ | σ | g | µ.
+type Machine struct {
+	Order *prio.Order
+	// GlobalSig is the top-level Σ of the configuration, accumulating
+	// heap-location signatures.
+	GlobalSig types.Signature
+	Heap      map[string]HeapCell
+	Graph     *dag.Graph
+	Threads   map[string]*Thread
+
+	threadOrder []string // creation order, for deterministic iteration
+	nextThread  int
+	nextLoc     int
+
+	// Steps records, per parallel step, the vertices created — the
+	// execution viewed as a schedule of the cost graph (Theorem 3.8).
+	Steps [][]dag.VertexID
+}
+
+// New returns a machine with a single thread "main" at the given priority
+// executing m: the initial configuration · | ∅ | ∅ | a ↪ρ;· ϵ ▶ m.
+func New(order *prio.Order, mainPrio prio.Prio, m ast.Cmd) *Machine {
+	mc := &Machine{
+		Order:     order,
+		GlobalSig: types.Signature{},
+		Heap:      map[string]HeapCell{},
+		Graph:     dag.New(order),
+		Threads:   map[string]*Thread{},
+	}
+	mc.addThread("main", mainPrio, types.Signature{}, NewCmdState(m))
+	return mc
+}
+
+func (mc *Machine) addThread(id string, p prio.Prio, sig types.Signature, k *State) *Thread {
+	t := &Thread{ID: id, Prio: p, Sig: sig, State: k}
+	mc.Threads[id] = t
+	mc.threadOrder = append(mc.threadOrder, id)
+	if err := mc.Graph.AddThread(dag.ThreadID(id), p); err != nil {
+		panic(err) // fresh names cannot collide
+	}
+	return t
+}
+
+func (mc *Machine) freshThreadName() string {
+	mc.nextThread++
+	return fmt.Sprintf("t%d", mc.nextThread)
+}
+
+func (mc *Machine) freshLocName() string {
+	mc.nextLoc++
+	return fmt.Sprintf("s%d", mc.nextLoc)
+}
+
+// ThreadOrder returns thread IDs in creation order.
+func (mc *Machine) ThreadOrder() []string {
+	return append([]string(nil), mc.threadOrder...)
+}
+
+// Blocked reports whether thread t is blocked on an ftouch of an
+// unfinished thread (case 3 of the Progress theorem).
+func (mc *Machine) Blocked(t *Thread) bool {
+	if t.State.Mode != PushExpr {
+		return false
+	}
+	if _, ok := t.State.top().(TouchF); !ok {
+		return false
+	}
+	tid, ok := t.State.Val.(ast.Tid)
+	if !ok {
+		return false
+	}
+	target, ok := mc.Threads[tid.Thread]
+	if !ok {
+		return true // touching an unknown thread blocks forever
+	}
+	return !target.Finished()
+}
+
+// Runnable returns the threads that can take a step, in creation order.
+func (mc *Machine) Runnable() []string {
+	var out []string
+	for _, id := range mc.threadOrder {
+		t := mc.Threads[id]
+		if !t.Finished() && !mc.Blocked(t) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Done reports whether every thread has finished.
+func (mc *Machine) Done() bool {
+	for _, t := range mc.Threads {
+		if !t.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
+// FinalValue returns the value computed by the named thread, if finished.
+func (mc *Machine) FinalValue(id string) (ast.Expr, bool) {
+	t, ok := mc.Threads[id]
+	if !ok {
+		return nil, false
+	}
+	return t.State.Final()
+}
+
+// effects collects what a single thread step produced, mirroring the
+// auxiliary judgment σ | µ ⊗ a ↪ K ⇒ a ↪ K′ ⊗ µ′ | Σ′′ | σ′ | g′.
+type effects struct {
+	newState   *State
+	newSig     types.Signature     // replacement for the thread's Σ
+	spawned    *Thread             // µ′: at most one new thread per step
+	spawnCmd   ast.Cmd             // body for the spawned thread
+	heapWrites map[string]HeapCell // σ′
+	globalSig  types.Signature     // Σ′′: freshly allocated locations
+}
+
+// stepErr marks a stuck state — by the Progress theorem, unreachable from
+// well-typed programs.
+type stepErr struct {
+	thread string
+	state  *State
+	msg    string
+}
+
+func (e *stepErr) Error() string {
+	return fmt.Sprintf("machine: thread %s stuck at %s: %s", e.thread, e.state, e.msg)
+}
+
+// Step performs one parallel transition (rule D-Par) stepping exactly the
+// given threads, which must all be runnable. Heap reads within the step
+// see the pre-step heap; writes merge left-to-right in selection order, so
+// later threads win write-write races (the paper's non-deterministic race
+// resolution, made deterministic by selection order).
+func (mc *Machine) Step(selected []string) error {
+	if len(selected) == 0 {
+		return fmt.Errorf("machine: D-Par requires n ≥ 1 threads")
+	}
+	preHeap := mc.Heap
+	type applied struct {
+		t   *Thread
+		eff *effects
+		u   dag.VertexID
+	}
+	var results []applied
+	var stepVertices []dag.VertexID
+
+	for _, id := range selected {
+		t, ok := mc.Threads[id]
+		if !ok {
+			return fmt.Errorf("machine: unknown thread %q", id)
+		}
+		if t.Finished() {
+			return fmt.Errorf("machine: thread %q already finished", id)
+		}
+		u, eff, err := mc.stepThread(t, preHeap)
+		if err != nil {
+			return err
+		}
+		results = append(results, applied{t: t, eff: eff, u: u})
+		stepVertices = append(stepVertices, u)
+	}
+
+	// Commit: states, signatures, spawned threads, heap writes (in order),
+	// global signature extensions.
+	for _, r := range results {
+		r.t.State = r.eff.newState
+		if r.eff.newSig != nil {
+			r.t.Sig = r.eff.newSig
+		}
+		if r.eff.spawned != nil {
+			sp := r.eff.spawned
+			mc.addThread(sp.ID, sp.Prio, sp.Sig, sp.State)
+			// The spawned thread's first vertex appears when it first
+			// steps; the create edge was recorded during stepThread.
+		}
+		for s, cell := range r.eff.heapWrites {
+			mc.Heap[s] = cell
+		}
+		for s, ent := range r.eff.globalSig {
+			mc.GlobalSig[s] = ent
+		}
+	}
+	mc.Steps = append(mc.Steps, stepVertices)
+	return nil
+}
+
+// stepThread executes one step of a single thread against the read-only
+// heap view, adding one fresh vertex (and any edges) to the cost graph.
+func (mc *Machine) stepThread(t *Thread, heap map[string]HeapCell) (dag.VertexID, *effects, error) {
+	k := t.State
+	newVertex := func(label string) dag.VertexID {
+		return mc.Graph.MustAddVertex(dag.ThreadID(t.ID), label)
+	}
+	stuck := func(msg string) (dag.VertexID, *effects, error) {
+		return 0, nil, &stepErr{thread: t.ID, state: k, msg: msg}
+	}
+
+	switch k.Mode {
+	case PopExpr:
+		// D-Exp: pure expression transitions of Figure 11.
+		next, err := exprStep(k)
+		if err != nil {
+			return 0, nil, &stepErr{thread: t.ID, state: k, msg: err.Error()}
+		}
+		return newVertex("exp"), &effects{newState: next}, nil
+
+	case PopCmd:
+		switch m := k.Cmd.(type) {
+		case ast.Bind: // D-Bind1
+			u := newVertex("bind1")
+			return u, &effects{newState: k.push(BindF{X: m.X, M: m.M}, State{Mode: PopExpr, Expr: m.E})}, nil
+		case ast.Fcreate: // D-Create
+			u := newVertex("fcreate")
+			b := mc.freshThreadName()
+			spawned := &Thread{
+				ID:    b,
+				Prio:  m.P,
+				Sig:   t.Sig.Clone(),
+				State: NewCmdState(m.M),
+			}
+			newSig := t.Sig.Clone()
+			newSig[b] = types.SigEntry{T: m.T, P: m.P}
+			mc.Graph.AddCreateEdge(u, dag.ThreadID(b))
+			return u, &effects{
+				newState: k.keep(State{Mode: PushCmd, Val: ast.Tid{Thread: b}}),
+				newSig:   newSig,
+				spawned:  spawned,
+			}, nil
+		case ast.Ftouch: // D-Touch1
+			u := newVertex("touch1")
+			return u, &effects{newState: k.push(TouchF{}, State{Mode: PopExpr, Expr: m.E})}, nil
+		case ast.Dcl: // D-Dcl1
+			u := newVertex("dcl1")
+			return u, &effects{newState: k.push(DclF{T: m.T, S: m.S, M: m.M}, State{Mode: PopExpr, Expr: m.E})}, nil
+		case ast.Get: // D-Get1
+			u := newVertex("get1")
+			return u, &effects{newState: k.push(GetF{}, State{Mode: PopExpr, Expr: m.E})}, nil
+		case ast.Set: // D-Set1
+			u := newVertex("set1")
+			return u, &effects{newState: k.push(SetLF{R: m.R}, State{Mode: PopExpr, Expr: m.L})}, nil
+		case ast.Ret: // D-Ret1
+			u := newVertex("ret1")
+			return u, &effects{newState: k.push(RetF{}, State{Mode: PopExpr, Expr: m.E})}, nil
+		case ast.CAS: // D-CAS congruence
+			u := newVertex("cas1")
+			return u, &effects{newState: k.push(CasRefF{Old: m.Old, New: m.New}, State{Mode: PopExpr, Expr: m.Ref})}, nil
+		}
+		return stuck("unknown command")
+
+	case PushExpr:
+		v := k.Val
+		switch f := k.top().(type) {
+		case LetF: // Figure 11 via D-Exp
+			u := newVertex("let")
+			return u, &effects{newState: k.pop(State{Mode: PopExpr, Expr: ast.Subst(v, f.X, f.E)})}, nil
+		case BindF: // D-Bind2
+			cv, ok := v.(ast.CmdVal)
+			if !ok {
+				return stuck("bind of non-command value")
+			}
+			u := newVertex("bind2")
+			return u, &effects{newState: k.keep(State{Mode: PopCmd, Cmd: cv.M})}, nil
+		case TouchF: // D-Touch2
+			tid, ok := v.(ast.Tid)
+			if !ok {
+				return stuck("ftouch of non-thread value")
+			}
+			target, ok := mc.Threads[tid.Thread]
+			if !ok {
+				return stuck("ftouch of unknown thread " + tid.Thread)
+			}
+			val, done := target.State.Final()
+			if !done {
+				return stuck("ftouch of unfinished thread (caller must not select blocked threads)")
+			}
+			u := newVertex("touch2")
+			mc.Graph.AddTouchEdge(dag.ThreadID(tid.Thread), u)
+			return u, &effects{
+				newState: k.pop(State{Mode: PushCmd, Val: val}),
+				newSig:   t.Sig.Merge(target.Sig),
+			}, nil
+		case DclF: // D-Dcl2: α-rename the location and allocate.
+			u := newVertex("dcl2")
+			s := mc.freshLocName()
+			body := ast.SubstLocCmd(s, f.S, f.M)
+			newSig := t.Sig.Clone()
+			newSig[s] = types.SigEntry{Loc: true, T: f.T}
+			return u, &effects{
+				newState:   k.pop(State{Mode: PopCmd, Cmd: body}),
+				newSig:     newSig,
+				heapWrites: map[string]HeapCell{s: {V: v, Writer: u, Sig: t.Sig.Clone()}},
+				globalSig:  types.Signature{s: {Loc: true, T: f.T}},
+			}, nil
+		case GetF: // D-Get2: read, weak edge from the last writer.
+			ref, ok := v.(ast.Ref)
+			if !ok {
+				return stuck("dereference of non-reference value")
+			}
+			cell, ok := heap[ref.Loc]
+			if !ok {
+				return stuck("dereference of unallocated location " + ref.Loc)
+			}
+			u := newVertex("get2")
+			mc.Graph.AddWeakEdge(cell.Writer, u)
+			return u, &effects{
+				newState: k.pop(State{Mode: PushCmd, Val: cell.V}),
+				newSig:   t.Sig.Merge(cell.Sig),
+			}, nil
+		case SetLF: // D-Set2
+			if _, ok := v.(ast.Ref); !ok {
+				return stuck("assignment to non-reference value")
+			}
+			u := newVertex("set2")
+			return u, &effects{
+				newState: k.pop(State{}).push(SetRF{L: v}, State{Mode: PopExpr, Expr: f.R}),
+			}, nil
+		case SetRF: // D-Set3
+			ref := f.L.(ast.Ref)
+			if _, ok := heap[ref.Loc]; !ok {
+				return stuck("assignment to unallocated location " + ref.Loc)
+			}
+			u := newVertex("set3")
+			return u, &effects{
+				newState:   k.pop(State{Mode: PushCmd, Val: v}),
+				heapWrites: map[string]HeapCell{ref.Loc: {V: v, Writer: u, Sig: t.Sig.Clone()}},
+			}, nil
+		case RetF: // D-Ret2
+			u := newVertex("ret2")
+			return u, &effects{newState: k.pop(State{Mode: PushCmd, Val: v})}, nil
+		case CasRefF: // evaluate expected value next
+			if _, ok := v.(ast.Ref); !ok {
+				return stuck("cas on non-reference value")
+			}
+			u := newVertex("cas2")
+			return u, &effects{
+				newState: k.pop(State{}).push(CasOldF{Ref: v, New: f.New}, State{Mode: PopExpr, Expr: f.Old}),
+			}, nil
+		case CasOldF: // evaluate new value next
+			u := newVertex("cas3")
+			return u, &effects{
+				newState: k.pop(State{}).push(CasNewF{Ref: f.Ref, Old: v}, State{Mode: PopExpr, Expr: f.New}),
+			}, nil
+		case CasNewF: // D-CAS1 / D-CAS2
+			ref := f.Ref.(ast.Ref)
+			cell, ok := heap[ref.Loc]
+			if !ok {
+				return stuck("cas on unallocated location " + ref.Loc)
+			}
+			if ast.ValueEqual(cell.V, f.Old) { // D-CAS1
+				u := newVertex("cas-succ")
+				return u, &effects{
+					newState:   k.pop(State{Mode: PushCmd, Val: ast.Nat{N: 1}}),
+					heapWrites: map[string]HeapCell{ref.Loc: {V: v, Writer: u, Sig: t.Sig.Clone()}},
+				}, nil
+			}
+			u := newVertex("cas-fail") // D-CAS2
+			return u, &effects{newState: k.pop(State{Mode: PushCmd, Val: ast.Nat{N: 0}})}, nil
+		case nil:
+			return stuck("value returned to empty expression stack")
+		}
+		return stuck("unknown frame")
+
+	case PushCmd:
+		switch f := k.top().(type) {
+		case BindF: // D-Bind3
+			u := newVertex("bind3")
+			return u, &effects{newState: k.pop(State{Mode: PopCmd, Cmd: ast.SubstCmd(k.Val, f.X, f.M)})}, nil
+		case nil:
+			return stuck("step of finished thread")
+		}
+		return stuck("command returned to non-bind frame")
+	}
+	return stuck("unknown mode")
+}

@@ -1,0 +1,152 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/prio"
+	"repro/internal/schedsim"
+)
+
+// Policy chooses which runnable threads step in each D-Par transition.
+// The choice determines both the schedule and — through races on the heap
+// — potentially the program's behavior and cost graph (Section 2.2).
+type Policy interface {
+	// Select returns a non-empty subset of runnable (thread IDs in
+	// creation order).
+	Select(mc *Machine, runnable []string) []string
+}
+
+// PolicyFunc adapts a function to the Policy interface.
+type PolicyFunc func(mc *Machine, runnable []string) []string
+
+// Select calls the function.
+func (f PolicyFunc) Select(mc *Machine, runnable []string) []string { return f(mc, runnable) }
+
+// RunAll steps every runnable thread each round: maximal parallelism.
+type RunAll struct{}
+
+// Select returns all runnable threads.
+func (RunAll) Select(_ *Machine, runnable []string) []string { return runnable }
+
+// Sequential steps one thread per round, preferring the earliest-created
+// runnable thread. With this policy main races ahead of its children.
+type Sequential struct{}
+
+// Select returns the first runnable thread.
+func (Sequential) Select(_ *Machine, runnable []string) []string { return runnable[:1] }
+
+// ChildFirst steps one thread per round, preferring the latest-created
+// runnable thread: children run eagerly before their parents continue.
+type ChildFirst struct{}
+
+// Select returns the last runnable thread.
+func (ChildFirst) Select(_ *Machine, runnable []string) []string {
+	return runnable[len(runnable)-1:]
+}
+
+// Prompt approximates a prompt scheduler with P cores: up to P runnable
+// threads are selected so that no unselected runnable thread has strictly
+// higher priority than a selected one. Ties break toward earlier-created
+// threads.
+type Prompt struct{ P int }
+
+// Select implements the prompt selection.
+func (p Prompt) Select(mc *Machine, runnable []string) []string {
+	ctx := prio.NewCtx(mc.Order)
+	unassigned := append([]string(nil), runnable...)
+	var out []string
+	for len(out) < p.P && len(unassigned) > 0 {
+		pick := 0
+		for i, id := range unassigned {
+			maximal := true
+			pi := mc.Threads[id].Prio
+			for j, other := range unassigned {
+				if i == j {
+					continue
+				}
+				pj := mc.Threads[other].Prio
+				if pi != pj && ctx.Le(pi, pj) {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				pick = i
+				break
+			}
+		}
+		out = append(out, unassigned[pick])
+		unassigned = append(unassigned[:pick], unassigned[pick+1:]...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DeadlockError reports that unfinished threads exist but none can step.
+type DeadlockError struct{ Blocked []string }
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("machine: deadlock; blocked threads %v", e.Blocked)
+}
+
+// Run drives the machine under the given policy until all threads finish,
+// a deadlock arises, or maxSteps parallel steps elapse (0 means no limit).
+func (mc *Machine) Run(policy Policy, maxSteps int) error {
+	for steps := 0; !mc.Done(); steps++ {
+		if maxSteps > 0 && steps >= maxSteps {
+			return fmt.Errorf("machine: exceeded %d steps", maxSteps)
+		}
+		runnable := mc.Runnable()
+		if len(runnable) == 0 {
+			var blocked []string
+			for _, id := range mc.threadOrder {
+				if !mc.Threads[id].Finished() {
+					blocked = append(blocked, id)
+				}
+			}
+			return &DeadlockError{Blocked: blocked}
+		}
+		selected := policy.Select(mc, runnable)
+		if len(selected) == 0 {
+			return fmt.Errorf("machine: policy selected no threads")
+		}
+		if err := mc.Step(selected); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Schedule exposes the execution as a schedule of the cost graph. By
+// Theorem 3.8's construction this schedule is admissible.
+func (mc *Machine) Schedule() *schedsim.Schedule {
+	return schedsim.NewSchedule(mc.Steps, mc.Graph.NumVertices())
+}
+
+// VerifyExecution checks the conclusions the metatheory promises about a
+// finished run: the cost graph is acyclic and strongly well-formed
+// (Theorem 3.7), hence well-formed (Lemma 3.4), and the execution's own
+// schedule is admissible (Theorem 3.8).
+func (mc *Machine) VerifyExecution() error {
+	if !mc.Graph.Acyclic() {
+		return fmt.Errorf("machine: cost graph has a cycle")
+	}
+	if err := mc.Graph.StronglyWellFormed(); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	if err := mc.Graph.WellFormed(); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	if !schedsim.Admissible(mc.Graph, mc.Schedule()) {
+		return fmt.Errorf("machine: execution schedule is not admissible")
+	}
+	return nil
+}
+
+// ResponseBound verifies the Theorem 3.8 response-time bound for a thread
+// of the finished execution, assuming threads were selected promptly.
+func (mc *Machine) ResponseBound(thread string, p int) (schedsim.BoundReport, error) {
+	return schedsim.VerifyBound(mc.Graph, mc.Schedule(), dag.ThreadID(thread), p)
+}

@@ -1,0 +1,195 @@
+// Package machine implements the stack-based parallel abstract machine of
+// Muller et al. (PLDI 2020), Section 3.2: a small-step dynamic semantics
+// that simultaneously evaluates a λ4i program and constructs its cost
+// graph, including the weak edges that record happens-before dependencies
+// through the mutable heap (rules D-Bind*, D-Create, D-Touch*, D-Dcl*,
+// D-Get*, D-Set*, D-Ret*, D-Exp, D-Par of Figures 9–10, the expression
+// dynamics of Figure 11, and the D-CAS rules of Section 3.3).
+package machine
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/ast"
+)
+
+// Mode distinguishes the four stack-state forms of Figure 8.
+type Mode uint8
+
+const (
+	// PopExpr is k ▷ e: evaluating an expression.
+	PopExpr Mode = iota
+	// PushExpr is k ◁ v: returning a value to an expression frame.
+	PushExpr
+	// PopCmd is k ▶ m: executing a command.
+	PopCmd
+	// PushCmd is k ◀ ret v: returning a value from a command.
+	PushCmd
+)
+
+func (m Mode) String() string {
+	switch m {
+	case PopExpr:
+		return "▷"
+	case PushExpr:
+		return "◁"
+	case PopCmd:
+		return "▶"
+	case PushCmd:
+		return "◀"
+	}
+	return "?"
+}
+
+// Frame is a stack frame f of Figure 8 (plus the CAS congruence frames of
+// the Section 3.3 extension).
+type Frame interface {
+	isFrame()
+	String() string
+}
+
+// LetF is let x = – in e.
+type LetF struct {
+	X string
+	E ast.Expr
+}
+
+// BindF is x ← –; m.
+type BindF struct {
+	X string
+	M ast.Cmd
+}
+
+// TouchF is ftouch –.
+type TouchF struct{}
+
+// DclF is dcl[τ] s := – in m.
+type DclF struct {
+	T ast.Type
+	S string
+	M ast.Cmd
+}
+
+// GetF is !–.
+type GetF struct{}
+
+// SetLF is – := e (evaluating the reference).
+type SetLF struct{ R ast.Expr }
+
+// SetRF is v := – (the reference value is held, evaluating the payload).
+type SetRF struct{ L ast.Expr }
+
+// RetF is ret –.
+type RetF struct{}
+
+// CasRefF is cas(–, e, e).
+type CasRefF struct{ Old, New ast.Expr }
+
+// CasOldF is cas(v, –, e).
+type CasOldF struct {
+	Ref ast.Expr
+	New ast.Expr
+}
+
+// CasNewF is cas(v, v, –).
+type CasNewF struct{ Ref, Old ast.Expr }
+
+func (LetF) isFrame()    {}
+func (BindF) isFrame()   {}
+func (TouchF) isFrame()  {}
+func (DclF) isFrame()    {}
+func (GetF) isFrame()    {}
+func (SetLF) isFrame()   {}
+func (SetRF) isFrame()   {}
+func (RetF) isFrame()    {}
+func (CasRefF) isFrame() {}
+func (CasOldF) isFrame() {}
+func (CasNewF) isFrame() {}
+
+func (f LetF) String() string    { return fmt.Sprintf("let %s = – in %s", f.X, f.E) }
+func (f BindF) String() string   { return fmt.Sprintf("%s <- – ; %s", f.X, f.M) }
+func (TouchF) String() string    { return "ftouch –" }
+func (f DclF) String() string    { return fmt.Sprintf("dcl %s : %s := – in %s", f.S, f.T, f.M) }
+func (GetF) String() string      { return "!–" }
+func (f SetLF) String() string   { return fmt.Sprintf("– := %s", f.R) }
+func (f SetRF) String() string   { return fmt.Sprintf("%s := –", f.L) }
+func (RetF) String() string      { return "ret –" }
+func (f CasRefF) String() string { return fmt.Sprintf("cas(–, %s, %s)", f.Old, f.New) }
+func (f CasOldF) String() string { return fmt.Sprintf("cas(%s, –, %s)", f.Ref, f.New) }
+func (f CasNewF) String() string { return fmt.Sprintf("cas(%s, %s, –)", f.Ref, f.Old) }
+
+// State is a stack state K of Figure 8. Exactly one of Expr/Val/Cmd is
+// meaningful depending on Mode: Expr for PopExpr, Val for PushExpr and
+// PushCmd, Cmd for PopCmd.
+type State struct {
+	Stack []Frame
+	Mode  Mode
+	Expr  ast.Expr
+	Val   ast.Expr
+	Cmd   ast.Cmd
+}
+
+// NewCmdState returns the initial state ϵ ▶ m.
+func NewCmdState(m ast.Cmd) *State {
+	return &State{Mode: PopCmd, Cmd: m}
+}
+
+// Final reports whether the state is ϵ ◀ ret v, returning v.
+func (k *State) Final() (ast.Expr, bool) {
+	if k.Mode == PushCmd && len(k.Stack) == 0 {
+		return k.Val, true
+	}
+	return nil, false
+}
+
+// top returns the topmost frame, or nil for an empty stack.
+func (k *State) top() Frame {
+	if len(k.Stack) == 0 {
+		return nil
+	}
+	return k.Stack[len(k.Stack)-1]
+}
+
+// push returns a state with f pushed and the given continuation.
+func (k *State) push(f Frame, next State) *State {
+	stack := make([]Frame, len(k.Stack)+1)
+	copy(stack, k.Stack)
+	stack[len(k.Stack)] = f
+	next.Stack = stack
+	return &next
+}
+
+// pop returns a state with the top frame removed and the given
+// continuation.
+func (k *State) pop(next State) *State {
+	next.Stack = k.Stack[:len(k.Stack)-1]
+	return &next
+}
+
+// keep returns a state with the same stack and the given continuation.
+func (k *State) keep(next State) *State {
+	next.Stack = k.Stack
+	return &next
+}
+
+func (k *State) String() string {
+	var b strings.Builder
+	for i, f := range k.Stack {
+		if i > 0 {
+			b.WriteString(" ; ")
+		}
+		b.WriteString(f.String())
+	}
+	switch k.Mode {
+	case PopExpr:
+		fmt.Fprintf(&b, " ▷ %s", k.Expr)
+	case PushExpr:
+		fmt.Fprintf(&b, " ◁ %s", k.Val)
+	case PopCmd:
+		fmt.Fprintf(&b, " ▶ %s", k.Cmd)
+	case PushCmd:
+		fmt.Fprintf(&b, " ◀ ret %s", k.Val)
+	}
+	return strings.TrimSpace(b.String())
+}

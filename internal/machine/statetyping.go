@@ -1,0 +1,244 @@
+package machine
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/prio"
+	"repro/internal/types"
+)
+
+// CheckState implements the stack-state typing judgment ⊢RΣ K : τ @ ρ of
+// Figure 12, returning the state's final type. It is used by the
+// preservation tests: after every machine step, every thread's state must
+// remain well-typed at an unchanged type.
+//
+// The algorithm types the focused expression or command, then folds the
+// stack from the innermost (top) frame outward, transforming the "value in
+// hand" type through each frame's KS rule.
+func CheckState(c *types.Checker, sig types.Signature, k *State, at prio.Prio) (ast.Type, error) {
+	env := types.NewEnv(c.Order)
+	var cur ast.Type
+	var isCmdVal bool // true: the value in hand flows ◀; false: ◁
+
+	switch k.Mode {
+	case PopExpr: // KS-PopExp
+		t, err := c.Expr(env, sig, k.Expr)
+		if err != nil {
+			return nil, err
+		}
+		cur, isCmdVal = t, false
+	case PushExpr: // KS-PushExp
+		t, err := c.Expr(env, sig, k.Val)
+		if err != nil {
+			return nil, err
+		}
+		cur, isCmdVal = t, false
+	case PopCmd: // KS-PopCmd
+		t, err := c.Cmd(env, sig, k.Cmd, at)
+		if err != nil {
+			return nil, err
+		}
+		cur, isCmdVal = t, true
+	case PushCmd: // KS-PushCmd
+		t, err := c.Expr(env, sig, k.Val)
+		if err != nil {
+			return nil, err
+		}
+		cur, isCmdVal = t, true
+	}
+
+	for i := len(k.Stack) - 1; i >= 0; i-- {
+		f := k.Stack[i]
+		next, nextIsCmd, err := frameType(c, env, sig, f, cur, isCmdVal, at)
+		if err != nil {
+			return nil, fmt.Errorf("frame %q: %w", f, err)
+		}
+		cur, isCmdVal = next, nextIsCmd
+	}
+	if !isCmdVal { // KS-Empty accepts only command returns
+		return nil, fmt.Errorf("machine: expression value reaches empty stack")
+	}
+	return cur, nil
+}
+
+// frameType applies one KS rule: given the type of the value flowing into
+// the frame (and whether it flows on the expression ◁ or command ◀ side),
+// it returns the type flowing out to the next frame.
+func frameType(c *types.Checker, env *types.Env, sig types.Signature,
+	f Frame, cur ast.Type, isCmdVal bool, at prio.Prio) (ast.Type, bool, error) {
+
+	switch f := f.(type) {
+	case LetF: // KS-Let
+		if isCmdVal {
+			return nil, false, fmt.Errorf("command return into let frame")
+		}
+		t, err := c.Expr(env.WithVar(f.X, cur), sig, f.E)
+		return t, false, err
+
+	case BindF:
+		if !isCmdVal { // KS-Bind1: expects τ1 cmd[ρ]
+			ct, ok := cur.(ast.CmdT)
+			if !ok {
+				return nil, false, fmt.Errorf("bind frame expects a command type, got %s", cur)
+			}
+			if ct.P != at {
+				return nil, false, fmt.Errorf("bind frame at priority %s received cmd[%s]", at, ct.P)
+			}
+			t, err := c.Cmd(env.WithVar(f.X, ct.T), sig, f.M, at)
+			return t, true, err
+		}
+		// KS-Bind2: expects the command's return τ1.
+		t, err := c.Cmd(env.WithVar(f.X, cur), sig, f.M, at)
+		return t, true, err
+
+	case TouchF: // KS-Sync
+		if isCmdVal {
+			return nil, false, fmt.Errorf("command return into touch frame")
+		}
+		tt, ok := cur.(ast.ThreadT)
+		if !ok {
+			return nil, false, fmt.Errorf("touch frame expects a thread type, got %s", cur)
+		}
+		if c.CheckPriorities && !env.PrioCtx().Le(at, tt.P) {
+			return nil, false, fmt.Errorf("priority inversion in touch frame: %s ⪯̸ %s", at, tt.P)
+		}
+		return tt.T, true, nil
+
+	case DclF: // KS-Dcl
+		if isCmdVal {
+			return nil, false, fmt.Errorf("command return into dcl frame")
+		}
+		if !ast.TypeEqual(cur, f.T) {
+			return nil, false, fmt.Errorf("dcl frame expects %s, got %s", f.T, cur)
+		}
+		sig2 := sig.Clone()
+		sig2[f.S] = types.SigEntry{Loc: true, T: f.T}
+		t, err := c.Cmd(env, sig2, f.M, at)
+		return t, true, err
+
+	case GetF: // KS-Get
+		rt, ok := cur.(ast.RefT)
+		if !ok || isCmdVal {
+			return nil, false, fmt.Errorf("get frame expects a reference type, got %s", cur)
+		}
+		return rt.T, true, nil
+
+	case SetLF: // KS-Set1
+		rt, ok := cur.(ast.RefT)
+		if !ok || isCmdVal {
+			return nil, false, fmt.Errorf("set frame expects a reference type, got %s", cur)
+		}
+		vt, err := c.Expr(env, sig, f.R)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ast.TypeEqual(vt, rt.T) {
+			return nil, false, fmt.Errorf("assignment of %s to %s reference", vt, rt.T)
+		}
+		return rt.T, true, nil
+
+	case SetRF: // KS-Set2
+		if isCmdVal {
+			return nil, false, fmt.Errorf("command return into set frame")
+		}
+		lt, err := c.Expr(env, sig, f.L)
+		if err != nil {
+			return nil, false, err
+		}
+		rt, ok := lt.(ast.RefT)
+		if !ok {
+			return nil, false, fmt.Errorf("set frame target is not a reference: %s", lt)
+		}
+		if !ast.TypeEqual(cur, rt.T) {
+			return nil, false, fmt.Errorf("assignment of %s to %s reference", cur, rt.T)
+		}
+		return rt.T, true, nil
+
+	case RetF: // KS-Ret
+		if isCmdVal {
+			return nil, false, fmt.Errorf("command return into ret frame")
+		}
+		return cur, true, nil
+
+	case CasRefF:
+		rt, ok := cur.(ast.RefT)
+		if !ok || isCmdVal {
+			return nil, false, fmt.Errorf("cas frame expects a reference type, got %s", cur)
+		}
+		for _, e := range []ast.Expr{f.Old, f.New} {
+			t, err := c.Expr(env, sig, e)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ast.TypeEqual(t, rt.T) {
+				return nil, false, fmt.Errorf("cas operand type %s does not match %s", t, rt.T)
+			}
+		}
+		return ast.NatT{}, true, nil
+
+	case CasOldF:
+		refT, err := c.Expr(env, sig, f.Ref)
+		if err != nil {
+			return nil, false, err
+		}
+		rt, ok := refT.(ast.RefT)
+		if !ok || isCmdVal {
+			return nil, false, fmt.Errorf("cas frame reference ill-typed: %s", refT)
+		}
+		if !ast.TypeEqual(cur, rt.T) {
+			return nil, false, fmt.Errorf("cas expected-value type %s does not match %s", cur, rt.T)
+		}
+		nt, err := c.Expr(env, sig, f.New)
+		if err != nil {
+			return nil, false, err
+		}
+		if !ast.TypeEqual(nt, rt.T) {
+			return nil, false, fmt.Errorf("cas new-value type %s does not match %s", nt, rt.T)
+		}
+		return ast.NatT{}, true, nil
+
+	case CasNewF:
+		refT, err := c.Expr(env, sig, f.Ref)
+		if err != nil {
+			return nil, false, err
+		}
+		rt, ok := refT.(ast.RefT)
+		if !ok || isCmdVal {
+			return nil, false, fmt.Errorf("cas frame reference ill-typed: %s", refT)
+		}
+		if !ast.TypeEqual(cur, rt.T) {
+			return nil, false, fmt.Errorf("cas new-value type %s does not match %s", cur, rt.T)
+		}
+		return ast.NatT{}, true, nil
+	}
+	return nil, false, fmt.Errorf("unknown frame %T", f)
+}
+
+// CheckConfiguration checks every thread state and heap cell of the
+// machine: the mechanized counterpart of the Preservation theorem's
+// invariants (well-typed states, well-typed heap, compatibility).
+func (mc *Machine) CheckConfiguration(c *types.Checker) error {
+	for _, id := range mc.threadOrder {
+		t := mc.Threads[id]
+		sig := mc.GlobalSig.Merge(t.Sig)
+		if _, err := CheckState(c, sig, t.State, t.Prio); err != nil {
+			return fmt.Errorf("thread %s: %w", id, err)
+		}
+	}
+	env := types.NewEnv(c.Order)
+	for s, cell := range mc.Heap {
+		ent, ok := mc.GlobalSig[s]
+		if !ok || !ent.Loc {
+			return fmt.Errorf("heap location %s missing from global signature", s)
+		}
+		vt, err := c.Expr(env, mc.GlobalSig.Merge(cell.Sig), cell.V)
+		if err != nil {
+			return fmt.Errorf("heap cell %s: %w", s, err)
+		}
+		if !ast.TypeEqual(vt, ent.T) {
+			return fmt.Errorf("heap cell %s holds %s, signature says %s", s, vt, ent.T)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,853 @@
+package parser
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/ast"
+	"repro/internal/prio"
+)
+
+// Program is a parsed λ4i program: a priority order, the main command,
+// and the priority main runs at.
+type Program struct {
+	Order    *prio.Order
+	MainPrio prio.Prio
+	MainType ast.Type
+	Main     ast.Cmd
+}
+
+// Parse parses a full program and normalizes its main command to ANF.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, order: prio.NewOrder(), prioVars: map[string]bool{}, locs: map[string]bool{}}
+	prog, err := p.program()
+	if err != nil {
+		return nil, err
+	}
+	prog.Main = ast.NormalizeCmd(prog.Main)
+	return prog, nil
+}
+
+// ParseExpr parses a single expression against an existing priority
+// order, normalizing to ANF. Useful for tests and the REPL-style CLI.
+func ParseExpr(src string, order *prio.Order) (ast.Expr, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, order: order, prioVars: map[string]bool{}, locs: map[string]bool{}}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokEOF, ""); err != nil {
+		return nil, err
+	}
+	return ast.Normalize(e), nil
+}
+
+type parser struct {
+	toks     []token
+	pos      int
+	order    *prio.Order
+	prioVars map[string]bool // priority variables in scope
+	locs     map[string]bool // dcl-bound location names in scope
+}
+
+func (p *parser) peek() token  { return p.toks[p.pos] }
+func (p *parser) peek2() token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+func (p *parser) next() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(t token, format string, args ...any) error {
+	return &SyntaxError{Line: t.line, Col: t.col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// expect consumes a token of the given kind (and text, for punctuation).
+func (p *parser) expect(kind tokenKind, text string) error {
+	t := p.peek()
+	if t.kind != kind || (text != "" && t.text != text) {
+		want := fmt.Sprintf("%q", text)
+		if text == "" {
+			want = map[tokenKind]string{tokEOF: "end of input", tokIdent: "identifier", tokNumber: "number"}[kind]
+		}
+		return p.errf(t, "expected %s, found %s", want, t)
+	}
+	p.next()
+	return nil
+}
+
+// accept consumes a punctuation token if present.
+func (p *parser) accept(text string) bool {
+	t := p.peek()
+	if t.kind == tokPunct && t.text == text {
+		p.next()
+		return true
+	}
+	return false
+}
+
+// acceptKw consumes an identifier keyword if present.
+func (p *parser) acceptKw(kw string) bool {
+	t := p.peek()
+	if t.kind == tokIdent && t.text == kw {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.kind != tokIdent {
+		return "", p.errf(t, "expected identifier, found %s", t)
+	}
+	p.next()
+	return t.text, nil
+}
+
+// program := ("priority" IDENT | "order" IDENT "<" IDENT)*
+//
+//	"main" ":" type "@" prio "=" "{" cmd "}"
+func (p *parser) program() (*Program, error) {
+	for {
+		switch {
+		case p.acceptKw("priority"):
+			name, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			p.order.Declare(name)
+		case p.acceptKw("order"):
+			t := p.peek()
+			lo, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, "<"); err != nil {
+				return nil, err
+			}
+			hi, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.order.DeclareLess(prio.Const(lo), prio.Const(hi)); err != nil {
+				return nil, p.errf(t, "%v", err)
+			}
+		case p.acceptKw("main"):
+			if err := p.expect(tokPunct, ":"); err != nil {
+				return nil, err
+			}
+			ty, err := p.typ()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, "@"); err != nil {
+				return nil, err
+			}
+			mp, err := p.prio()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, "="); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, "{"); err != nil {
+				return nil, err
+			}
+			m, err := p.cmd(mp)
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, "}"); err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokEOF, ""); err != nil {
+				return nil, err
+			}
+			return &Program{Order: p.order, MainPrio: mp, MainType: ty, Main: m}, nil
+		default:
+			return nil, p.errf(p.peek(), "expected priority, order, or main declaration, found %s", p.peek())
+		}
+	}
+}
+
+// prio parses a priority reference: a declared constant or an in-scope
+// variable (optionally written 'name).
+func (p *parser) prio() (prio.Prio, error) {
+	if p.accept("'") {
+		name, err := p.ident()
+		if err != nil {
+			return prio.Prio{}, err
+		}
+		return prio.Var(name), nil
+	}
+	t := p.peek()
+	name, err := p.ident()
+	if err != nil {
+		return prio.Prio{}, err
+	}
+	if p.prioVars[name] {
+		return prio.Var(name), nil
+	}
+	if !p.order.Declared(name) {
+		return prio.Prio{}, p.errf(t, "undeclared priority %q", name)
+	}
+	return prio.Const(name), nil
+}
+
+// constraints := prio "<=" prio ("," prio "<=" prio)*
+func (p *parser) constraints() (prio.Constraints, error) {
+	var cs prio.Constraints
+	for {
+		lo, err := p.prio()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "<="); err != nil {
+			return nil, err
+		}
+		hi, err := p.prio()
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, prio.Constraint{Lo: lo, Hi: hi})
+		if !p.accept(",") {
+			return cs, nil
+		}
+	}
+}
+
+// typ := sumprod ("->" typ)?        (arrow is right-associative)
+func (p *parser) typ() (ast.Type, error) {
+	lhs, err := p.sumProdType()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept("->") {
+		rhs, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		return ast.ArrowT{From: lhs, To: rhs}, nil
+	}
+	return lhs, nil
+}
+
+// sumProdType := postfixType (("*"|"+") postfixType)*
+func (p *parser) sumProdType() (ast.Type, error) {
+	lhs, err := p.postfixType()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.accept("*"):
+			rhs, err := p.postfixType()
+			if err != nil {
+				return nil, err
+			}
+			lhs = ast.ProdT{L: lhs, R: rhs}
+		case p.accept("+"):
+			rhs, err := p.postfixType()
+			if err != nil {
+				return nil, err
+			}
+			lhs = ast.SumT{L: lhs, R: rhs}
+		default:
+			return lhs, nil
+		}
+	}
+}
+
+// postfixType := baseType ("ref" | "thread" "[" prio "]" | "cmd" "[" prio "]")*
+func (p *parser) postfixType() (ast.Type, error) {
+	t, err := p.baseType()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptKw("ref"):
+			t = ast.RefT{T: t}
+		case p.acceptKw("thread"):
+			if err := p.expect(tokPunct, "["); err != nil {
+				return nil, err
+			}
+			pr, err := p.prio()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			t = ast.ThreadT{T: t, P: pr}
+		case p.acceptKw("cmd"):
+			if err := p.expect(tokPunct, "["); err != nil {
+				return nil, err
+			}
+			pr, err := p.prio()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			t = ast.CmdT{T: t, P: pr}
+		default:
+			return t, nil
+		}
+	}
+}
+
+// baseType := "unit" | "nat" | "(" typ ")" | "forall" IDENT ("~" cs)? "." typ
+func (p *parser) baseType() (ast.Type, error) {
+	switch {
+	case p.acceptKw("unit"):
+		return ast.UnitT{}, nil
+	case p.acceptKw("nat"):
+		return ast.NatT{}, nil
+	case p.accept("("):
+		t, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return t, nil
+	case p.acceptKw("forall"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var cs prio.Constraints
+		outer := p.prioVars[name]
+		p.prioVars[name] = true
+		if p.accept("~") {
+			cs, err = p.constraints()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		body, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		if !outer {
+			delete(p.prioVars, name)
+		}
+		return ast.ForallT{Pi: name, C: cs, T: body}, nil
+	}
+	return nil, p.errf(p.peek(), "expected a type, found %s", p.peek())
+}
+
+// cmd parses a command executing at priority `at` (used to elaborate the
+// command-level let sugar: let x = e in m ⇒ x ← cmd[at]{ret e}; m).
+func (p *parser) cmd(at prio.Prio) (ast.Cmd, error) {
+	t := p.peek()
+	switch {
+	case p.acceptKw("let"):
+		x, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKw("in") {
+			return nil, p.errf(p.peek(), "expected 'in' in command let, found %s", p.peek())
+		}
+		m, err := p.cmd(at)
+		if err != nil {
+			return nil, err
+		}
+		return ast.Bind{X: x, E: ast.CmdVal{P: at, M: ast.Ret{E: e}}, M: m}, nil
+
+	case p.acceptKw("ret"):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Ret{E: e}, nil
+
+	case p.acceptKw("fcreate"):
+		if err := p.expect(tokPunct, "["); err != nil {
+			return nil, err
+		}
+		pr, err := p.prio()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		ty, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "{"); err != nil {
+			return nil, err
+		}
+		m, err := p.cmd(pr)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+		return ast.Fcreate{P: pr, T: ty, M: m}, nil
+
+	case p.acceptKw("ftouch"):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Ftouch{E: e}, nil
+
+	case p.acceptKw("dcl"):
+		s, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		ty, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ":="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKw("in") {
+			return nil, p.errf(p.peek(), "expected 'in' after dcl initializer, found %s", p.peek())
+		}
+		outer := p.locs[s]
+		p.locs[s] = true
+		m, err := p.cmd(at)
+		if !outer {
+			delete(p.locs, s)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return ast.Dcl{T: ty, S: s, E: e, M: m}, nil
+
+	case p.acceptKw("cas"):
+		if err := p.expect(tokPunct, "("); err != nil {
+			return nil, err
+		}
+		ref, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ","); err != nil {
+			return nil, err
+		}
+		old, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ","); err != nil {
+			return nil, err
+		}
+		nw, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return ast.CAS{Ref: ref, Old: old, New: nw}, nil
+
+	case p.accept("!"):
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Get{E: e}, nil
+
+	case t.kind == tokIdent && p.peek2().kind == tokPunct && p.peek2().text == "<-":
+		x, _ := p.ident()
+		p.next() // <-
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		m, err := p.cmd(at)
+		if err != nil {
+			return nil, err
+		}
+		return ast.Bind{X: x, E: e, M: m}, nil
+
+	default: // assignment e1 := e2
+		lhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ":="); err != nil {
+			return nil, err
+		}
+		rhs, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Set{L: lhs, R: rhs}, nil
+	}
+}
+
+// expr parses an expression (not yet normalized).
+func (p *parser) expr() (ast.Expr, error) {
+	switch {
+	case p.acceptKw("fn"):
+		x, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		ty, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "=>"); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Lam{X: x, T: ty, Body: body}, nil
+
+	case p.acceptKw("let"):
+		x, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		e1, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKw("in") {
+			return nil, p.errf(p.peek(), "expected 'in' in let, found %s", p.peek())
+		}
+		e2, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Let{X: x, E1: e1, E2: e2}, nil
+
+	case p.acceptKw("ifz"):
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "{"); err != nil {
+			return nil, err
+		}
+		zero, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		x, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		succ, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+		return ast.Ifz{V: v, Zero: zero, X: x, Succ: succ}, nil
+
+	case p.acceptKw("case"):
+		v, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "{"); err != nil {
+			return nil, err
+		}
+		x, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		l, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		y, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "."); err != nil {
+			return nil, err
+		}
+		r, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+		return ast.Case{V: v, X: x, L: l, Y: y, R: r}, nil
+
+	case p.acceptKw("fix"):
+		x, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, ":"); err != nil {
+			return nil, err
+		}
+		ty, err := p.typ()
+		if err != nil {
+			return nil, err
+		}
+		if !p.acceptKw("is") {
+			return nil, p.errf(p.peek(), "expected 'is' in fix, found %s", p.peek())
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Fix{X: x, T: ty, E: body}, nil
+
+	case p.acceptKw("pfn"):
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		var cs prio.Constraints
+		outer := p.prioVars[name]
+		p.prioVars[name] = true
+		if p.accept("~") {
+			cs, err = p.constraints()
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := p.expect(tokPunct, "=>"); err != nil {
+			return nil, err
+		}
+		body, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if !outer {
+			delete(p.prioVars, name)
+		}
+		return ast.PLam{Pi: name, C: cs, Body: body}, nil
+
+	case p.acceptKw("inl"):
+		return p.injection(true)
+	case p.acceptKw("inr"):
+		return p.injection(false)
+
+	case p.acceptKw("fst"):
+		v, err := p.appExpr()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Fst{V: v}, nil
+	case p.acceptKw("snd"):
+		v, err := p.appExpr()
+		if err != nil {
+			return nil, err
+		}
+		return ast.Snd{V: v}, nil
+	}
+	return p.appExpr()
+}
+
+// injection parses inl/inr "[" type "]" appExpr.
+func (p *parser) injection(left bool) (ast.Expr, error) {
+	if err := p.expect(tokPunct, "["); err != nil {
+		return nil, err
+	}
+	ty, err := p.typ()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokPunct, "]"); err != nil {
+		return nil, err
+	}
+	v, err := p.appExpr()
+	if err != nil {
+		return nil, err
+	}
+	if left {
+		return ast.Inl{V: v, T: ty}, nil
+	}
+	return ast.Inr{V: v, T: ty}, nil
+}
+
+// appExpr := primary (primary | "[" prio "]")*
+func (p *parser) appExpr() (ast.Expr, error) {
+	e, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind == tokPunct && t.text == "[" {
+			p.next()
+			pr, err := p.prio()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, "]"); err != nil {
+				return nil, err
+			}
+			e = ast.PApp{V: e, P: pr}
+			continue
+		}
+		if p.startsPrimary(t) {
+			arg, err := p.primary()
+			if err != nil {
+				return nil, err
+			}
+			e = ast.App{F: e, A: arg}
+			continue
+		}
+		return e, nil
+	}
+}
+
+// keywords that cannot begin a primary expression.
+var reserved = map[string]bool{
+	"in": true, "is": true, "ret": true, "fcreate": true, "ftouch": true,
+	"dcl": true, "cas": true, "priority": true, "order": true, "main": true,
+	"ref": true, "thread": true, "unit": true, "nat": true, "forall": true,
+	"fn": true, "let": true, "ifz": true, "case": true, "fix": true,
+	"pfn": true, "inl": true, "inr": true, "fst": true, "snd": true,
+}
+
+func (p *parser) startsPrimary(t token) bool {
+	switch t.kind {
+	case tokNumber:
+		return true
+	case tokIdent:
+		return !reserved[t.text] || t.text == "cmd"
+	case tokPunct:
+		return t.text == "("
+	}
+	return false
+}
+
+// primary := IDENT | NUMBER | "()" | "(" expr ")" | "(" expr "," expr ")"
+//
+//	| "cmd" "[" prio "]" "{" cmd "}"
+func (p *parser) primary() (ast.Expr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokNumber:
+		p.next()
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errf(t, "bad number: %v", err)
+		}
+		return ast.Nat{N: n}, nil
+
+	case t.kind == tokIdent && t.text == "cmd":
+		p.next()
+		if err := p.expect(tokPunct, "["); err != nil {
+			return nil, err
+		}
+		pr, err := p.prio()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "]"); err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "{"); err != nil {
+			return nil, err
+		}
+		m, err := p.cmd(pr)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokPunct, "}"); err != nil {
+			return nil, err
+		}
+		return ast.CmdVal{P: pr, M: m}, nil
+
+	case t.kind == tokIdent && !reserved[t.text]:
+		p.next()
+		if p.locs[t.text] {
+			return ast.Ref{Loc: t.text}, nil
+		}
+		return ast.Var{Name: t.text}, nil
+
+	case t.kind == tokPunct && t.text == "(":
+		p.next()
+		if p.accept(")") {
+			return ast.Unit{}, nil
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if p.accept(",") {
+			e2, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return ast.Pair{L: e, R: e2}, nil
+		}
+		if err := p.expect(tokPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf(t, "expected an expression, found %s", t)
+}

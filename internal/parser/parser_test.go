@@ -1,0 +1,290 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/machine"
+	"repro/internal/prio"
+	"repro/internal/types"
+)
+
+// parseRunCheck parses, typechecks, and runs a program, returning main's
+// final value.
+func parseRunCheck(t *testing.T, src string) ast.Expr {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if !ast.CmdInANF(prog.Main) {
+		t.Fatal("parsed program is not in ANF")
+	}
+	c := types.New(prog.Order)
+	got, err := c.Cmd(types.NewEnv(prog.Order), types.Signature{}, prog.Main, prog.MainPrio)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	if !ast.TypeEqual(got, prog.MainType) {
+		t.Fatalf("main types at %s, declared %s", got, prog.MainType)
+	}
+	mc := machine.New(prog.Order, prog.MainPrio, prog.Main)
+	if err := mc.Run(machine.RunAll{}, 1000000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := mc.VerifyExecution(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	v, ok := mc.FinalValue("main")
+	if !ok {
+		t.Fatal("main did not finish")
+	}
+	return v
+}
+
+func TestParseMinimal(t *testing.T) {
+	v := parseRunCheck(t, `
+		priority p
+		main : nat @ p = { ret 42 }
+	`)
+	if v.String() != "42" {
+		t.Errorf("value = %s", v)
+	}
+}
+
+func TestParseStateAndFutures(t *testing.T) {
+	v := parseRunCheck(t, `
+		priority low
+		priority high
+		order low < high
+
+		main : nat @ low = {
+		  dcl cell : nat := 1 in
+		  h <- cmd[low]{ fcreate[high; nat] { w <- cmd[high]{ cell := 7 }; ret w } };
+		  r <- cmd[low]{ ftouch h };
+		  v <- cmd[low]{ !cell };
+		  ret v
+		}
+	`)
+	if v.String() != "7" {
+		t.Errorf("value = %s, want 7", v)
+	}
+}
+
+func TestParseFunctionsAndSums(t *testing.T) {
+	v := parseRunCheck(t, `
+		priority p
+		main : nat @ p = {
+		  let f = fn x : nat => ifz x { 100 ; n . n } in
+		  let s = inl [nat + unit] (f 5) in
+		  ret (case s { a . a ; b . 0 })
+		}
+	`)
+	if v.String() != "4" {
+		t.Errorf("value = %s, want 4", v)
+	}
+}
+
+func TestParseFixRecursion(t *testing.T) {
+	v := parseRunCheck(t, `
+		priority p
+		main : nat @ p = {
+		  let down = fix f : nat -> nat cmd[p] is
+			fn n : nat => ifz n { cmd[p]{ ret 99 } ; m . cmd[p]{ r <- f m; ret r } } in
+		  x <- down 5;
+		  ret x
+		}
+	`)
+	if v.String() != "99" {
+		t.Errorf("value = %s, want 99", v)
+	}
+}
+
+func TestParsePriorityPolymorphism(t *testing.T) {
+	v := parseRunCheck(t, `
+		priority low
+		priority high
+		order low < high
+		main : nat @ low = {
+		  let spawnAt = pfn pi ~ low <= pi => cmd[low]{ fcreate[pi; nat] { ret 3 } } in
+		  h <- spawnAt[high];
+		  r <- cmd[low]{ ftouch h };
+		  ret r
+		}
+	`)
+	if v.String() != "3" {
+		t.Errorf("value = %s, want 3", v)
+	}
+}
+
+func TestParseCAS(t *testing.T) {
+	v := parseRunCheck(t, `
+		priority p
+		main : nat * nat @ p = {
+		  dcl s : nat := 5 in
+		  a <- cmd[p]{ cas(s, 5, 8) };
+		  b <- cmd[p]{ cas(s, 5, 9) };
+		  ret (a, b)
+		}
+	`)
+	if v.String() != "(1, 0)" {
+		t.Errorf("value = %s, want (1, 0)", v)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	v := parseRunCheck(t, `
+		-- a dash comment
+		priority p // a slash comment
+		main : unit @ p = {
+		  ret () -- trailing
+		}
+	`)
+	if v.String() != "()" {
+		t.Errorf("value = %s", v)
+	}
+}
+
+func TestParseTypeForms(t *testing.T) {
+	prog, err := Parse(`
+		priority p
+		main : (nat -> nat) * (nat + unit) @ p = {
+		  ret (fn x : nat => x, inr [nat + unit] ())
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ast.ProdT{
+		L: ast.ArrowT{From: ast.NatT{}, To: ast.NatT{}},
+		R: ast.SumT{L: ast.NatT{}, R: ast.UnitT{}},
+	}
+	if !ast.TypeEqual(prog.MainType, want) {
+		t.Errorf("type = %s, want %s", prog.MainType, want)
+	}
+}
+
+func TestParseForallType(t *testing.T) {
+	prog, err := Parse(`
+		priority low
+		main : forall pi ~ low <= pi . nat cmd[pi] @ low = {
+		  ret (pfn pi ~ low <= pi => cmd[pi]{ ret 0 })
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft, ok := prog.MainType.(ast.ForallT)
+	if !ok {
+		t.Fatalf("expected forall type, got %s", prog.MainType)
+	}
+	if ft.Pi != "pi" || len(ft.C) != 1 {
+		t.Errorf("forall parsed wrong: %s", ft)
+	}
+	ct, ok := ft.T.(ast.CmdT)
+	if !ok || !ct.P.IsVar() {
+		t.Errorf("forall body should be cmd at the variable: %s", ft.T)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		frag string
+	}{
+		{"priority", "expected identifier"},
+		{"order a < b", "undeclared"},
+		{"main : nat @ p = { ret 1 }", "undeclared priority"},
+		{"priority p\nmain : nat @ p = { ret 1 ", "expected \"}\""},
+		{"priority p\nmain : nat @ p = { foo 1 }", "expected \":=\""},
+		{"priority p\nmain : nat @ p = { ret (1 }", "expected \")\""},
+		{"priority p\nmain : wat @ p = { ret 1 }", "expected a type"},
+		{"priority p\nmain : nat @ p = { ret @ }", "expected an expression"},
+		{"priority p\nmain : nat @ p = { ret 1 } trailing", "end of input"},
+		{"priority p\nmain : nat @ p = { x <- cmd[p]{ ret 1 } ret x }", "expected \";\""},
+		{"#", "unexpected character"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.frag) {
+			t.Errorf("Parse(%q) error %q does not mention %q", tc.src, err, tc.frag)
+		}
+	}
+}
+
+func TestParseExprStandalone(t *testing.T) {
+	o := prio.NewTotalOrder("p")
+	e, err := ParseExpr("let x = (fn y : nat => y) 3 in (x, x)", o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ast.InANF(e) {
+		t.Error("ParseExpr should normalize")
+	}
+	c := types.New(o)
+	tt, err := c.Expr(types.NewEnv(o), types.Signature{}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ast.TypeEqual(tt, ast.ProdT{L: ast.NatT{}, R: ast.NatT{}}) {
+		t.Errorf("type = %s", tt)
+	}
+}
+
+func TestLexerPositions(t *testing.T) {
+	_, err := Parse("priority p\nmain : nat @ p = {\n  ret @\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("expected SyntaxError, got %T", err)
+	}
+	if se.Line != 3 {
+		t.Errorf("error line = %d, want 3", se.Line)
+	}
+}
+
+func TestParseFigure1Source(t *testing.T) {
+	// The Section 2.2 example in concrete syntax, with the write-read
+	// race on the handle cell.
+	src := `
+		priority p
+		main : unit @ p = {
+		  dcl c : (unit thread[p]) + unit := inr [(unit thread[p]) + unit] () in
+		  fh <- cmd[p]{ fcreate[p; unit] {
+			gh <- cmd[p]{ fcreate[p; unit] { ret () } };
+			w <- cmd[p]{ c := inl [(unit thread[p]) + unit] gh };
+			ret ()
+		  } };
+		  v <- cmd[p]{ !c };
+		  r <- case v { h . cmd[p]{ ftouch h } ; u . cmd[p]{ ret () } };
+		  ret r
+		}
+	`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run child-first: a touch edge appears.
+	mc := machine.New(prog.Order, prog.MainPrio, prog.Main)
+	if err := mc.Run(machine.ChildFirst{}, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if len(mc.Graph.TouchEdges()) != 1 {
+		t.Errorf("child-first: touch edges = %d, want 1", len(mc.Graph.TouchEdges()))
+	}
+	// Run main-first: no touch edge.
+	mc2 := machine.New(prog.Order, prog.MainPrio, prog.Main)
+	if err := mc2.Run(machine.Sequential{}, 100000); err != nil {
+		t.Fatal(err)
+	}
+	if len(mc2.Graph.TouchEdges()) != 0 {
+		t.Errorf("main-first: touch edges = %d, want 0", len(mc2.Graph.TouchEdges()))
+	}
+}

@@ -1,0 +1,313 @@
+// Package prio implements the partially ordered priorities of λ4i
+// (Muller et al., PLDI 2020, Section 2.1) together with the constraint
+// entailment judgment Γ ⊢R C of Figure 7.
+//
+// A priority ρ is drawn from a partially ordered set R. Programs may also
+// mention priority variables π introduced by priority-polymorphic
+// abstractions Λπ∼C.e; entailment then happens under a context Γ containing
+// variable declarations and assumed constraints.
+package prio
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Prio is a priority: either a constant declared in an Order (the set R) or
+// a priority variable π bound by a polymorphic abstraction.
+type Prio struct {
+	name  string
+	isVar bool
+}
+
+// Const returns the priority constant with the given name.
+func Const(name string) Prio { return Prio{name: name} }
+
+// Var returns the priority variable with the given name.
+func Var(name string) Prio { return Prio{name: name, isVar: true} }
+
+// Name reports the priority's name.
+func (p Prio) Name() string { return p.name }
+
+// IsVar reports whether p is a priority variable.
+func (p Prio) IsVar() bool { return p.isVar }
+
+// Zero reports whether p is the zero Prio (no name), useful as "unset".
+func (p Prio) Zero() bool { return p.name == "" }
+
+func (p Prio) String() string {
+	if p.isVar {
+		return "'" + p.name
+	}
+	return p.name
+}
+
+// key returns a map key distinguishing variables from constants of the
+// same name.
+func (p Prio) key() string {
+	if p.isVar {
+		return "v:" + p.name
+	}
+	return "c:" + p.name
+}
+
+// Order is the partially ordered set R of priority constants. The zero
+// value is an empty order; add priorities with Declare and order them with
+// DeclareLess. Less edges must keep the order strict (acyclic).
+type Order struct {
+	prios map[string]bool
+	less  map[string]map[string]bool // declared lo ≺ hi edges
+}
+
+// NewOrder returns an empty priority order.
+func NewOrder() *Order {
+	return &Order{prios: make(map[string]bool), less: make(map[string]map[string]bool)}
+}
+
+// NewTotalOrder declares the given priorities in ascending order
+// (names[0] ≺ names[1] ≺ ...), a convenience for the common case of
+// integer-like priority levels.
+func NewTotalOrder(names ...string) *Order {
+	o := NewOrder()
+	for i, n := range names {
+		o.Declare(n)
+		if i > 0 {
+			// Chain edges; transitivity is derived by Le.
+			if err := o.DeclareLess(Const(names[i-1]), Const(n)); err != nil {
+				panic(err) // ascending chains cannot form cycles
+			}
+		}
+	}
+	return o
+}
+
+// Declare adds a priority constant to R and returns it. Declaring an
+// existing name is a no-op.
+func (o *Order) Declare(name string) Prio {
+	o.prios[name] = true
+	return Const(name)
+}
+
+// Declared reports whether a constant with the given name is in R.
+func (o *Order) Declared(name string) bool { return o.prios[name] }
+
+// Names returns the declared priority names in sorted order.
+func (o *Order) Names() []string {
+	ns := make([]string, 0, len(o.prios))
+	for n := range o.prios {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+// DeclareLess adds lo ≺ hi to R. It returns an error if either priority is
+// a variable or undeclared, or if the edge would create a cycle (which
+// would contradict strictness of ≺).
+func (o *Order) DeclareLess(lo, hi Prio) error {
+	if lo.isVar || hi.isVar {
+		return fmt.Errorf("prio: order edges must relate constants, got %v ≺ %v", lo, hi)
+	}
+	if !o.prios[lo.name] {
+		return fmt.Errorf("prio: undeclared priority %q", lo.name)
+	}
+	if !o.prios[hi.name] {
+		return fmt.Errorf("prio: undeclared priority %q", hi.name)
+	}
+	if lo.name == hi.name {
+		return fmt.Errorf("prio: %q ≺ %q would make the order non-strict", lo.name, hi.name)
+	}
+	if o.le(hi.name, lo.name) {
+		return fmt.Errorf("prio: %q ≺ %q would create a cycle", lo.name, hi.name)
+	}
+	m := o.less[lo.name]
+	if m == nil {
+		m = make(map[string]bool)
+		o.less[lo.name] = m
+	}
+	m[hi.name] = true
+	return nil
+}
+
+// le reports constant-only reachability lo ⪯ hi (reflexive-transitive
+// closure of the declared edges).
+func (o *Order) le(lo, hi string) bool {
+	if lo == hi {
+		return o.prios[lo]
+	}
+	seen := map[string]bool{lo: true}
+	stack := []string{lo}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for next := range o.less[n] {
+			if next == hi {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}
+
+// Le reports ρ1 ⪯ ρ2 in R for constants. Variables are never related by
+// the bare order; use a Ctx for entailment under assumptions.
+func (o *Order) Le(a, b Prio) bool {
+	if a.isVar || b.isVar {
+		return a.isVar == b.isVar && a.name == b.name
+	}
+	return o.le(a.name, b.name)
+}
+
+// Lt reports the strict relation ρ1 ≺ ρ2 for constants.
+func (o *Order) Lt(a, b Prio) bool {
+	return !(a == b) && o.Le(a, b)
+}
+
+// Constraint is a single atomic priority constraint ρ1 ⪯ ρ2. Conjunctions
+// C ∧ C are represented as Constraints slices.
+type Constraint struct {
+	Lo, Hi Prio
+}
+
+func (c Constraint) String() string { return c.Lo.String() + " <= " + c.Hi.String() }
+
+// Subst substitutes rho for the variable pi in the constraint.
+func (c Constraint) Subst(rho, pi Prio) Constraint {
+	return Constraint{Lo: Subst(rho, pi, c.Lo), Hi: Subst(rho, pi, c.Hi)}
+}
+
+// Constraints is a conjunction of atomic constraints.
+type Constraints []Constraint
+
+func (cs Constraints) String() string {
+	if len(cs) == 0 {
+		return "true"
+	}
+	parts := make([]string, len(cs))
+	for i, c := range cs {
+		parts[i] = c.String()
+	}
+	return strings.Join(parts, " /\\ ")
+}
+
+// Subst substitutes rho for the variable pi throughout the conjunction.
+func (cs Constraints) Subst(rho, pi Prio) Constraints {
+	out := make(Constraints, len(cs))
+	for i, c := range cs {
+		out[i] = c.Subst(rho, pi)
+	}
+	return out
+}
+
+// Subst substitutes rho for the priority variable pi in p.
+func Subst(rho, pi Prio, p Prio) Prio {
+	if p.isVar && p.name == pi.name {
+		return rho
+	}
+	return p
+}
+
+// Ctx is the priority fragment of a typing context Γ: declared priority
+// variables (π prio) plus assumed constraints. Ctx values are persistent:
+// With* methods return extended copies, so a checker can thread contexts
+// through derivations without mutation.
+type Ctx struct {
+	order       *Order
+	vars        map[string]bool
+	assumptions Constraints
+}
+
+// NewCtx returns an empty context over the given order R.
+func NewCtx(order *Order) *Ctx {
+	return &Ctx{order: order, vars: make(map[string]bool)}
+}
+
+// Order returns the underlying priority order R.
+func (g *Ctx) Order() *Order { return g.order }
+
+// WithVar returns g extended with the declaration π prio.
+func (g *Ctx) WithVar(name string) *Ctx {
+	vars := make(map[string]bool, len(g.vars)+1)
+	for k := range g.vars {
+		vars[k] = true
+	}
+	vars[name] = true
+	return &Ctx{order: g.order, vars: vars, assumptions: g.assumptions}
+}
+
+// WithConstraints returns g extended with the given assumed constraints.
+func (g *Ctx) WithConstraints(cs ...Constraint) *Ctx {
+	as := make(Constraints, 0, len(g.assumptions)+len(cs))
+	as = append(as, g.assumptions...)
+	as = append(as, cs...)
+	return &Ctx{order: g.order, vars: g.vars, assumptions: as}
+}
+
+// HasVar reports whether the priority variable name is declared in g.
+func (g *Ctx) HasVar(name string) bool { return g.vars[name] }
+
+// WellFormed reports whether p makes sense under g: a declared constant or
+// a declared variable.
+func (g *Ctx) WellFormed(p Prio) bool {
+	if p.isVar {
+		return g.vars[p.name]
+	}
+	return g.order.Declared(p.name)
+}
+
+// Le decides the entailment Γ ⊢R ρ1 ⪯ ρ2 of Figure 7. The rules hyp,
+// assume, refl and trans together say: ρ1 ⪯ ρ2 holds iff ρ2 is reachable
+// from ρ1 in the graph whose edges are the declared order edges of R plus
+// the assumed constraints of Γ (reflexively).
+func (g *Ctx) Le(a, b Prio) bool {
+	if a == b && g.WellFormed(a) {
+		return true // refl
+	}
+	seen := map[string]bool{a.key(): true}
+	queue := []Prio{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range g.successors(cur) {
+			if next == b {
+				return true
+			}
+			if !seen[next.key()] {
+				seen[next.key()] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+	return false
+}
+
+func (g *Ctx) successors(p Prio) []Prio {
+	var out []Prio
+	if !p.isVar {
+		for hi := range g.order.less[p.name] {
+			out = append(out, Const(hi))
+		}
+	}
+	for _, c := range g.assumptions {
+		if c.Lo == p {
+			out = append(out, c.Hi)
+		}
+	}
+	return out
+}
+
+// Entails decides Γ ⊢R C for a conjunction C (rule conj reduces it to the
+// atomic case).
+func (g *Ctx) Entails(cs Constraints) bool {
+	for _, c := range cs {
+		if !g.Le(c.Lo, c.Hi) {
+			return false
+		}
+	}
+	return true
+}

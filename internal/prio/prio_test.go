@@ -1,0 +1,280 @@
+package prio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrderBasics(t *testing.T) {
+	o := NewOrder()
+	lo := o.Declare("low")
+	mid := o.Declare("mid")
+	hi := o.Declare("high")
+	if err := o.DeclareLess(lo, mid); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.DeclareLess(mid, hi); err != nil {
+		t.Fatal(err)
+	}
+	if !o.Le(lo, hi) {
+		t.Error("expected low <= high by transitivity")
+	}
+	if !o.Le(lo, lo) {
+		t.Error("expected low <= low by reflexivity")
+	}
+	if o.Le(hi, lo) {
+		t.Error("high <= low should not hold")
+	}
+	if !o.Lt(lo, hi) {
+		t.Error("expected low < high")
+	}
+	if o.Lt(lo, lo) {
+		t.Error("low < low should not hold (strict)")
+	}
+}
+
+func TestOrderRejectsCycles(t *testing.T) {
+	o := NewOrder()
+	a := o.Declare("a")
+	b := o.Declare("b")
+	c := o.Declare("c")
+	if err := o.DeclareLess(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.DeclareLess(b, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.DeclareLess(c, a); err == nil {
+		t.Error("expected cycle c < a to be rejected")
+	}
+	if err := o.DeclareLess(a, a); err == nil {
+		t.Error("expected self-edge to be rejected")
+	}
+}
+
+func TestOrderRejectsUndeclared(t *testing.T) {
+	o := NewOrder()
+	a := o.Declare("a")
+	if err := o.DeclareLess(a, Const("ghost")); err == nil {
+		t.Error("expected undeclared priority to be rejected")
+	}
+	if err := o.DeclareLess(Const("ghost"), a); err == nil {
+		t.Error("expected undeclared priority to be rejected")
+	}
+	if err := o.DeclareLess(a, Var("pi")); err == nil {
+		t.Error("expected variable in order edge to be rejected")
+	}
+}
+
+func TestPartialOrderIncomparable(t *testing.T) {
+	// A diamond with two incomparable middle elements.
+	o := NewOrder()
+	bot := o.Declare("bot")
+	l := o.Declare("l")
+	r := o.Declare("r")
+	top := o.Declare("top")
+	for _, e := range [][2]Prio{{bot, l}, {bot, r}, {l, top}, {r, top}} {
+		if err := o.DeclareLess(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if o.Le(l, r) || o.Le(r, l) {
+		t.Error("l and r should be incomparable")
+	}
+	if !o.Le(bot, top) {
+		t.Error("bot <= top should hold")
+	}
+}
+
+func TestNewTotalOrder(t *testing.T) {
+	o := NewTotalOrder("p1", "p2", "p3", "p4")
+	if !o.Le(Const("p1"), Const("p4")) {
+		t.Error("p1 <= p4")
+	}
+	if o.Le(Const("p3"), Const("p2")) {
+		t.Error("p3 <= p2 must not hold")
+	}
+	if got := len(o.Names()); got != 4 {
+		t.Errorf("Names() returned %d names, want 4", got)
+	}
+}
+
+func TestCtxEntailmentHyp(t *testing.T) {
+	o := NewTotalOrder("low", "high")
+	g := NewCtx(o).WithVar("pi").WithConstraints(Constraint{Lo: Const("low"), Hi: Var("pi")})
+	if !g.Le(Const("low"), Var("pi")) {
+		t.Error("hypothesis low <= 'pi should be entailed")
+	}
+	if g.Le(Var("pi"), Const("low")) {
+		t.Error("'pi <= low should not be entailed")
+	}
+}
+
+func TestCtxEntailmentTransThroughVar(t *testing.T) {
+	// low <= pi and pi <= high should give low <= high via trans, and
+	// chains through two variables should also work.
+	o := NewTotalOrder("low", "high")
+	g := NewCtx(o).WithVar("pi").WithVar("rho").WithConstraints(
+		Constraint{Lo: Const("low"), Hi: Var("pi")},
+		Constraint{Lo: Var("pi"), Hi: Var("rho")},
+	)
+	if !g.Le(Const("low"), Var("rho")) {
+		t.Error("low <= 'rho should be entailed by transitivity")
+	}
+	if !g.Entails(Constraints{
+		{Lo: Const("low"), Hi: Var("pi")},
+		{Lo: Const("low"), Hi: Var("rho")},
+	}) {
+		t.Error("conjunction should be entailed")
+	}
+	if g.Entails(Constraints{{Lo: Var("rho"), Hi: Const("low")}}) {
+		t.Error("'rho <= low should not be entailed")
+	}
+}
+
+func TestCtxReflRequiresWellFormed(t *testing.T) {
+	o := NewOrder()
+	g := NewCtx(o)
+	if g.Le(Const("nope"), Const("nope")) {
+		t.Error("refl should not apply to undeclared priorities")
+	}
+	if g.Le(Var("pi"), Var("pi")) {
+		t.Error("refl should not apply to undeclared variables")
+	}
+	g2 := g.WithVar("pi")
+	if !g2.Le(Var("pi"), Var("pi")) {
+		t.Error("refl should apply to a declared variable")
+	}
+}
+
+func TestCtxMixesOrderAndAssumptions(t *testing.T) {
+	o := NewTotalOrder("a", "b", "c")
+	// assume c <= pi; then a <= pi should follow via a <= c (order) + assumption.
+	g := NewCtx(o).WithVar("pi").WithConstraints(Constraint{Lo: Const("c"), Hi: Var("pi")})
+	if !g.Le(Const("a"), Var("pi")) {
+		t.Error("a <= 'pi should follow from a <= c <= 'pi")
+	}
+}
+
+func TestSubst(t *testing.T) {
+	pi := Var("pi")
+	rho := Const("high")
+	if got := Subst(rho, pi, pi); got != rho {
+		t.Errorf("Subst over the variable = %v, want %v", got, rho)
+	}
+	other := Var("sigma")
+	if got := Subst(rho, pi, other); got != other {
+		t.Errorf("Subst should leave other variables alone, got %v", got)
+	}
+	if got := Subst(rho, pi, Const("pi")); got != Const("pi") {
+		t.Errorf("Subst must not capture the constant named pi, got %v", got)
+	}
+	cs := Constraints{{Lo: pi, Hi: Const("top")}}
+	got := cs.Subst(rho, pi)
+	if got[0].Lo != rho {
+		t.Errorf("Constraints.Subst = %v", got)
+	}
+	// Subst must not mutate the original.
+	if cs[0].Lo != pi {
+		t.Error("Constraints.Subst mutated its receiver")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	if got := Var("pi").String(); got != "'pi" {
+		t.Errorf("Var String = %q", got)
+	}
+	if got := Const("hi").String(); got != "hi" {
+		t.Errorf("Const String = %q", got)
+	}
+	if got := (Constraints{}).String(); got != "true" {
+		t.Errorf("empty Constraints String = %q", got)
+	}
+	cs := Constraints{{Lo: Const("a"), Hi: Const("b")}, {Lo: Var("p"), Hi: Const("b")}}
+	if got := cs.String(); got != "a <= b /\\ 'p <= b" {
+		t.Errorf("Constraints String = %q", got)
+	}
+}
+
+// randomOrder builds a random DAG order over n priorities by adding edges
+// i -> j for i < j with probability p, which is acyclic by construction.
+func randomOrder(rng *rand.Rand, n int, p float64) (*Order, []Prio) {
+	o := NewOrder()
+	ps := make([]Prio, n)
+	for i := range ps {
+		ps[i] = o.Declare(string(rune('a' + i)))
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < p {
+				if err := o.DeclareLess(ps[i], ps[j]); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return o, ps
+}
+
+// Property: Le is a partial order — reflexive, transitive, antisymmetric —
+// on every randomly generated order.
+func TestQuickLePartialOrder(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o, ps := randomOrder(rng, 8, 0.3)
+		for _, a := range ps {
+			if !o.Le(a, a) {
+				return false
+			}
+			for _, b := range ps {
+				if a != b && o.Le(a, b) && o.Le(b, a) {
+					return false // antisymmetry violated
+				}
+				for _, c := range ps {
+					if o.Le(a, b) && o.Le(b, c) && !o.Le(a, c) {
+						return false // transitivity violated
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: context entailment is monotone — adding assumptions never
+// removes entailed facts.
+func TestQuickEntailmentMonotone(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		o, ps := randomOrder(rng, 6, 0.3)
+		g := NewCtx(o).WithVar("x").WithVar("y")
+		all := append([]Prio{Var("x"), Var("y")}, ps...)
+		// Collect all entailed pairs, then extend and re-check.
+		type pair struct{ a, b Prio }
+		var entailed []pair
+		for _, a := range all {
+			for _, b := range all {
+				if g.Le(a, b) {
+					entailed = append(entailed, pair{a, b})
+				}
+			}
+		}
+		g2 := g.WithConstraints(Constraint{
+			Lo: all[rng.Intn(len(all))],
+			Hi: all[rng.Intn(len(all))],
+		})
+		for _, p := range entailed {
+			if !g2.Le(p.a, p.b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

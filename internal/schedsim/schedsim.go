@@ -1,0 +1,431 @@
+// Package schedsim simulates schedules of cost graphs on P processing
+// cores (Muller et al., PLDI 2020, Section 2): prompt priority schedules,
+// priority-oblivious greedy schedules, admissibility checking against weak
+// edges, and verification of the Theorem 2.3 response-time bound
+//
+//	T(a) ≤ (1/P)·[W⊀ρ(↛↓a) + (P−1)·Sa(↛↓a)].
+package schedsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/prio"
+)
+
+// Options configures a schedule simulation.
+type Options struct {
+	// P is the number of processing cores (≥ 1).
+	P int
+	// Prompt selects prompt scheduling: ready vertices are assigned in
+	// priority order. When false, the scheduler is priority-oblivious and
+	// assigns ready vertices in tie-break order only (a greedy baseline).
+	Prompt bool
+	// PreferWeakSources breaks ties in favor of vertices that are sources
+	// of weak edges whose targets have not executed, which makes prompt
+	// schedules admissible more often. Purely a tie-break: promptness is
+	// never violated.
+	PreferWeakSources bool
+}
+
+// Schedule is the result of a simulation: the assignment of vertices to
+// steps. Steps are 1-based.
+type Schedule struct {
+	Steps  [][]dag.VertexID
+	stepOf []int
+}
+
+// StepOf returns the 1-based step in which v executed (0 if never).
+func (s *Schedule) StepOf(v dag.VertexID) int { return s.stepOf[v] }
+
+// Len returns the number of steps in the schedule.
+func (s *Schedule) Len() int { return len(s.Steps) }
+
+// Run simulates a schedule of g under the given options. Every vertex is
+// executed: weak edges never gate readiness, so the simulation always
+// terminates for acyclic graphs (it returns an error on cyclic ones).
+func Run(g *dag.Graph, opt Options) (*Schedule, error) {
+	if opt.P < 1 {
+		return nil, fmt.Errorf("schedsim: P must be ≥ 1, got %d", opt.P)
+	}
+	if !g.Acyclic() {
+		return nil, fmt.Errorf("schedsim: graph has a cycle")
+	}
+	n := g.NumVertices()
+	strongParents := make([][]dag.VertexID, n)
+	weakTargets := make([][]dag.VertexID, n)
+	for _, e := range g.Edges() {
+		if e.Kind.Strong() {
+			strongParents[e.To] = append(strongParents[e.To], e.From)
+		} else {
+			weakTargets[e.From] = append(weakTargets[e.From], e.To)
+		}
+	}
+	ctx := prio.NewCtx(g.Order())
+	executed := make([]bool, n)
+	sched := &Schedule{stepOf: make([]int, n)}
+	remaining := n
+	for remaining > 0 {
+		var ready []dag.VertexID
+		for v := 0; v < n; v++ {
+			if executed[v] {
+				continue
+			}
+			ok := true
+			for _, p := range strongParents[v] {
+				if !executed[p] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, dag.VertexID(v))
+			}
+		}
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("schedsim: no ready vertices with %d remaining", remaining)
+		}
+		selection := selectStep(g, ctx, ready, opt, executed, weakTargets)
+		step := len(sched.Steps) + 1
+		for _, v := range selection {
+			executed[v] = true
+			sched.stepOf[v] = step
+			remaining--
+		}
+		sched.Steps = append(sched.Steps, selection)
+	}
+	return sched, nil
+}
+
+// selectStep chooses up to P vertices for one step.
+func selectStep(g *dag.Graph, ctx *prio.Ctx, ready []dag.VertexID, opt Options,
+	executed []bool, weakTargets [][]dag.VertexID) []dag.VertexID {
+
+	// Tie-break ordering: weak-edge sources first if requested, then by
+	// vertex ID for determinism.
+	score := func(v dag.VertexID) int {
+		if !opt.PreferWeakSources {
+			return 0
+		}
+		for _, t := range weakTargets[v] {
+			if !executed[t] {
+				return -1 // pending weak obligation: run first
+			}
+		}
+		return 0
+	}
+	sort.Slice(ready, func(i, j int) bool {
+		si, sj := score(ready[i]), score(ready[j])
+		if si != sj {
+			return si < sj
+		}
+		return ready[i] < ready[j]
+	})
+
+	if !opt.Prompt {
+		if len(ready) > opt.P {
+			ready = ready[:opt.P]
+		}
+		return append([]dag.VertexID(nil), ready...)
+	}
+
+	// Prompt: repeatedly assign a ready vertex u such that no unassigned
+	// ready vertex is strictly higher-priority than u.
+	var selection []dag.VertexID
+	unassigned := append([]dag.VertexID(nil), ready...)
+	for len(selection) < opt.P && len(unassigned) > 0 {
+		pick := -1
+		for i, u := range unassigned {
+			maximal := true
+			for j, v := range unassigned {
+				if i == j {
+					continue
+				}
+				pu, pv := g.PrioOf(u), g.PrioOf(v)
+				if pu != pv && ctx.Le(pu, pv) {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				pick = i
+				break
+			}
+		}
+		if pick < 0 {
+			pick = 0 // cannot happen in a finite partial order, but be safe
+		}
+		selection = append(selection, unassigned[pick])
+		unassigned = append(unassigned[:pick], unassigned[pick+1:]...)
+	}
+	return selection
+}
+
+// Admissible reports whether the schedule respects every weak edge of g:
+// the source of each weak edge executes in a strictly earlier step than
+// its target (Section 2.2: same-step execution is not admissible).
+func Admissible(g *dag.Graph, s *Schedule) bool {
+	for _, e := range g.WeakEdges() {
+		if s.StepOf(e.From) >= s.StepOf(e.To) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsPrompt verifies that a schedule is prompt: at every step, no
+// unexecuted ready vertex had strictly higher priority than an assigned
+// one while cores were idle, and no core was idle while any vertex was
+// ready.
+func IsPrompt(g *dag.Graph, s *Schedule, p int) bool {
+	n := g.NumVertices()
+	strongParents := make([][]dag.VertexID, n)
+	for _, e := range g.Edges() {
+		if e.Kind.Strong() {
+			strongParents[e.To] = append(strongParents[e.To], e.From)
+		}
+	}
+	ctx := prio.NewCtx(g.Order())
+	executed := make([]bool, n)
+	for stepIdx, sel := range s.Steps {
+		step := stepIdx + 1
+		var ready []dag.VertexID
+		for v := 0; v < n; v++ {
+			if executed[v] {
+				continue
+			}
+			ok := true
+			for _, q := range strongParents[v] {
+				if !executed[q] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, dag.VertexID(v))
+			}
+		}
+		if len(sel) < p && len(sel) < len(ready) {
+			return false // idle core while work was ready
+		}
+		// Every unselected ready vertex must not be strictly higher
+		// priority than some selected vertex.
+		selSet := make(map[dag.VertexID]bool, len(sel))
+		for _, v := range sel {
+			selSet[v] = true
+		}
+		for _, r := range ready {
+			if selSet[r] {
+				continue
+			}
+			for _, v := range sel {
+				pv, pr := g.PrioOf(v), g.PrioOf(r)
+				if pv != pr && ctx.Le(pv, pr) {
+					return false // selected v while strictly higher r waited
+				}
+			}
+		}
+		for _, v := range sel {
+			executed[v] = true
+		}
+		_ = step
+	}
+	return true
+}
+
+// ResponseTime computes T(a) for thread a under schedule s: the number of
+// steps from when a's first vertex became ready through the step in which
+// its last vertex executed, inclusive.
+func ResponseTime(g *dag.Graph, s *Schedule, a dag.ThreadID) (int, error) {
+	th := g.Thread(a)
+	if th == nil {
+		return 0, fmt.Errorf("schedsim: unknown thread %q", a)
+	}
+	first, ok := th.First()
+	if !ok {
+		return 0, fmt.Errorf("schedsim: thread %q has no vertices", a)
+	}
+	last, _ := th.Last()
+	readyStep := 1
+	for _, e := range g.Edges() {
+		if e.To == first && e.Kind.Strong() {
+			if rs := s.StepOf(e.From) + 1; rs > readyStep {
+				readyStep = rs
+			}
+		}
+	}
+	return s.StepOf(last) - readyStep + 1, nil
+}
+
+// BoundReport holds the quantities of Theorem 2.3 for one thread.
+type BoundReport struct {
+	Thread         dag.ThreadID
+	P              int
+	ResponseTime   int
+	CompetitorWork int     // W⊀ρ(↛↓a), inclusive of a's endpoints
+	ASpan          int     // Sa(↛↓a)
+	Bound          float64 // (W + (P−1)·S) / P
+	Holds          bool
+}
+
+func (r BoundReport) String() string {
+	return fmt.Sprintf("thread %s on P=%d: T=%d ≤ (W=%d + (P-1)*S=%d)/P = %.2f : %v",
+		r.Thread, r.P, r.ResponseTime, r.CompetitorWork, r.ASpan, r.Bound, r.Holds)
+}
+
+// VerifyBound checks Theorem 2.3 for thread a under schedule s on P cores.
+// The caller is responsible for ensuring s is prompt and admissible and g
+// well-formed; the theorem promises nothing otherwise.
+func VerifyBound(g *dag.Graph, s *Schedule, a dag.ThreadID, p int) (BoundReport, error) {
+	t, err := ResponseTime(g, s, a)
+	if err != nil {
+		return BoundReport{}, err
+	}
+	w, err := g.CompetitorWork(a, true)
+	if err != nil {
+		return BoundReport{}, err
+	}
+	span, err := g.BoundSpan(a)
+	if err != nil {
+		return BoundReport{}, err
+	}
+	bound := (float64(w) + float64(p-1)*float64(span)) / float64(p)
+	return BoundReport{
+		Thread:         a,
+		P:              p,
+		ResponseTime:   t,
+		CompetitorWork: w,
+		ASpan:          span,
+		Bound:          bound,
+		Holds:          float64(t) <= bound,
+	}, nil
+}
+
+// ExistsPromptAdmissible searches exhaustively for a prompt admissible
+// schedule of g on P cores. It explores every prompt tie-breaking and is
+// only suitable for small graphs; it returns an error for graphs with more
+// than 62 vertices.
+func ExistsPromptAdmissible(g *dag.Graph, p int) (bool, error) {
+	n := g.NumVertices()
+	if n > 62 {
+		return false, fmt.Errorf("schedsim: exhaustive search limited to 62 vertices, got %d", n)
+	}
+	if !g.Acyclic() {
+		return false, fmt.Errorf("schedsim: graph has a cycle")
+	}
+	strongParents := make([][]dag.VertexID, n)
+	var weaks []dag.Edge
+	for _, e := range g.Edges() {
+		if e.Kind.Strong() {
+			strongParents[e.To] = append(strongParents[e.To], e.From)
+		} else {
+			weaks = append(weaks, e)
+		}
+	}
+	ctx := prio.NewCtx(g.Order())
+	memo := make(map[uint64]bool)
+	full := uint64(1)<<uint(n) - 1
+
+	var search func(executed uint64) bool
+	search = func(executed uint64) bool {
+		if executed == full {
+			return true
+		}
+		if r, ok := memo[executed]; ok {
+			return r
+		}
+		var ready []dag.VertexID
+		for v := 0; v < n; v++ {
+			if executed&(1<<uint(v)) != 0 {
+				continue
+			}
+			ok := true
+			for _, q := range strongParents[v] {
+				if executed&(1<<uint(q)) == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				ready = append(ready, dag.VertexID(v))
+			}
+		}
+		found := false
+		for _, sel := range promptSelections(g, ctx, ready, p) {
+			// Admissibility pruning: a weak edge target may not execute
+			// unless its source executed in a strictly earlier step.
+			var mask uint64
+			for _, v := range sel {
+				mask |= 1 << uint(v)
+			}
+			ok := true
+			for _, w := range weaks {
+				if mask&(1<<uint(w.To)) != 0 && executed&(1<<uint(w.From)) == 0 {
+					ok = false
+					break
+				}
+			}
+			if ok && search(executed|mask) {
+				found = true
+				break
+			}
+		}
+		memo[executed] = found
+		return found
+	}
+	return search(0), nil
+}
+
+// promptSelections enumerates the distinct vertex sets a prompt scheduler
+// may assign in one step, given the ready set and P cores.
+func promptSelections(g *dag.Graph, ctx *prio.Ctx, ready []dag.VertexID, p int) [][]dag.VertexID {
+	seen := make(map[uint64]bool)
+	var out [][]dag.VertexID
+	var rec func(unassigned []dag.VertexID, chosen []dag.VertexID, mask uint64)
+	rec = func(unassigned []dag.VertexID, chosen []dag.VertexID, mask uint64) {
+		if len(chosen) == p || len(unassigned) == 0 {
+			if !seen[mask] {
+				seen[mask] = true
+				out = append(out, append([]dag.VertexID(nil), chosen...))
+			}
+			return
+		}
+		for i, u := range unassigned {
+			maximal := true
+			for j, v := range unassigned {
+				if i == j {
+					continue
+				}
+				pu, pv := g.PrioOf(u), g.PrioOf(v)
+				if pu != pv && ctx.Le(pu, pv) {
+					maximal = false
+					break
+				}
+			}
+			if !maximal {
+				continue
+			}
+			rest := make([]dag.VertexID, 0, len(unassigned)-1)
+			rest = append(rest, unassigned[:i]...)
+			rest = append(rest, unassigned[i+1:]...)
+			rec(rest, append(chosen, u), mask|1<<uint(u))
+		}
+	}
+	rec(ready, nil, 0)
+	return out
+}
+
+// NewSchedule builds a Schedule from explicit step assignments over a
+// graph with n vertices. The machine package uses this to expose an
+// execution of the operational semantics as a schedule of its cost graph
+// (Theorem 3.8 views an execution as a schedule of the resulting DAG).
+func NewSchedule(steps [][]dag.VertexID, n int) *Schedule {
+	s := &Schedule{Steps: steps, stepOf: make([]int, n)}
+	for i, sel := range steps {
+		for _, v := range sel {
+			s.stepOf[v] = i + 1
+		}
+	}
+	return s
+}

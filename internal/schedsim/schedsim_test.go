@@ -1,0 +1,475 @@
+package schedsim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/prio"
+)
+
+// figure1c builds the Figure 1(c) DAG (Section 2.2): main = [8, 9, 10],
+// f = [5, 5w], g = [3], create edges 8→f and 5→g, touch g→10, and the
+// weak edge 5w→9 recording main's read of the handle written by f.
+func figure1c(t *testing.T) (*dag.Graph, map[string]dag.VertexID) {
+	t.Helper()
+	o := prio.NewOrder()
+	p := o.Declare("p")
+	g := dag.New(o)
+	for _, th := range []dag.ThreadID{"main", "f", "g"} {
+		if err := g.AddThread(th, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vs := map[string]dag.VertexID{}
+	vs["8"] = g.MustAddVertex("main", "8")
+	vs["9"] = g.MustAddVertex("main", "9")
+	vs["10"] = g.MustAddVertex("main", "10")
+	vs["5"] = g.MustAddVertex("f", "5")
+	vs["5w"] = g.MustAddVertex("f", "5w")
+	vs["3"] = g.MustAddVertex("g", "3")
+	g.AddCreateEdge(vs["8"], "f")
+	g.AddCreateEdge(vs["5"], "g")
+	g.AddTouchEdge("g", vs["10"])
+	g.AddWeakEdge(vs["5w"], vs["9"])
+	return g, vs
+}
+
+// TestFigure1NoPromptAdmissibleOnTwoCores reproduces the Section 2.2
+// conclusion: DAG (c) has no prompt admissible schedule on two cores —
+// promptness forces 9 to run in the same step as 5/5w, violating the weak
+// edge — while one core admits one.
+func TestFigure1NoPromptAdmissibleOnTwoCores(t *testing.T) {
+	g, _ := figure1c(t)
+	ok2, err := ExistsPromptAdmissible(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok2 {
+		t.Error("Figure 1(c) should have NO prompt admissible schedule on 2 cores")
+	}
+	ok1, err := ExistsPromptAdmissible(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok1 {
+		t.Error("Figure 1(c) should have a prompt admissible schedule on 1 core")
+	}
+}
+
+// TestWeakVsStrongPromptSchedules reproduces the Section 2.2 argument for
+// why a weak edge cannot simply be a strong edge: with the weak edge
+// (5w, 9) replaced by a strong edge, a prompt admissible 2-core schedule
+// exists — but it forces the read at 9 to block on the write, which is
+// not the semantics of a read.
+func TestWeakVsStrongPromptSchedules(t *testing.T) {
+	o := prio.NewOrder()
+	p := o.Declare("p")
+	g := dag.New(o)
+	for _, th := range []dag.ThreadID{"main", "f", "g"} {
+		if err := g.AddThread(th, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v8 := g.MustAddVertex("main", "8")
+	v9 := g.MustAddVertex("main", "9")
+	v10 := g.MustAddVertex("main", "10")
+	v5 := g.MustAddVertex("f", "5")
+	v5w := g.MustAddVertex("f", "5w")
+	g.MustAddVertex("g", "3")
+	g.AddCreateEdge(v8, "f")
+	g.AddCreateEdge(v5, "g")
+	g.AddTouchEdge("g", v10)
+	// Strong stand-in for the weak edge: model it as a touch-like strong
+	// dependency. We approximate with a weak edge in a second graph below;
+	// here we add a fake one-vertex thread to carry a strong edge 5w→9.
+	if err := g.AddThread("dep", p); err != nil {
+		t.Fatal(err)
+	}
+	// A strong edge between arbitrary vertices is modeled via a touch
+	// edge of a synthetic thread created at 5w and touched at 9.
+	dv := g.MustAddVertex("dep", "d")
+	g.AddCreateEdge(v5w, "dep")
+	g.AddTouchEdge("dep", v9)
+	_ = dv
+
+	sched, err := Run(g, Options{P: 2, Prompt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !IsPrompt(g, sched, 2) {
+		t.Error("schedule should be prompt")
+	}
+	// With the strong edge, 9 waits for 5w: the blocked read. The
+	// schedule is trivially admissible (no weak edges).
+	if !Admissible(g, sched) {
+		t.Error("strong-edge variant should be admissible")
+	}
+	if sched.StepOf(v9) <= sched.StepOf(v5w) {
+		t.Error("strong edge must force the read after the write")
+	}
+}
+
+func TestRunBasicChain(t *testing.T) {
+	o := prio.NewOrder()
+	p := o.Declare("p")
+	g := dag.New(o)
+	if err := g.AddThread("a", p); err != nil {
+		t.Fatal(err)
+	}
+	var last dag.VertexID
+	for i := 0; i < 5; i++ {
+		last = g.MustAddVertex("a", "")
+	}
+	sched, err := Run(g, Options{P: 4, Prompt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Len() != 5 {
+		t.Errorf("chain of 5 on 4 cores should take 5 steps, got %d", sched.Len())
+	}
+	if sched.StepOf(last) != 5 {
+		t.Errorf("last vertex at step %d, want 5", sched.StepOf(last))
+	}
+	rt, err := ResponseTime(g, sched, "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != 5 {
+		t.Errorf("response time = %d, want 5", rt)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	o := prio.NewOrder()
+	p := o.Declare("p")
+	g := dag.New(o)
+	if err := g.AddThread("a", p); err != nil {
+		t.Fatal(err)
+	}
+	g.MustAddVertex("a", "")
+	if _, err := Run(g, Options{P: 0, Prompt: true}); err == nil {
+		t.Error("P=0 should error")
+	}
+	if _, err := ResponseTime(g, &Schedule{stepOf: make([]int, 1)}, "nope"); err == nil {
+		t.Error("unknown thread should error")
+	}
+}
+
+// TestPromptPrefersHighPriority checks that a prompt schedule runs all
+// high-priority work before low-priority work when both are ready.
+func TestPromptPrefersHighPriority(t *testing.T) {
+	o := prio.NewTotalOrder("low", "high")
+	g := dag.New(o)
+	if err := g.AddThread("hi", prio.Const("high")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddThread("lo", prio.Const("low")); err != nil {
+		t.Fatal(err)
+	}
+	var hiVerts, loVerts []dag.VertexID
+	for i := 0; i < 6; i++ {
+		hiVerts = append(hiVerts, g.MustAddVertex("hi", ""))
+		loVerts = append(loVerts, g.MustAddVertex("lo", ""))
+	}
+	sched, err := Run(g, Options{P: 1, Prompt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hv := range hiVerts {
+		for _, lv := range loVerts {
+			if sched.StepOf(hv) > sched.StepOf(lv) {
+				t.Fatalf("prompt schedule ran low vertex %d before high vertex %d", lv, hv)
+			}
+		}
+	}
+	if !IsPrompt(g, sched, 1) {
+		t.Error("schedule should satisfy IsPrompt")
+	}
+	// The oblivious scheduler interleaves (tie-break by vertex ID).
+	obl, err := Run(g, Options{P: 1, Prompt: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if IsPrompt(g, obl, 1) {
+		t.Error("oblivious schedule of mixed priorities should not be prompt")
+	}
+	rtPrompt, _ := ResponseTime(g, sched, "hi")
+	rtObl, _ := ResponseTime(g, obl, "hi")
+	if rtPrompt >= rtObl {
+		t.Errorf("prompt response %d should beat oblivious %d", rtPrompt, rtObl)
+	}
+}
+
+// progGen generates random strongly well-formed, program-like graphs: a
+// root thread spawns children (any priority), touches only its own
+// children with priority ⪰ its own, and communicates through cells that
+// induce weak edges aligned with existing strong order (so the
+// weak-preferring prompt schedule is admissible).
+type progGen struct {
+	rng    *rand.Rand
+	g      *dag.Graph
+	prios  []prio.Prio
+	ctx    *prio.Ctx
+	nextID int
+}
+
+type cell struct{ writer dag.VertexID }
+
+func (pg *progGen) freshThread(p prio.Prio) dag.ThreadID {
+	id := dag.ThreadID(rune('A' + pg.nextID))
+	pg.nextID++
+	if err := pg.g.AddThread(id, p); err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// emit generates a thread body with the given budget, returning its last
+// vertex. cells collect writes available for later weak edges.
+func (pg *progGen) emit(id dag.ThreadID, budget int, cells *[]cell) {
+	myPrio := pg.g.Thread(id).Prio
+	type child struct {
+		id      dag.ThreadID
+		touched bool
+	}
+	var children []child
+	n := 1 + pg.rng.Intn(budget)
+	for i := 0; i < n; i++ {
+		v := pg.g.MustAddVertex(id, "")
+		switch pg.rng.Intn(5) {
+		case 0: // fcreate a child with random priority
+			if pg.nextID < 10 && budget > 1 {
+				cp := pg.prios[pg.rng.Intn(len(pg.prios))]
+				cid := pg.freshThread(cp)
+				pg.g.AddCreateEdge(v, cid)
+				pg.emit(cid, budget/2, cells)
+				children = append(children, child{id: cid})
+			}
+		case 1: // write to a fresh cell
+			*cells = append(*cells, cell{writer: v})
+		case 2: // read: weak edge from a prior write that precedes v
+			for _, c := range *cells {
+				if pg.g.DescendantsOf(c.writer).Any(v) && c.writer != v {
+					pg.g.AddWeakEdge(c.writer, v)
+					break
+				}
+			}
+		case 3: // touch a child with priority ⪰ mine
+			for i := range children {
+				if children[i].touched {
+					continue
+				}
+				cp := pg.g.Thread(children[i].id).Prio
+				if pg.ctx.Le(myPrio, cp) {
+					pg.g.AddTouchEdge(children[i].id, v)
+					children[i].touched = true
+					break
+				}
+			}
+		default: // plain work
+		}
+	}
+}
+
+func generateProgram(seed int64) *dag.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	order := prio.NewTotalOrder("p1", "p2", "p3")
+	pg := &progGen{
+		rng:   rng,
+		g:     dag.New(order),
+		prios: []prio.Prio{prio.Const("p1"), prio.Const("p2"), prio.Const("p3")},
+		ctx:   prio.NewCtx(order),
+	}
+	root := pg.freshThread(pg.prios[rng.Intn(3)])
+	var cells []cell
+	pg.emit(root, 8, &cells)
+	return pg.g
+}
+
+// Property (Theorem 2.3): on randomly generated program-like graphs,
+// admissible prompt schedules satisfy the response-time bound for every
+// thread.
+func TestQuickTheorem23(t *testing.T) {
+	verified := 0
+	check := func(seed int64) bool {
+		g := generateProgram(seed)
+		if err := g.WellFormed(); err != nil {
+			return true // theorem only speaks about well-formed graphs
+		}
+		for _, p := range []int{1, 2, 4} {
+			sched, err := Run(g, Options{P: p, Prompt: true, PreferWeakSources: true})
+			if err != nil {
+				t.Logf("seed %d: %v", seed, err)
+				return false
+			}
+			if !Admissible(g, sched) {
+				continue // bound promised only for admissible schedules
+			}
+			for _, id := range g.Threads() {
+				if _, ok := g.Thread(id).First(); !ok {
+					continue
+				}
+				rep, err := VerifyBound(g, sched, id, p)
+				if err != nil {
+					t.Logf("seed %d: %v", seed, err)
+					return false
+				}
+				if !rep.Holds {
+					t.Logf("seed %d P=%d: bound violated: %s", seed, p, rep)
+					return false
+				}
+				verified++
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+	if verified == 0 {
+		t.Error("no bound instances were verified; generator is broken")
+	}
+	t.Logf("verified %d bound instances", verified)
+}
+
+// Property: prompt schedules produced by Run are recognized by IsPrompt,
+// and every vertex gets executed exactly once.
+func TestQuickRunProducesPromptSchedules(t *testing.T) {
+	check := func(seed int64) bool {
+		g := generateProgram(seed)
+		for _, p := range []int{1, 3} {
+			sched, err := Run(g, Options{P: p, Prompt: true})
+			if err != nil {
+				return false
+			}
+			if !IsPrompt(g, sched, p) {
+				return false
+			}
+			seen := map[dag.VertexID]bool{}
+			for _, step := range sched.Steps {
+				if len(step) > p {
+					return false
+				}
+				for _, v := range step {
+					if seen[v] {
+						return false
+					}
+					seen[v] = true
+				}
+			}
+			if len(seen) != g.NumVertices() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestObliviousCanViolateBound is the promptness ablation: a priority-
+// oblivious scheduler can starve a high-priority thread beyond its
+// Theorem 2.3 bound.
+func TestObliviousCanViolateBound(t *testing.T) {
+	o := prio.NewTotalOrder("low", "high")
+	g := dag.New(o)
+	if err := g.AddThread("lo", prio.Const("low")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddThread("hi", prio.Const("high")); err != nil {
+		t.Fatal(err)
+	}
+	// Low thread: a wide bag of 40 independent-ish vertices (a chain per
+	// step is fine; vertex IDs below the high thread's so the oblivious
+	// tie-break prefers them).
+	for i := 0; i < 40; i++ {
+		g.MustAddVertex("lo", "")
+	}
+	for i := 0; i < 3; i++ {
+		g.MustAddVertex("hi", "")
+	}
+	obl, err := Run(g, Options{P: 1, Prompt: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := VerifyBound(g, obl, "hi", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Holds {
+		t.Errorf("expected oblivious schedule to violate the bound: %s", rep)
+	}
+	// The prompt schedule satisfies it.
+	pr, err := Run(g, Options{P: 1, Prompt: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := VerifyBound(g, pr, "hi", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Holds {
+		t.Errorf("prompt schedule should satisfy the bound: %s", rep2)
+	}
+}
+
+func TestSequentialChainBoundTight(t *testing.T) {
+	// A low thread forking and touching a high child: the bound holds
+	// with equality on one core and on two cores (the case that exposed
+	// the endpoint accounting described in BoundSpan).
+	o := prio.NewTotalOrder("low", "high")
+	g := dag.New(o)
+	if err := g.AddThread("a", prio.Const("low")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddThread("b", prio.Const("high")); err != nil {
+		t.Fatal(err)
+	}
+	s := g.MustAddVertex("a", "s")
+	u0 := g.MustAddVertex("a", "u0")
+	touch := g.MustAddVertex("a", "touch")
+	g.MustAddVertex("a", "t")
+	for i := 0; i < 10; i++ {
+		g.MustAddVertex("b", "")
+	}
+	g.AddCreateEdge(u0, "b")
+	g.AddTouchEdge("b", touch)
+	_ = s
+	if err := g.WellFormed(); err != nil {
+		t.Fatalf("fork-join graph must be well-formed: %v", err)
+	}
+	if err := g.StronglyWellFormed(); err != nil {
+		t.Fatalf("fork-join graph must be strongly well-formed: %v", err)
+	}
+	for _, p := range []int{1, 2, 4} {
+		sched, err := Run(g, Options{P: p, Prompt: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := VerifyBound(g, sched, "a", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Holds {
+			t.Errorf("P=%d: %s", p, rep)
+		}
+	}
+}
+
+func TestExistsPromptAdmissibleLimits(t *testing.T) {
+	o := prio.NewOrder()
+	p := o.Declare("p")
+	g := dag.New(o)
+	if err := g.AddThread("a", p); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 63; i++ {
+		g.MustAddVertex("a", "")
+	}
+	if _, err := ExistsPromptAdmissible(g, 2); err == nil {
+		t.Error("expected size-limit error for 63 vertices")
+	}
+}

@@ -1,0 +1,95 @@
+package simio
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/icilk"
+)
+
+func TestLatencySample(t *testing.T) {
+	d := NewDevice("disk", Latency{Base: time.Millisecond, Jitter: time.Millisecond}, 1)
+	for i := 0; i < 100; i++ {
+		d.mu.Lock()
+		s := d.lat.Sample(d.rng)
+		d.mu.Unlock()
+		if s < time.Millisecond || s >= 2*time.Millisecond {
+			t.Fatalf("sample %v outside [1ms, 2ms)", s)
+		}
+	}
+	if d.Name() != "disk" {
+		t.Errorf("Name = %q", d.Name())
+	}
+}
+
+func TestReadCompletesWithData(t *testing.T) {
+	rt := icilk.New(icilk.Config{Workers: 2, Levels: 1})
+	defer rt.Shutdown()
+	dev := NewDevice("net", Latency{Base: 2 * time.Millisecond}, 7)
+	start := time.Now()
+	fut := Read(rt, dev, 0, func() string { return "payload" })
+	v, err := icilk.Await(fut, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != "payload" {
+		t.Errorf("value = %q", v)
+	}
+	if time.Since(start) < 2*time.Millisecond {
+		t.Error("read completed before the simulated latency elapsed")
+	}
+}
+
+func TestWriteCompletes(t *testing.T) {
+	rt := icilk.New(icilk.Config{Workers: 1, Levels: 1})
+	defer rt.Shutdown()
+	dev := NewDevice("disk", Latency{Base: time.Millisecond}, 3)
+	fut := Write(rt, dev, 0)
+	ok, err := icilk.Await(fut, time.Second)
+	if err != nil || !ok {
+		t.Fatalf("write: %v %v", ok, err)
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	p := NewPoisson(10*time.Millisecond, 42)
+	var sum time.Duration
+	n := 5000
+	for i := 0; i < n; i++ {
+		sum += p.Next()
+	}
+	mean := float64(sum) / float64(n)
+	want := float64(10 * time.Millisecond)
+	if math.Abs(mean-want)/want > 0.1 {
+		t.Errorf("empirical mean %v deviates >10%% from %v",
+			time.Duration(mean), time.Duration(want))
+	}
+}
+
+func TestPoissonRun(t *testing.T) {
+	p := NewPoisson(500*time.Microsecond, 9)
+	stop := make(chan struct{})
+	time.AfterFunc(20*time.Millisecond, func() { close(stop) })
+	count := 0
+	n := p.Run(stop, func(i int) {
+		if i != count {
+			t.Errorf("event index %d, want %d", i, count)
+		}
+		count++
+	})
+	if n != count {
+		t.Errorf("Run returned %d, delivered %d", n, count)
+	}
+	if count == 0 {
+		t.Error("expected some events in 20ms at 500µs mean")
+	}
+}
+
+func TestClock(t *testing.T) {
+	c := StartClock()
+	time.Sleep(time.Millisecond)
+	if c.Elapsed() < time.Millisecond {
+		t.Error("clock ran backwards")
+	}
+}

@@ -1,0 +1,77 @@
+// Package stats provides the summary statistics the paper's evaluation
+// reports: averages and tail percentiles of response and compute times
+// (Section 5.2 reports means and 95th percentiles).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary describes a sample of durations.
+type Summary struct {
+	Count int
+	Mean  time.Duration
+	P50   time.Duration
+	P95   time.Duration
+	P99   time.Duration
+	Max   time.Duration
+}
+
+// Summarize computes a Summary. A nil or empty sample yields zeros.
+func Summarize(sample []time.Duration) Summary {
+	if len(sample) == 0 {
+		return Summary{}
+	}
+	sorted := make([]time.Duration, len(sample))
+	copy(sorted, sample)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	return Summary{
+		Count: len(sorted),
+		Mean:  sum / time.Duration(len(sorted)),
+		P50:   Percentile(sorted, 50),
+		P95:   Percentile(sorted, 95),
+		P99:   Percentile(sorted, 99),
+		Max:   sorted[len(sorted)-1],
+	}
+}
+
+// Percentile returns the p-th percentile (nearest-rank) of an already
+// sorted sample.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// Ratio returns a/b as a float, guarding against zero denominators.
+func Ratio(a, b time.Duration) float64 {
+	if b == 0 {
+		return math.Inf(1)
+	}
+	return float64(a) / float64(b)
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%v p50=%v p95=%v p99=%v max=%v",
+		s.Count, s.Mean.Round(time.Microsecond), s.P50.Round(time.Microsecond),
+		s.P95.Round(time.Microsecond), s.P99.Round(time.Microsecond),
+		s.Max.Round(time.Microsecond))
+}

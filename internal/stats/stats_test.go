@@ -1,0 +1,98 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if s.Count != 10 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if s.Mean != 5 { // (1+...+10)/10 = 5.5 truncated to 5ns
+		t.Errorf("Mean = %v", s.Mean)
+	}
+	if s.P50 != 5 {
+		t.Errorf("P50 = %v", s.P50)
+	}
+	if s.P95 != 10 {
+		t.Errorf("P95 = %v", s.P95)
+	}
+	if s.Max != 10 {
+		t.Errorf("Max = %v", s.Max)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.Count != 0 || s.Mean != 0 || s.P95 != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestPercentileEdges(t *testing.T) {
+	sorted := []time.Duration{10, 20, 30}
+	if Percentile(sorted, 0) != 10 {
+		t.Error("p0 should be min")
+	}
+	if Percentile(sorted, 100) != 30 {
+		t.Error("p100 should be max")
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if Ratio(10, 5) != 2 {
+		t.Error("Ratio(10,5) != 2")
+	}
+	if !math.IsInf(Ratio(1, 0), 1) {
+		t.Error("Ratio(x,0) should be +Inf")
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	in := []time.Duration{5, 1, 3}
+	Summarize(in)
+	if in[0] != 5 || in[1] != 1 || in[2] != 3 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+// Property: percentiles are monotone in p and bounded by min/max.
+func TestQuickPercentileMonotone(t *testing.T) {
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		sample := make([]time.Duration, n)
+		for i := range sample {
+			sample[i] = time.Duration(rng.Intn(1000))
+		}
+		sort.Slice(sample, func(i, j int) bool { return sample[i] < sample[j] })
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := Percentile(sample, p)
+			if v < prev || v < sample[0] || v > sample[n-1] {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringForm(t *testing.T) {
+	s := Summarize([]time.Duration{time.Millisecond})
+	if got := s.String(); got == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,523 @@
+// Package types implements the λ4i type system of Muller et al. (PLDI
+// 2020), Figures 5 (expression typing), 6 (command typing) and 7
+// (constraint entailment). The judgment forms are
+//
+//	Γ ⊢RΣ e : τ        (expressions)
+//	Γ ⊢RΣ m ∼: τ @ ρ   (commands, at priority ρ)
+//
+// The Checker also supports a "no-priority" mode that skips the
+// priority-inversion checks (Touch's ρ ⪯ ρ′ premise and ∀-elimination's
+// constraint entailment); the Table 1 experiment compares checking cost
+// with and without them.
+package types
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/prio"
+)
+
+// SigEntry is one entry of a signature Σ: either a memory location s∼τ or
+// a thread a∼τ@ρ.
+type SigEntry struct {
+	Loc bool
+	T   ast.Type
+	P   prio.Prio // thread priority; unused for locations
+}
+
+// Signature is Σ: types for memory locations and running threads.
+type Signature map[string]SigEntry
+
+// Clone returns a copy of the signature.
+func (s Signature) Clone() Signature {
+	out := make(Signature, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Merge returns the signature extended with all entries of other
+// (entries of other win on collision, matching Σ,Σ′ concatenation).
+func (s Signature) Merge(other Signature) Signature {
+	out := s.Clone()
+	for k, v := range other {
+		out[k] = v
+	}
+	return out
+}
+
+// Env is the typing context Γ: expression variables plus the priority
+// fragment (priority variables and assumed constraints). Env values are
+// persistent: extension returns a new Env.
+type Env struct {
+	vars map[string]ast.Type
+	pctx *prio.Ctx
+}
+
+// NewEnv returns an empty context over the given priority order.
+func NewEnv(order *prio.Order) *Env {
+	return &Env{vars: map[string]ast.Type{}, pctx: prio.NewCtx(order)}
+}
+
+// WithVar returns Γ, x:τ.
+func (g *Env) WithVar(x string, t ast.Type) *Env {
+	vars := make(map[string]ast.Type, len(g.vars)+1)
+	for k, v := range g.vars {
+		vars[k] = v
+	}
+	vars[x] = t
+	return &Env{vars: vars, pctx: g.pctx}
+}
+
+// WithPrioVar returns Γ, π prio, C.
+func (g *Env) WithPrioVar(pi string, c prio.Constraints) *Env {
+	return &Env{vars: g.vars, pctx: g.pctx.WithVar(pi).WithConstraints(c...)}
+}
+
+// Lookup returns the type of x in Γ.
+func (g *Env) Lookup(x string) (ast.Type, bool) {
+	t, ok := g.vars[x]
+	return t, ok
+}
+
+// PrioCtx exposes the priority fragment of Γ.
+func (g *Env) PrioCtx() *prio.Ctx { return g.pctx }
+
+// Error is a type error with the offending term.
+type Error struct {
+	Term string
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("type error in %s: %s", e.Term, e.Msg) }
+
+func errf(term fmt.Stringer, format string, args ...any) error {
+	return &Error{Term: term.String(), Msg: fmt.Sprintf(format, args...)}
+}
+
+// Checker checks λ4i programs against a priority order R.
+type Checker struct {
+	Order *prio.Order
+	// CheckPriorities enables the priority-inversion checks. When false,
+	// the checker still verifies all structural typing but skips the
+	// Touch rule's ρ ⪯ ρ′ premise and ∀E's constraint entailment — the
+	// "without priorities" configuration of Table 1.
+	CheckPriorities bool
+}
+
+// New returns a Checker with priority checking enabled.
+func New(order *prio.Order) *Checker {
+	return &Checker{Order: order, CheckPriorities: true}
+}
+
+// validPrio checks that a priority is well-formed under Γ.
+func (c *Checker) validPrio(g *Env, p prio.Prio, at fmt.Stringer) error {
+	if !g.pctx.WellFormed(p) {
+		return errf(at, "priority %s is not declared", p)
+	}
+	return nil
+}
+
+// validType checks that every priority mentioned in τ is well-formed.
+func (c *Checker) validType(g *Env, t ast.Type, at fmt.Stringer) error {
+	switch t := t.(type) {
+	case ast.UnitT, ast.NatT:
+		return nil
+	case ast.ArrowT:
+		if err := c.validType(g, t.From, at); err != nil {
+			return err
+		}
+		return c.validType(g, t.To, at)
+	case ast.ProdT:
+		if err := c.validType(g, t.L, at); err != nil {
+			return err
+		}
+		return c.validType(g, t.R, at)
+	case ast.SumT:
+		if err := c.validType(g, t.L, at); err != nil {
+			return err
+		}
+		return c.validType(g, t.R, at)
+	case ast.RefT:
+		return c.validType(g, t.T, at)
+	case ast.ThreadT:
+		if err := c.validPrio(g, t.P, at); err != nil {
+			return err
+		}
+		return c.validType(g, t.T, at)
+	case ast.CmdT:
+		if err := c.validPrio(g, t.P, at); err != nil {
+			return err
+		}
+		return c.validType(g, t.T, at)
+	case ast.ForallT:
+		g2 := g.WithPrioVar(t.Pi, nil)
+		return c.validType(g2, t.T, at)
+	}
+	return errf(at, "unknown type %T", t)
+}
+
+// Expr checks Γ ⊢RΣ e : τ and returns τ.
+func (c *Checker) Expr(g *Env, sig Signature, e ast.Expr) (ast.Type, error) {
+	switch e := e.(type) {
+	case ast.Var:
+		t, ok := g.Lookup(e.Name)
+		if !ok {
+			return nil, errf(e, "unbound variable %s", e.Name)
+		}
+		return t, nil
+
+	case ast.Unit:
+		return ast.UnitT{}, nil
+
+	case ast.Nat:
+		return ast.NatT{}, nil
+
+	case ast.Tid: // rule Tid
+		ent, ok := sig[e.Thread]
+		if !ok || ent.Loc {
+			return nil, errf(e, "thread %s not in signature", e.Thread)
+		}
+		return ast.ThreadT{T: ent.T, P: ent.P}, nil
+
+	case ast.Ref: // rule Ref
+		ent, ok := sig[e.Loc]
+		if !ok || !ent.Loc {
+			return nil, errf(e, "location %s not in signature", e.Loc)
+		}
+		return ast.RefT{T: ent.T}, nil
+
+	case ast.Lam: // rule →I
+		if e.T == nil {
+			return nil, errf(e, "lambda parameter %s needs a type annotation", e.X)
+		}
+		if err := c.validType(g, e.T, e); err != nil {
+			return nil, err
+		}
+		body, err := c.Expr(g.WithVar(e.X, e.T), sig, e.Body)
+		if err != nil {
+			return nil, err
+		}
+		return ast.ArrowT{From: e.T, To: body}, nil
+
+	case ast.App: // rule →E
+		ft, err := c.Expr(g, sig, e.F)
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := ft.(ast.ArrowT)
+		if !ok {
+			return nil, errf(e, "application of non-function type %s", ft)
+		}
+		at, err := c.Expr(g, sig, e.A)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.TypeEqual(arr.From, at) {
+			return nil, errf(e, "argument type %s does not match parameter type %s", at, arr.From)
+		}
+		return arr.To, nil
+
+	case ast.Pair: // rule ×I
+		lt, err := c.Expr(g, sig, e.L)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.Expr(g, sig, e.R)
+		if err != nil {
+			return nil, err
+		}
+		return ast.ProdT{L: lt, R: rt}, nil
+
+	case ast.Fst: // rule ×E1
+		t, err := c.Expr(g, sig, e.V)
+		if err != nil {
+			return nil, err
+		}
+		p, ok := t.(ast.ProdT)
+		if !ok {
+			return nil, errf(e, "fst of non-product type %s", t)
+		}
+		return p.L, nil
+
+	case ast.Snd: // rule ×E2
+		t, err := c.Expr(g, sig, e.V)
+		if err != nil {
+			return nil, err
+		}
+		p, ok := t.(ast.ProdT)
+		if !ok {
+			return nil, errf(e, "snd of non-product type %s", t)
+		}
+		return p.R, nil
+
+	case ast.Inl: // rule +I1
+		if e.T == nil {
+			return nil, errf(e, "inl needs a sum type annotation")
+		}
+		st, ok := e.T.(ast.SumT)
+		if !ok {
+			return nil, errf(e, "inl annotation %s is not a sum type", e.T)
+		}
+		if err := c.validType(g, st, e); err != nil {
+			return nil, err
+		}
+		vt, err := c.Expr(g, sig, e.V)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.TypeEqual(vt, st.L) {
+			return nil, errf(e, "inl payload type %s does not match %s", vt, st.L)
+		}
+		return st, nil
+
+	case ast.Inr: // rule +I2
+		if e.T == nil {
+			return nil, errf(e, "inr needs a sum type annotation")
+		}
+		st, ok := e.T.(ast.SumT)
+		if !ok {
+			return nil, errf(e, "inr annotation %s is not a sum type", e.T)
+		}
+		if err := c.validType(g, st, e); err != nil {
+			return nil, err
+		}
+		vt, err := c.Expr(g, sig, e.V)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.TypeEqual(vt, st.R) {
+			return nil, errf(e, "inr payload type %s does not match %s", vt, st.R)
+		}
+		return st, nil
+
+	case ast.Case: // rule +E
+		vt, err := c.Expr(g, sig, e.V)
+		if err != nil {
+			return nil, err
+		}
+		st, ok := vt.(ast.SumT)
+		if !ok {
+			return nil, errf(e, "case of non-sum type %s", vt)
+		}
+		lt, err := c.Expr(g.WithVar(e.X, st.L), sig, e.L)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := c.Expr(g.WithVar(e.Y, st.R), sig, e.R)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.TypeEqual(lt, rt) {
+			return nil, errf(e, "case branches disagree: %s vs %s", lt, rt)
+		}
+		return lt, nil
+
+	case ast.Ifz: // rule natE
+		vt, err := c.Expr(g, sig, e.V)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := vt.(ast.NatT); !ok {
+			return nil, errf(e, "ifz scrutinee has type %s, want nat", vt)
+		}
+		zt, err := c.Expr(g, sig, e.Zero)
+		if err != nil {
+			return nil, err
+		}
+		st, err := c.Expr(g.WithVar(e.X, ast.NatT{}), sig, e.Succ)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.TypeEqual(zt, st) {
+			return nil, errf(e, "ifz branches disagree: %s vs %s", zt, st)
+		}
+		return zt, nil
+
+	case ast.Let: // rule let
+		t1, err := c.Expr(g, sig, e.E1)
+		if err != nil {
+			return nil, err
+		}
+		return c.Expr(g.WithVar(e.X, t1), sig, e.E2)
+
+	case ast.Fix: // rule fix
+		if err := c.validType(g, e.T, e); err != nil {
+			return nil, err
+		}
+		bt, err := c.Expr(g.WithVar(e.X, e.T), sig, e.E)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.TypeEqual(bt, e.T) {
+			return nil, errf(e, "fix body has type %s, want %s", bt, e.T)
+		}
+		return e.T, nil
+
+	case ast.CmdVal: // rule cmdI
+		if err := c.validPrio(g, e.P, e); err != nil {
+			return nil, err
+		}
+		t, err := c.Cmd(g, sig, e.M, e.P)
+		if err != nil {
+			return nil, err
+		}
+		return ast.CmdT{T: t, P: e.P}, nil
+
+	case ast.PLam: // rule ∀I
+		g2 := g.WithPrioVar(e.Pi, e.C)
+		t, err := c.Expr(g2, sig, e.Body)
+		if err != nil {
+			return nil, err
+		}
+		return ast.ForallT{Pi: e.Pi, C: e.C, T: t}, nil
+
+	case ast.PApp: // rule ∀E
+		vt, err := c.Expr(g, sig, e.V)
+		if err != nil {
+			return nil, err
+		}
+		ft, ok := vt.(ast.ForallT)
+		if !ok {
+			return nil, errf(e, "priority application of non-forall type %s", vt)
+		}
+		if err := c.validPrio(g, e.P, e); err != nil {
+			return nil, err
+		}
+		pi := prio.Var(ft.Pi)
+		if c.CheckPriorities {
+			inst := ft.C.Subst(e.P, pi)
+			if !g.pctx.Entails(inst) {
+				return nil, errf(e, "priority %s does not satisfy constraints %s", e.P, inst)
+			}
+		}
+		return ast.SubstPrioType(e.P, pi, ft.T), nil
+	}
+	return nil, errf(e, "unknown expression form %T", e)
+}
+
+// Cmd checks Γ ⊢RΣ m ∼: τ @ ρ and returns τ.
+func (c *Checker) Cmd(g *Env, sig Signature, m ast.Cmd, at prio.Prio) (ast.Type, error) {
+	switch m := m.(type) {
+	case ast.Ret: // rule Ret
+		return c.Expr(g, sig, m.E)
+
+	case ast.Bind: // rule Bind
+		et, err := c.Expr(g, sig, m.E)
+		if err != nil {
+			return nil, err
+		}
+		ct, ok := et.(ast.CmdT)
+		if !ok {
+			return nil, errf(m, "bind of non-command type %s", et)
+		}
+		if ct.P != at {
+			return nil, errf(m, "bind of command at priority %s inside priority %s", ct.P, at)
+		}
+		return c.Cmd(g.WithVar(m.X, ct.T), sig, m.M, at)
+
+	case ast.Fcreate: // rule Create
+		if err := c.validPrio(g, m.P, m); err != nil {
+			return nil, err
+		}
+		if err := c.validType(g, m.T, m); err != nil {
+			return nil, err
+		}
+		bt, err := c.Cmd(g, sig, m.M, m.P)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.TypeEqual(bt, m.T) {
+			return nil, errf(m, "fcreate body has type %s, want %s", bt, m.T)
+		}
+		return ast.ThreadT{T: m.T, P: m.P}, nil
+
+	case ast.Ftouch: // rule Touch — the priority-inversion check
+		et, err := c.Expr(g, sig, m.E)
+		if err != nil {
+			return nil, err
+		}
+		tt, ok := et.(ast.ThreadT)
+		if !ok {
+			return nil, errf(m, "ftouch of non-thread type %s", et)
+		}
+		if c.CheckPriorities && !g.pctx.Le(at, tt.P) {
+			return nil, errf(m,
+				"priority inversion: ftouch of thread at priority %s from priority %s (need %s ⪯ %s)",
+				tt.P, at, at, tt.P)
+		}
+		return tt.T, nil
+
+	case ast.Dcl: // rule Dcl
+		if err := c.validType(g, m.T, m); err != nil {
+			return nil, err
+		}
+		et, err := c.Expr(g, sig, m.E)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.TypeEqual(et, m.T) {
+			return nil, errf(m, "dcl initializer has type %s, want %s", et, m.T)
+		}
+		sig2 := sig.Clone()
+		sig2[m.S] = SigEntry{Loc: true, T: m.T}
+		return c.Cmd(g, sig2, m.M, at)
+
+	case ast.Get: // rule Get
+		et, err := c.Expr(g, sig, m.E)
+		if err != nil {
+			return nil, err
+		}
+		rt, ok := et.(ast.RefT)
+		if !ok {
+			return nil, errf(m, "dereference of non-reference type %s", et)
+		}
+		return rt.T, nil
+
+	case ast.Set: // rule Set
+		lt, err := c.Expr(g, sig, m.L)
+		if err != nil {
+			return nil, err
+		}
+		rt, ok := lt.(ast.RefT)
+		if !ok {
+			return nil, errf(m, "assignment to non-reference type %s", lt)
+		}
+		vt, err := c.Expr(g, sig, m.R)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.TypeEqual(vt, rt.T) {
+			return nil, errf(m, "assignment of %s to %s reference", vt, rt.T)
+		}
+		return rt.T, nil
+
+	case ast.CAS: // Section 3.3 extension
+		refT, err := c.Expr(g, sig, m.Ref)
+		if err != nil {
+			return nil, err
+		}
+		rt, ok := refT.(ast.RefT)
+		if !ok {
+			return nil, errf(m, "cas on non-reference type %s", refT)
+		}
+		oldT, err := c.Expr(g, sig, m.Old)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.TypeEqual(oldT, rt.T) {
+			return nil, errf(m, "cas expected-value type %s does not match %s", oldT, rt.T)
+		}
+		newT, err := c.Expr(g, sig, m.New)
+		if err != nil {
+			return nil, err
+		}
+		if !ast.TypeEqual(newT, rt.T) {
+			return nil, errf(m, "cas new-value type %s does not match %s", newT, rt.T)
+		}
+		return ast.NatT{}, nil
+	}
+	return nil, errf(m, "unknown command form %T", m)
+}
