@@ -5,6 +5,7 @@
 //	icilk-bench -experiment fig14      # Figure 14: compute-time ratios
 //	icilk-bench -experiment jserver    # Figure 14, jserver panel
 //	icilk-bench -experiment ablations  # quantum / γ / threshold sweeps
+//	icilk-bench -experiment sched      # scheduler suspend/resume counters
 //	icilk-bench -experiment all
 //
 // Ratios are baseline (Cilk-F) time over I-Cilk time: higher means the
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "table1, fig13, fig14, jserver, ablations, or all")
+		exp      = flag.String("experiment", "all", "table1, fig13, fig14, jserver, ablations, sched, or all")
 		workers  = flag.Int("workers", 4, "virtual cores P")
 		duration = flag.Duration("duration", 400*time.Millisecond, "request window per data point")
 		conns    = flag.String("connections", "90,120,150,180", "comma-separated client counts")
@@ -60,6 +61,7 @@ func main() {
 	run("fig14", func() { fig14(cfg) })
 	run("jserver", func() { fig14JServer(cfg) })
 	run("ablations", func() { ablations(cfg) })
+	run("sched", func() { sched(cfg) })
 }
 
 func table1(iters int) {
@@ -125,6 +127,25 @@ func printFig14(rows []experiments.Fig14Row) {
 				comp.Baseline.Mean.Round(time.Microsecond),
 				comp.RatioAvg, comp.RatioP95)
 		}
+	}
+	fmt.Println()
+}
+
+func sched(cfg experiments.EvalConfig) {
+	fmt.Println("=== Scheduler event counters (event-driven core observables) ===")
+	pts := experiments.SchedCounters(cfg)
+	fmt.Printf("%-8s %-9s %9s %9s %9s %9s %9s %9s %9s %9s\n",
+		"app", "mode", "spawns", "inline", "promote", "parks", "resumes", "helps", "steals", "wakes")
+	for _, pt := range pts {
+		mode := "icilk"
+		if !pt.Prioritize {
+			mode = "baseline"
+		}
+		s := pt.Stats
+		fmt.Printf("%-8s %-9s %9d %9d %9d %9d %9d %9d %9d %9d\n",
+			pt.App, mode, s.Spawns, s.InlineRuns, s.Promotions, s.Parks,
+			s.Resumes, s.Helps, s.Steals, s.Wakes)
+		fmt.Printf("         event-loop response: %s\n", pt.Response)
 	}
 	fmt.Println()
 }

@@ -208,33 +208,41 @@ func Fig13(cfg EvalConfig) []Fig13Row {
 	return rows
 }
 
-// runAppResponses runs one app once and summarizes event-loop responses.
-func runAppResponses(app string, cfg EvalConfig, conns int, prioritize bool) stats.Summary {
+// runApp runs one app once on a fresh runtime, returning the event-loop
+// response summary and the scheduler event counters the run produced.
+func runApp(app string, cfg EvalConfig, conns int, prioritize bool) (stats.Summary, icilk.SchedStats) {
+	var levels int
+	var drive func(rt *icilk.Runtime) stats.Summary
 	switch app {
 	case "proxy":
-		rt := icilk.New(icilk.Config{
-			Workers: cfg.Workers, Levels: proxy.Levels, Prioritize: prioritize,
-		})
-		defer rt.Shutdown()
-		res := proxy.Run(rt, proxy.Config{
-			Clients:  conns,
-			Duration: cfg.Duration,
-			Seed:     cfg.Seed,
-		})
-		return res.ResponseSummary()
+		levels = proxy.Levels
+		drive = func(rt *icilk.Runtime) stats.Summary {
+			return proxy.Run(rt, proxy.Config{
+				Clients: conns, Duration: cfg.Duration, Seed: cfg.Seed,
+			}).ResponseSummary()
+		}
 	case "email":
-		rt := icilk.New(icilk.Config{
-			Workers: cfg.Workers, Levels: email.Levels, Prioritize: prioritize,
-		})
-		defer rt.Shutdown()
-		res := email.Run(rt, email.Config{
-			Clients:  conns,
-			Duration: cfg.Duration,
-			Seed:     cfg.Seed,
-		})
-		return res.ResponseSummary()
+		levels = email.Levels
+		drive = func(rt *icilk.Runtime) stats.Summary {
+			return email.Run(rt, email.Config{
+				Clients: conns, Duration: cfg.Duration, Seed: cfg.Seed,
+			}).ResponseSummary()
+		}
+	default:
+		panic("experiments: unknown app " + app)
 	}
-	panic("experiments: unknown app " + app)
+	rt := icilk.New(icilk.Config{
+		Workers: cfg.Workers, Levels: levels, Prioritize: prioritize,
+	})
+	defer rt.Shutdown()
+	res := drive(rt)
+	return res, rt.Stats()
+}
+
+// runAppResponses runs one app once and summarizes event-loop responses.
+func runAppResponses(app string, cfg EvalConfig, conns int, prioritize bool) stats.Summary {
+	res, _ := runApp(app, cfg, conns, prioritize)
+	return res
 }
 
 // Fig14Row is one bar group of Figure 14: per-component compute-time
@@ -395,6 +403,35 @@ func Fig14JServer(cfg EvalConfig) []Fig14Row {
 		rows = append(rows, row)
 	}
 	return rows
+}
+
+// SchedPoint is one app run's scheduler event counters — the
+// suspend/resume observables of the event-driven core (promotions,
+// parks, resumes, touch-time helps, steals, wakes) next to the response
+// summary they produced.
+type SchedPoint struct {
+	App        string
+	Prioritize bool
+	Stats      icilk.SchedStats
+	Response   stats.Summary
+}
+
+// SchedCounters runs the proxy and email apps in both scheduler modes
+// and reports the runtime's scheduler event counters, tying the
+// responsiveness results to the scheduling behavior that produced them.
+func SchedCounters(cfg EvalConfig) []SchedPoint {
+	cfg = cfg.withDefaults()
+	conns := cfg.Connections[0]
+	var out []SchedPoint
+	for _, app := range []string{"proxy", "email"} {
+		for _, prioritize := range []bool{true, false} {
+			res, sc := runApp(app, cfg, conns, prioritize)
+			out = append(out, SchedPoint{
+				App: app, Prioritize: prioritize, Stats: sc, Response: res,
+			})
+		}
+	}
+	return out
 }
 
 // AblationPoint is one configuration of a scheduler-parameter sweep with

@@ -1,27 +1,50 @@
 package icilk
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
-// deque is a double-ended work queue. The owning worker pushes and pops at
-// the bottom; thieves steal from the top, giving the usual work-stealing
-// locality properties. A mutex guards the structure: at the task
-// granularity of this runtime (tasks are fibers, not closures measured in
-// nanoseconds), lock-free subtlety buys nothing, and the simple version is
-// obviously correct under the race detector.
-type deque struct {
+// taskDeque is a double-ended work queue. The slot-holding goroutine of
+// the owning worker pushes and pops at the bottom; thieves steal from the
+// top, giving the usual work-stealing locality properties. Two
+// implementations exist: the lock-free Chase-Lev ring buffer (clDeque,
+// the default) and the mutex-guarded slice (lockedDeque, kept behind
+// Config.LockedDeques for differential testing and debugging).
+type taskDeque interface {
+	// pushBottom adds a task at the owner's end. Owner only.
+	pushBottom(t *task)
+	// popBottom removes the most recently pushed task, or nil. Owner only.
+	popBottom() *task
+	// stealTop removes the oldest task, or nil. Any goroutine.
+	stealTop() *task
+	// size reports the current length (racy snapshot, used for heuristics).
+	size() int
+}
+
+// newTaskDeque picks the deque implementation for a config.
+func newTaskDeque(cfg Config) taskDeque {
+	if cfg.LockedDeques {
+		return &lockedDeque{}
+	}
+	return newCLDeque()
+}
+
+// lockedDeque is the mutex-guarded reference implementation. It is
+// obviously correct under the race detector and serves as the oracle for
+// the differential tests against clDeque.
+type lockedDeque struct {
 	mu    sync.Mutex
 	items []*task
 }
 
-// pushBottom adds a task at the owner's end.
-func (d *deque) pushBottom(t *task) {
+func (d *lockedDeque) pushBottom(t *task) {
 	d.mu.Lock()
 	d.items = append(d.items, t)
 	d.mu.Unlock()
 }
 
-// popBottom removes the most recently pushed task, or nil.
-func (d *deque) popBottom() *task {
+func (d *lockedDeque) popBottom() *task {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	n := len(d.items)
@@ -34,8 +57,7 @@ func (d *deque) popBottom() *task {
 	return t
 }
 
-// stealTop removes the oldest task, or nil.
-func (d *deque) stealTop() *task {
+func (d *lockedDeque) stealTop() *task {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if len(d.items) == 0 {
@@ -48,9 +70,72 @@ func (d *deque) stealTop() *task {
 	return t
 }
 
-// size reports the current length (racy snapshot, used for heuristics).
-func (d *deque) size() int {
+func (d *lockedDeque) size() int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	return len(d.items)
 }
+
+// injectQueue is a lock-free multi-producer multi-consumer FIFO
+// (Michael & Scott, PODC '96) used for each level's injection queue:
+// external submissions, cross-level spawns, and unparked tasks arrive
+// here from arbitrary goroutines, and any worker at the level may drain
+// it. Go's garbage collector removes the ABA hazard of the classic
+// algorithm, so plain pointer CAS suffices.
+type injectQueue struct {
+	head atomic.Pointer[injectNode] // dummy node; head.next is the oldest entry
+	tail atomic.Pointer[injectNode]
+	n    atomic.Int64
+}
+
+type injectNode struct {
+	t    *task
+	next atomic.Pointer[injectNode]
+}
+
+func newInjectQueue() *injectQueue {
+	q := &injectQueue{}
+	dummy := &injectNode{}
+	q.head.Store(dummy)
+	q.tail.Store(dummy)
+	return q
+}
+
+// push appends t. Safe from any goroutine.
+func (q *injectQueue) push(t *task) {
+	node := &injectNode{t: t}
+	for {
+		tail := q.tail.Load()
+		next := tail.next.Load()
+		if next != nil {
+			// Tail is lagging; help it along and retry.
+			q.tail.CompareAndSwap(tail, next)
+			continue
+		}
+		if tail.next.CompareAndSwap(nil, node) {
+			q.tail.CompareAndSwap(tail, node)
+			q.n.Add(1)
+			return
+		}
+	}
+}
+
+// pop removes the oldest task, or nil. Safe from any goroutine.
+func (q *injectQueue) pop() *task {
+	for {
+		head := q.head.Load()
+		next := head.next.Load()
+		if next == nil {
+			return nil
+		}
+		if q.head.CompareAndSwap(head, next) {
+			t := next.t
+			next.t = nil // the node is the new dummy; drop its payload ref
+			q.n.Add(-1)
+			return t
+		}
+	}
+}
+
+// size reports the current length (racy snapshot, used for heuristics).
+func (q *injectQueue) size() int { return int(q.n.Load()) }

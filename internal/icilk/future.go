@@ -7,6 +7,9 @@ import (
 )
 
 // future is the untyped core of a Future: a completion cell with waiters.
+// Completion is push-based: finish requeues every parked waiter at its
+// own level and wakes parked workers, and closes the external-waiter
+// channel if one exists. Nothing ever polls a future.
 type future struct {
 	mu      sync.Mutex
 	prio    Priority
@@ -14,9 +17,19 @@ type future struct {
 	val     any
 	err     error
 	waiters []*task
+
+	// owner is the task computing this future (nil for IO futures). The
+	// touch fast path uses it to run a not-yet-started producer inline
+	// on the toucher's own deque instead of parking — the work-first
+	// discipline that makes spawn/touch chains run at closure-call cost.
+	owner *task
+
+	// doneCh is created lazily by the first external Await and closed on
+	// completion. Task-side Touch never allocates it.
+	doneCh chan struct{}
 }
 
-// complete stores the value and requeues every waiter at its own level.
+// complete stores the value and wakes every waiter.
 func (f *future) complete(v any) { f.finish(v, nil) }
 
 // fail completes the future with an error; touchers re-panic it.
@@ -33,21 +46,80 @@ func (f *future) finish(v any, err error) {
 	f.err = err
 	waiters := f.waiters
 	f.waiters = nil
+	ch := f.doneCh
+	f.doneCh = nil
+	// Drop the producer so a long-lived Future handle does not retain
+	// the task, its closure, and any promoted fiber context.
+	f.owner = nil
 	f.mu.Unlock()
-	for _, w := range waiters {
-		w.blockedOn = nil
-		w.rt.requeue(w)
+	if ch != nil {
+		close(ch)
+	}
+	for _, t := range waiters {
+		t.blockedOn = nil
+		t.rt.requeue(t)
 	}
 }
 
-// touch implements ftouch for the running task: if the future is pending,
-// the task parks (releasing its worker slot — the latency-hiding behavior
-// of Section 4.1) until completion.
+// touch implements ftouch for the running task. Resolution order:
+//
+//  1. Fast path: the future is already done — read it and return.
+//  2. Helping: the producing task is still unstarted at the bottom of
+//     the current worker's own deque (the common spawn-then-touch
+//     shape). Pop it and run it right here; no park, no channels, no
+//     goroutines. Popping through the deque is the claim, so no other
+//     worker can also run it. Only the producer itself is eligible —
+//     running it inline is equivalent to a sequential schedule of the
+//     join edge, so it can introduce no deadlock the program didn't
+//     already have.
+//  3. Park: register as a waiter and suspend the goroutine, releasing
+//     the worker slot (the latency-hiding behavior of Section 4.1);
+//     completion requeues the task and a worker resumes it.
 func (f *future) touch(c *Ctx) any {
 	t := c.t
-	if t.rt.cfg.CheckInversions && t.prio > f.prio {
+	rt := t.rt
+	if rt.cfg.CheckInversions && t.prio > f.prio {
 		panic(&PriorityInversionError{Toucher: t.prio, Touched: f.prio})
 	}
+	g := c.g
+	for {
+		f.mu.Lock()
+		if f.done {
+			v, err := f.val, f.err
+			f.mu.Unlock()
+			if err != nil {
+				panic(err)
+			}
+			return v
+		}
+		owner := f.owner // read under f.mu: finish clears it
+		f.mu.Unlock()
+		if owner == nil || g.w == nil {
+			break
+		}
+		d := rt.levels[rt.effLevel(owner.prio)].deques[g.w.id]
+		popped := d.popBottom()
+		if popped == nil {
+			break
+		}
+		if popped != owner {
+			// Not the producer; put it back (we own the bottom) and park.
+			d.pushBottom(popped)
+			break
+		}
+		rt.stats.helps.Add(1)
+		rt.runTask(g, popped)
+		// Inline execution finished the producer, so the next loop
+		// iteration returns its value; a promoted producer may have
+		// parked again instead, in which case we retry and eventually
+		// fall through to parking ourselves.
+	}
+
+	// Slow path: park until completion. prepare must precede waiter
+	// registration so that a completion racing with us can already
+	// resume the task.
+	g.prepare(t)
+	w := g.w // capture before t becomes resumable; see park
 	f.mu.Lock()
 	if f.done {
 		v, err := f.val, f.err
@@ -60,15 +132,13 @@ func (f *future) touch(c *Ctx) any {
 	t.blockedOn = f
 	f.waiters = append(f.waiters, t)
 	f.mu.Unlock()
-	t.yield <- yBlocked
-	<-t.resume
-	f.mu.Lock()
-	v, err := f.val, f.err
-	f.mu.Unlock()
-	if err != nil {
-		panic(err)
+	g.park(rt, w)
+	// finish wrote val/err before requeueing us; the requeue/resume
+	// chain (atomic queue ops plus the resume channel) publishes them.
+	if f.err != nil {
+		panic(f.err)
 	}
-	return v
+	return f.val
 }
 
 // poll reports completion without blocking. Failed futures report as not
@@ -135,22 +205,37 @@ func (h *Handle) Done() bool {
 // Await blocks the calling goroutine (not a task — external code such as
 // test harnesses and client simulators) until the future completes or the
 // timeout elapses. Task code must use Touch, which frees its worker.
+// Await blocks on a completion channel; it never polls.
 func Await[T any](f *Future[T], timeout time.Duration) (T, error) {
 	var zero T
-	deadline := time.Now().Add(timeout)
-	for {
-		f.f.mu.Lock()
-		done, v, err := f.f.done, f.f.val, f.f.err
-		f.f.mu.Unlock()
-		if done {
-			if err != nil {
-				return zero, err
-			}
-			return v.(T), nil
+	ff := f.f
+	ff.mu.Lock()
+	if ff.done {
+		v, err := ff.val, ff.err
+		ff.mu.Unlock()
+		if err != nil {
+			return zero, err
 		}
-		if time.Now().After(deadline) {
-			return zero, fmt.Errorf("icilk: Await timed out after %v", timeout)
+		return v.(T), nil
+	}
+	if ff.doneCh == nil {
+		ff.doneCh = make(chan struct{})
+	}
+	ch := ff.doneCh
+	ff.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case <-ch:
+		ff.mu.Lock()
+		v, err := ff.val, ff.err
+		ff.mu.Unlock()
+		if err != nil {
+			return zero, err
 		}
-		time.Sleep(20 * time.Microsecond)
+		return v.(T), nil
+	case <-timer.C:
+		return zero, fmt.Errorf("icilk: Await timed out after %v", timeout)
 	}
 }

@@ -1,7 +1,9 @@
 package icilk
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -62,4 +64,77 @@ func (rt *Runtime) ResetMetrics() {
 	rt.metrics.mu.Lock()
 	rt.metrics.records = rt.metrics.records[:0]
 	rt.metrics.mu.Unlock()
+}
+
+// counter is a cache-line-padded atomic counter: the scheduler's hot
+// paths increment different counters from different workers, and
+// without padding they would false-share one line.
+type counter struct {
+	atomic.Int64
+	_ [56]byte
+}
+
+// schedCounters are the runtime's internal event counters. They are
+// always collected (plain atomic increments, no timestamps) and exposed
+// through Stats.
+type schedCounters struct {
+	spawns     counter
+	inlineRuns counter
+	promotions counter
+	parks      counter
+	resumes    counter
+	helps      counter
+	steals     counter
+	wakes      counter
+}
+
+// SchedStats is a snapshot of the scheduler's event counters since the
+// runtime started. The suspend/resume pair (Parks/Resumes) and the
+// Promotions count are the direct observables of the event-driven core:
+// a promotion is the one-time cost of turning an inline task into a
+// fiber, a park is one suspended goroutine awaiting a wakeup, and a
+// resume is one slot grant to a parked fiber.
+type SchedStats struct {
+	// Spawns counts Go/GoSelf calls.
+	Spawns int64
+	// InlineRuns counts tasks that completed without ever blocking —
+	// they ran as plain closures on a worker's goroutine from start to
+	// finish (the fcreate fast path). Spawns - InlineRuns is the number
+	// of tasks that parked at least once.
+	InlineRuns int64
+	// Promotions counts tasks promoted to fibers on their first block.
+	Promotions int64
+	// Parks counts goroutine suspensions (first-time promotions and
+	// subsequent re-parks).
+	Parks int64
+	// Resumes counts slot grants to parked fibers.
+	Resumes int64
+	// Helps counts touched futures resolved by running the producer
+	// inline from the toucher's own deque instead of parking.
+	Helps int64
+	// Steals counts successful cross-worker deque steals.
+	Steals int64
+	// Wakes counts park-condition broadcasts caused by new work arriving
+	// while at least one worker was parked.
+	Wakes int64
+}
+
+// Stats returns a snapshot of the scheduler's event counters.
+func (rt *Runtime) Stats() SchedStats {
+	return SchedStats{
+		Spawns:     rt.stats.spawns.Load(),
+		InlineRuns: rt.stats.inlineRuns.Load(),
+		Promotions: rt.stats.promotions.Load(),
+		Parks:      rt.stats.parks.Load(),
+		Resumes:    rt.stats.resumes.Load(),
+		Helps:      rt.stats.helps.Load(),
+		Steals:     rt.stats.steals.Load(),
+		Wakes:      rt.stats.wakes.Load(),
+	}
+}
+
+func (s SchedStats) String() string {
+	return fmt.Sprintf(
+		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d",
+		s.Spawns, s.InlineRuns, s.Promotions, s.Parks, s.Resumes, s.Helps, s.Steals, s.Wakes)
 }

@@ -2,19 +2,24 @@
 // Section 4): a task-parallel runtime for interactive parallel
 // applications with prioritized futures.
 //
-// Tasks are fibers — goroutines that run only while holding a slot granted
-// by one of P worker goroutines (the "virtual cores"). fcreate is Go,
-// ftouch is Future.Touch; touching an unresolved future parks the fiber
-// and frees the worker, hiding latency exactly as I-Cilk's io_future does.
+// The runtime is event-driven end to end. A spawned task (Go — the
+// paper's fcreate) is a bare closure that the scheduling worker runs
+// inline on its own goroutine; only when a task first blocks on an
+// unresolved Touch (ftouch) is it promoted to a fiber — the goroutine
+// hands its worker identity to a fresh runner and parks, hiding latency
+// exactly as I-Cilk's io_future does. Completed futures push their
+// waiters straight back into the run queues and wake parked workers; no
+// code path in this package sleeps or polls.
 //
 // Scheduling is two-level (Section 4.3): each priority level has its own
-// work-stealing scheduler (per-worker deques plus an injection queue), and
-// a master scheduler reassigns workers to levels every quantum using
-// A-STEAL-style desire feedback: a level whose utilization beat the
-// threshold and whose desire was satisfied multiplies its desire by γ; an
-// underutilized level divides it by γ. Cores are granted in priority
-// order. With Prioritize=false the runtime degenerates into the Cilk-F
-// baseline: one priority-oblivious work-stealing pool.
+// work-stealing scheduler (per-worker lock-free Chase-Lev deques plus a
+// lock-free injection queue), and a master scheduler reassigns workers to
+// levels every quantum using A-STEAL-style desire feedback: a level whose
+// utilization beat the threshold and whose desire was satisfied
+// multiplies its desire by γ; an underutilized level divides it by γ.
+// Cores are granted in priority order. With Prioritize=false the runtime
+// degenerates into the Cilk-F baseline: one priority-oblivious
+// work-stealing pool.
 package icilk
 
 import (
@@ -43,6 +48,11 @@ type Config struct {
 	// Prioritize enables the two-level prioritized scheduler. False gives
 	// the Cilk-F baseline: all levels share one work-stealing pool.
 	Prioritize bool
+	// LockedDeques selects the mutex-guarded deque implementation
+	// instead of the lock-free Chase-Lev one. The two are differentially
+	// tested against each other; the knob also helps when bisecting a
+	// suspected deque bug.
+	LockedDeques bool
 	// CheckInversions enables the dynamic priority-inversion check on
 	// Touch (default true; set DisableInversionCheck to turn off).
 	CheckInversions bool
@@ -78,10 +88,10 @@ func (c Config) withDefaults() Config {
 
 // level is one priority level's work-stealing scheduler state.
 type level struct {
-	deques []*deque // indexed by worker ID
-	inject deque    // external and cross-level submissions (FIFO)
-	desire int      // master-only
-	alloc  int      // master-only: cores granted last quantum
+	deques []taskDeque  // indexed by worker ID
+	inject *injectQueue // external and cross-level submissions (FIFO)
+	desire int          // master-only
+	alloc  int          // master-only: cores granted last quantum
 }
 
 func (l *level) pending() bool {
@@ -96,20 +106,23 @@ func (l *level) pending() bool {
 	return false
 }
 
-// worker is a virtual core.
+// worker is a virtual core. Exactly one goroutine at a time acts for a
+// worker — initially the runner started by New, later whichever
+// replacement runner was spawned when a fiber parked. Possession of the
+// slot (not goroutine identity) is what serializes owner-side deque
+// access.
 type worker struct {
-	rt         *Runtime
-	id         int
-	rng        *rand.Rand
-	busyNs     atomic.Int64
-	idleNs     atomic.Int64
-	grantLevel int32 // level at the moment of the current slot grant
-}
+	rt  *Runtime
+	id  int
+	rng *rand.Rand
 
-// revoked reports whether the master moved this worker to a different
-// level since the current task was granted the slot.
-func (w *worker) revoked() bool {
-	return w.rt.assignment[w.id].Load() != w.grantLevel
+	// idleNs accumulates completed park durations; parkedSince holds
+	// the start of an in-progress park (0 when running). Together they
+	// give the master a monotone cumulative-idle clock read without any
+	// cooperation from the worker — the only time the worker touches
+	// time.Now is at park boundaries, never per task.
+	idleNs      atomic.Int64
+	parkedSince atomic.Int64
 }
 
 // Runtime is an I-Cilk-style scheduler instance.
@@ -124,7 +137,22 @@ type Runtime struct {
 	wg          sync.WaitGroup
 	masterStop  chan struct{}
 
+	// Worker parking. Producers bump wakeSeq after publishing work and
+	// broadcast if anyone is parked; a worker parks only if wakeSeq is
+	// unchanged since before its last full scan, which closes the
+	// publish/park race without any polling.
+	parkMu   sync.Mutex
+	parkCond *sync.Cond
+	wakeSeq  atomic.Uint64
+	idle     atomic.Int32
+
+	// WaitIdle support: idleCh is created lazily by a waiter and closed
+	// when outstanding drops to zero.
+	idleMu sync.Mutex
+	idleCh chan struct{}
+
 	metrics metrics
+	stats   schedCounters
 }
 
 // New starts a runtime with the given configuration.
@@ -135,10 +163,11 @@ func New(cfg Config) *Runtime {
 		assignment: make([]atomic.Int32, cfg.Workers),
 		masterStop: make(chan struct{}),
 	}
+	rt.parkCond = sync.NewCond(&rt.parkMu)
 	for l := 0; l < cfg.Levels; l++ {
-		lv := &level{desire: 1}
+		lv := &level{desire: 1, inject: newInjectQueue()}
 		for w := 0; w < cfg.Workers; w++ {
-			lv.deques = append(lv.deques, &deque{})
+			lv.deques = append(lv.deques, newTaskDeque(cfg))
 		}
 		rt.levels = append(rt.levels, lv)
 	}
@@ -155,7 +184,7 @@ func New(cfg Config) *Runtime {
 	}
 	for _, w := range rt.workers {
 		rt.wg.Add(1)
-		go w.loop()
+		go w.run()
 	}
 	if cfg.Prioritize {
 		rt.wg.Add(1)
@@ -164,28 +193,57 @@ func New(cfg Config) *Runtime {
 	return rt
 }
 
-// Shutdown stops the workers and master. Outstanding tasks are abandoned;
-// call WaitIdle first to drain.
+// Shutdown stops the workers and master. Outstanding tasks are abandoned
+// once their current step finishes; call WaitIdle first to drain.
 func (rt *Runtime) Shutdown() {
 	if rt.stopped.Swap(true) {
 		return
 	}
 	close(rt.masterStop)
+	rt.parkMu.Lock()
+	rt.parkCond.Broadcast()
+	rt.parkMu.Unlock()
 	rt.wg.Wait()
 }
 
 // WaitIdle blocks until no spawned tasks remain outstanding or the
-// timeout elapses.
+// timeout elapses. It waits on a completion signal from the last task;
+// there is no polling loop.
 func (rt *Runtime) WaitIdle(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for rt.outstanding.Load() > 0 {
-		if time.Now().After(deadline) {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		rt.idleMu.Lock()
+		if rt.outstanding.Load() == 0 {
+			rt.idleMu.Unlock()
+			return nil
+		}
+		if rt.idleCh == nil {
+			rt.idleCh = make(chan struct{})
+		}
+		ch := rt.idleCh
+		rt.idleMu.Unlock()
+		select {
+		case <-ch:
+			// Re-check: outstanding may have gone back up.
+		case <-timer.C:
 			return fmt.Errorf("icilk: %d tasks still outstanding after %v",
 				rt.outstanding.Load(), timeout)
 		}
-		time.Sleep(50 * time.Microsecond)
 	}
-	return nil
+}
+
+// taskDone retires one outstanding task or IO future, signaling WaitIdle
+// waiters when the count reaches zero.
+func (rt *Runtime) taskDone() {
+	if rt.outstanding.Add(-1) == 0 {
+		rt.idleMu.Lock()
+		if rt.idleCh != nil {
+			close(rt.idleCh)
+			rt.idleCh = nil
+		}
+		rt.idleMu.Unlock()
+	}
 }
 
 // Outstanding returns the number of incomplete tasks and IO futures.
@@ -210,35 +268,92 @@ func (rt *Runtime) effLevel(p Priority) int {
 	return l
 }
 
-// Go spawns fn as a new task at priority p — fcreate. When called from a
-// running task whose worker serves the same level, the child lands on
-// that worker's deque; otherwise it goes through the level's injection
-// queue. The returned future is first-class: store it, pass it, Touch it.
-func Go[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx) T) *Future[T] {
-	if rt.stopped.Load() {
-		panic("icilk: Go on a stopped runtime")
+// wake publishes "new work exists" to parked workers. The caller must
+// have pushed the work first. Bumping wakeSeq before checking idle
+// closes the race against a worker that is between its last scan and
+// its park.
+func (rt *Runtime) wake() {
+	rt.wakeSeq.Add(1)
+	if rt.idle.Load() == 0 {
+		return
 	}
-	f := &future{prio: p}
-	t := &task{
-		rt:      rt,
-		prio:    p,
-		fut:     f,
-		name:    name,
-		resume:  make(chan struct{}),
-		yield:   make(chan yieldKind),
-		created: time.Now(),
-	}
-	rt.outstanding.Add(1)
-	go t.run(func(c *Ctx) any { return fn(c) })
-	lvl := rt.effLevel(p)
-	if c != nil {
-		if w := c.t.runningOn; w != nil && int(rt.assignment[w.id].Load()) == lvl {
-			rt.levels[lvl].deques[w.id].pushBottom(t)
-			return &Future[T]{f: f}
+	rt.stats.wakes.Add(1)
+	rt.parkMu.Lock()
+	rt.parkCond.Broadcast()
+	rt.parkMu.Unlock()
+}
+
+// submit routes a runnable task to a queue and wakes a worker. When
+// called from task context (g non-nil) and the current worker serves the
+// task's level, the task lands on that worker's own deque — the locality
+// fast path that also enables touch-time helping. The master can move
+// the worker between the assignment check and the push; submit re-checks
+// after pushing and, on a mismatch, pulls the task back off the bottom
+// (still owned: steals only take the top) and routes it through the
+// level's injection queue, so a task can never strand on a deque no
+// worker at its level scans.
+func (rt *Runtime) submit(t *task, g *gctx) {
+	lvl := rt.effLevel(t.prio)
+	if g != nil {
+		if w := g.w; w != nil && int(rt.assignment[w.id].Load()) == lvl {
+			d := rt.levels[lvl].deques[w.id]
+			d.pushBottom(t)
+			if int(rt.assignment[w.id].Load()) != lvl {
+				if popped := d.popBottom(); popped != nil {
+					// popped can only be t: we own the bottom and pushed
+					// last.
+					rt.levels[lvl].inject.push(popped)
+				}
+			}
+			rt.wake()
+			return
 		}
 	}
-	rt.levels[lvl].inject.pushBottom(t)
+	rt.levels[lvl].inject.push(t)
+	rt.wake()
+}
+
+// spawn is the shared fcreate path behind Go and GoSelf: it wraps fn in
+// a bare-closure task against the pre-built future and routes it to a
+// run queue.
+func (rt *Runtime) spawn(c *Ctx, p Priority, name string, f *future, fn func(*Ctx) any) {
+	if rt.stopped.Load() {
+		panic("icilk: spawn on a stopped runtime")
+	}
+	t := &task{rt: rt, prio: p, fut: f, name: name, fn: fn}
+	f.owner = t
+	if rt.cfg.CollectMetrics {
+		t.created = time.Now()
+	}
+	rt.outstanding.Add(1)
+	rt.stats.spawns.Add(1)
+	var g *gctx
+	if c != nil {
+		g = c.g
+	}
+	rt.submit(t, g)
+}
+
+// Go spawns fn as a new task at priority p — fcreate. The task is a bare
+// closure until it first blocks; the common never-blocking task runs
+// inline on a worker with no goroutine, channel, or timestamp traffic.
+// The returned future is first-class: store it, pass it, Touch it.
+func Go[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx) T) *Future[T] {
+	f := &future{prio: p}
+	rt.spawn(c, p, name, f, func(c *Ctx) any { return fn(c) })
 	return &Future[T]{f: f}
+}
+
+// GoSelf is Go for tasks that need their own future while running — the
+// paper's email client passes "thisFut" into the compress routine so it
+// can install its own handle in the coordination slot (Section 5.1). The
+// future is created before the task starts, so the body receives a fully
+// initialized handle.
+func GoSelf[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx, *Future[T]) T) *Future[T] {
+	f := &future{prio: p}
+	self := &Future[T]{f: f}
+	rt.spawn(c, p, name, f, func(c *Ctx) any { return fn(c, self) })
+	return self
 }
 
 // IO returns a future that completes with mk() after d elapses, without
@@ -248,50 +363,89 @@ func IO[T any](rt *Runtime, p Priority, d time.Duration, mk func() T) *Future[T]
 	f := &future{prio: p}
 	rt.outstanding.Add(1)
 	time.AfterFunc(d, func() {
-		defer rt.outstanding.Add(-1)
+		defer rt.taskDone()
 		f.complete(mk())
 	})
 	return &Future[T]{f: f}
 }
 
-// requeue puts an unblocked task back into circulation at its own level.
+// requeue puts an unblocked task back into circulation at its own level
+// and wakes a worker to run it. Called from completion context, which
+// can be any goroutine (a worker, a fiber, or an IO timer).
 func (rt *Runtime) requeue(t *task) {
-	rt.levels[rt.effLevel(t.prio)].inject.pushBottom(t)
+	rt.levels[rt.effLevel(t.prio)].inject.push(t)
+	rt.wake()
 }
 
-// loop is the worker's scheduling loop.
-func (w *worker) loop() {
-	defer w.rt.wg.Done()
+// run is a worker runner's scheduling loop. The goroutine executes tasks
+// inline on its own stack; when a task first parks, the goroutine hands
+// the worker role to a freshly spawned replacement (the WaitGroup slot
+// transfers with the role), finishes its task stack as a fiber, releases
+// the slot, and retires.
+func (w *worker) run() {
 	rt := w.rt
-	backoff := 5 * time.Microsecond
-	for !rt.stopped.Load() {
-		lvl := int(rt.assignment[w.id].Load())
-		t := w.findTask(lvl)
+	g := &gctx{w: w}
+	for {
+		t, lvl := w.next()
 		if t == nil {
-			start := time.Now()
-			time.Sleep(backoff)
-			w.idleNs.Add(int64(time.Since(start)))
-			if backoff < 100*time.Microsecond {
-				backoff *= 2
-			}
-			continue
+			rt.wg.Done()
+			return
 		}
-		backoff = 5 * time.Microsecond
-		w.grantLevel = int32(lvl)
-		t.runningOn = w
-		start := time.Now()
-		t.resume <- struct{}{}
-		k := <-t.yield
-		w.busyNs.Add(int64(time.Since(start)))
-		switch k {
-		case yDone:
-			rt.outstanding.Add(-1)
-		case yYielded:
-			rt.levels[rt.effLevel(t.prio)].deques[w.id].pushBottom(t)
-		case yBlocked:
-			// The future owns the task until completion requeues it.
+		g.grantLvl = lvl
+		rt.runTask(g, t)
+		if g.handedOff {
+			// A task parked mid-run and this goroutine became a fiber;
+			// its stack has fully unwound. Release the slot granted by
+			// the last resuming worker and retire.
+			g.yield <- struct{}{}
+			return
 		}
 	}
+}
+
+// next finds the worker's next task, parking the goroutine when the
+// runtime is empty. It returns (nil, 0) only at shutdown.
+func (w *worker) next() (*task, int32) {
+	rt := w.rt
+	for {
+		if rt.stopped.Load() {
+			return nil, 0
+		}
+		lvl := rt.assignment[w.id].Load()
+		if t := w.findTask(int(lvl)); t != nil {
+			return t, lvl
+		}
+		// Register as idle, then re-scan: any work published after the
+		// wakeSeq read below will bump the sequence and cancel the park.
+		rt.idle.Add(1)
+		seq := rt.wakeSeq.Load()
+		lvl = rt.assignment[w.id].Load()
+		if t := w.findTask(int(lvl)); t != nil {
+			rt.idle.Add(-1)
+			return t, lvl
+		}
+		w.park(seq)
+		rt.idle.Add(-1)
+	}
+}
+
+// park blocks until new work is published (wakeSeq moves past seq) or
+// the runtime stops, accounting the idle interval for the master's
+// utilization feedback.
+func (w *worker) park(seq uint64) {
+	rt := w.rt
+	start := time.Now()
+	w.parkedSince.Store(start.UnixNano())
+	rt.parkMu.Lock()
+	for rt.wakeSeq.Load() == seq && !rt.stopped.Load() {
+		rt.parkCond.Wait()
+	}
+	rt.parkMu.Unlock()
+	// Clear parkedSince before folding the interval into idleNs: the
+	// master then momentarily under-counts this park (clamped at zero)
+	// rather than double-counting it.
+	w.parkedSince.Store(0)
+	w.idleNs.Add(time.Since(start).Nanoseconds())
 }
 
 // findTask pops local work, then drains the injection queue, then steals
@@ -301,7 +455,8 @@ func (w *worker) loop() {
 // violation (the work taken is more urgent than the worker's mandate) and
 // it removes the up-to-one-quantum latency a fresh high-priority task
 // would otherwise pay while workers idle on lower levels. Helping
-// downward is deliberately not done — that would be baseline behavior.
+// downward is deliberately not done — that would be baseline behavior;
+// an idle worker instead waits for the master to reassign it.
 func (w *worker) findTask(lvl int) *task {
 	if t := w.findAtLevel(lvl); t != nil {
 		return t
@@ -321,7 +476,7 @@ func (w *worker) findAtLevel(lvl int) *task {
 	if t := L.deques[w.id].popBottom(); t != nil {
 		return t
 	}
-	if t := L.inject.stealTop(); t != nil {
+	if t := L.inject.pop(); t != nil {
 		return t
 	}
 	off := w.rng.Intn(len(L.deques))
@@ -331,6 +486,7 @@ func (w *worker) findAtLevel(lvl int) *task {
 			continue
 		}
 		if t := L.deques[v].stealTop(); t != nil {
+			w.rt.stats.steals.Add(1)
 			return t
 		}
 	}
@@ -339,23 +495,52 @@ func (w *worker) findAtLevel(lvl int) *task {
 
 // master is the top-level scheduler: every quantum it measures per-level
 // utilization, updates desires, and reassigns workers to levels in
-// priority order.
+// priority order. Utilization is derived from each worker's cumulative
+// park time (busy = not parked), so the workers never take timestamps on
+// the task path.
 func (rt *Runtime) master() {
 	defer rt.wg.Done()
 	p := rt.cfg.Workers
+	lastIdle := make([]int64, p)
+	lastNow := time.Now()
 	for {
 		select {
 		case <-rt.masterStop:
 			return
 		case <-time.After(rt.cfg.Quantum):
 		}
+		now := time.Now()
+		elapsed := now.Sub(lastNow).Nanoseconds()
+		lastNow = now
+		if elapsed <= 0 {
+			continue
+		}
 		// Attribute each worker's busy/idle time to its assigned level.
 		busy := make([]int64, rt.cfg.Levels)
 		idle := make([]int64, rt.cfg.Levels)
 		for _, w := range rt.workers {
+			// Cumulative idle clock: completed parks plus the
+			// in-progress one. The two loads are not atomic together, so
+			// a park completing in between can make the clock dip or
+			// jump for one quantum; the clamps below bound the error to
+			// that quantum and the totals re-converge on the next read.
+			cum := w.idleNs.Load()
+			if ps := w.parkedSince.Load(); ps != 0 {
+				if d := now.UnixNano() - ps; d > 0 {
+					cum += d
+				}
+			}
+			idleDelta := cum - lastIdle[w.id]
+			lastIdle[w.id] = cum
+			if idleDelta < 0 {
+				idleDelta = 0
+			}
+			if idleDelta > elapsed {
+				idleDelta = elapsed
+			}
 			lvl := int(rt.assignment[w.id].Load())
-			busy[lvl] += w.busyNs.Swap(0)
-			idle[lvl] += w.idleNs.Swap(0)
+			idle[lvl] += idleDelta
+			busy[lvl] += elapsed - idleDelta
 		}
 		// Desire feedback per level.
 		for i, L := range rt.levels {
@@ -405,15 +590,28 @@ func (rt *Runtime) master() {
 			}
 		}
 		// Commit the assignment: contiguous blocks, highest level first.
+		// A changed assignment is itself a scheduling event: parked
+		// workers may now be mandated to serve a level with work.
+		changed := false
 		idx := 0
+		commit := func(i int32) {
+			if rt.assignment[idx].Swap(i) != i {
+				changed = true
+			}
+			idx++
+		}
 		for i := rt.cfg.Levels - 1; i >= 0; i-- {
 			for n := 0; n < rt.levels[i].alloc && idx < p; n++ {
-				rt.assignment[idx].Store(int32(i))
-				idx++
+				commit(int32(i))
 			}
 		}
 		for ; idx < p; idx++ {
-			rt.assignment[idx].Store(0)
+			if rt.assignment[idx].Swap(0) != 0 {
+				changed = true
+			}
+		}
+		if changed {
+			rt.wake()
 		}
 	}
 }
@@ -425,38 +623,4 @@ func (rt *Runtime) Allocation() []int {
 		out[i] = int(rt.assignment[i].Load())
 	}
 	return out
-}
-
-// GoSelf is Go for tasks that need their own future while running — the
-// paper's email client passes "thisFut" into the compress routine so it
-// can install its own handle in the coordination slot (Section 5.1). The
-// future is created before the fiber starts, so the body receives a fully
-// initialized handle.
-func GoSelf[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx, *Future[T]) T) *Future[T] {
-	var self *Future[T]
-	f := &future{prio: p}
-	self = &Future[T]{f: f}
-	if rt.stopped.Load() {
-		panic("icilk: GoSelf on a stopped runtime")
-	}
-	t := &task{
-		rt:      rt,
-		prio:    p,
-		fut:     f,
-		name:    name,
-		resume:  make(chan struct{}),
-		yield:   make(chan yieldKind),
-		created: time.Now(),
-	}
-	rt.outstanding.Add(1)
-	go t.run(func(c *Ctx) any { return fn(c, self) })
-	lvl := rt.effLevel(p)
-	if c != nil {
-		if w := c.t.runningOn; w != nil && int(rt.assignment[w.id].Load()) == lvl {
-			rt.levels[lvl].deques[w.id].pushBottom(t)
-			return self
-		}
-	}
-	rt.levels[lvl].inject.pushBottom(t)
-	return self
 }

@@ -11,25 +11,29 @@ import (
 // cores to levels "in the order of priority" (Section 4.3).
 type Priority int
 
-// yieldKind tells the worker why a task's fiber returned control.
-type yieldKind uint8
-
-const (
-	yDone    yieldKind = iota // task finished; do not reschedule
-	yBlocked                  // parked on a future; the future requeues it
-	yYielded                  // cooperative yield; requeue now
-)
-
-// task is a fiber: a goroutine that only runs while a worker has granted
-// it the worker's slot. resume grants the slot; yield returns it.
+// task is one spawned computation. A task starts life as a bare closure:
+// the worker that pops it runs fn inline on its own goroutine, with no
+// goroutine spawn and no channel traffic — the fast path for the common
+// task that never blocks. Only when the task first blocks (an
+// unresolved Touch, or an explicit Yield) is it promoted to a fiber: the
+// running goroutine hands its worker identity to a freshly spawned
+// runner and parks itself, keeping the task's whole stack intact. From
+// then on the task is scheduled by a resume/yield handshake with
+// whichever worker picks it up.
 type task struct {
 	rt   *Runtime
 	prio Priority
 	fut  *future
 	name string
+	fn   func(*Ctx) any
 
-	resume chan struct{}
-	yield  chan yieldKind
+	// g is nil while the task is a bare closure and points to its
+	// goroutine's execution context once the task has parked. Workers
+	// popping a task use it to decide between inline execution and the
+	// fiber handshake. It is written before the task becomes visible in
+	// any queue (future waiter list or run queue), so the queue's
+	// synchronization publishes it.
+	g *gctx
 
 	created  time.Time
 	firstRun time.Time
@@ -37,18 +41,75 @@ type task struct {
 
 	// blockedOn is set while parked on a future (diagnostics only).
 	blockedOn *future
+}
 
-	// runningOn is the worker currently granting this task its slot. It
-	// is written by the worker before the resume send and read by the
-	// task after the receive, so the channel provides the happens-before
-	// ordering.
-	runningOn *worker
+// gctx is the execution context of a goroutine that runs tasks: either a
+// worker's runner goroutine executing tasks inline, or a fiber — an
+// ex-runner that parked mid-task and now holds one or more task frames.
+// The slot-granting handshake, the current worker identity, and the
+// promotion state all live here, because with inline helping a single
+// goroutine can carry a stack of nested tasks that park and resume as a
+// unit.
+type gctx struct {
+	// w is the worker whose slot this goroutine currently holds. It is
+	// written by the granting worker before the resume send (or before
+	// inline dispatch), so the channel/call provides the ordering.
+	w *worker
+	// grantLvl is w's level assignment at the moment of the grant;
+	// Checkpoint compares it against the live assignment.
+	grantLvl int32
+
+	// resume and yield exist once the goroutine has parked at least
+	// once. A worker grants the slot by sending on resume and takes it
+	// back by receiving on yield.
+	resume chan struct{}
+	yield  chan struct{}
+
+	// handedOff records that this goroutine gave its worker-runner role
+	// to a replacement and must retire (after releasing the slot) when
+	// its outermost task frame unwinds.
+	handedOff bool
+}
+
+// prepare makes t resumable: it materializes the handshake channels and
+// publishes g on the task. Must be called before t is registered with a
+// future or pushed to a run queue, so that a worker popping t
+// immediately can complete the resume send.
+func (g *gctx) prepare(t *task) {
+	if g.resume == nil {
+		g.resume = make(chan struct{})
+		g.yield = make(chan struct{})
+	}
+	t.g = g
+}
+
+// park blocks this goroutine until a worker grants it the slot again.
+// The caller must already have arranged for the innermost task to be
+// requeued (as a future waiter or via submit), and must pass the worker
+// whose slot it holds, captured BEFORE the task became visible: a worker
+// popping the task overwrites g.w ahead of the resume send, so g.w must
+// not be read here. On the first park the goroutine stops being a worker
+// runner: it spawns a replacement runner for that worker (the WaitGroup
+// slot transfers with the role) and becomes a fiber.
+func (g *gctx) park(rt *Runtime, w *worker) {
+	rt.stats.parks.Add(1)
+	if !g.handedOff {
+		g.handedOff = true
+		rt.stats.promotions.Add(1)
+		go w.run()
+		<-g.resume
+		return
+	}
+	// Release the slot to the worker that granted it, then wait.
+	g.yield <- struct{}{}
+	<-g.resume
 }
 
 // Ctx is passed to every task body. It identifies the running task and
 // carries the cooperative-scheduling operations.
 type Ctx struct {
 	t *task
+	g *gctx
 }
 
 // Priority returns the running task's priority.
@@ -57,20 +118,28 @@ func (c *Ctx) Priority() Priority { return c.t.prio }
 // Runtime returns the runtime executing this task.
 func (c *Ctx) Runtime() *Runtime { return c.t.rt }
 
-// Yield returns the slot to the worker unconditionally; the task is
+// Yield returns the slot to the scheduler unconditionally; the task is
 // requeued at its level and resumes when scheduled again. Long-running
 // compute tasks should prefer Checkpoint, which only yields when the
 // master has reassigned this worker.
 func (c *Ctx) Yield() {
-	c.t.yield <- yYielded
-	<-c.t.resume
+	g, t := c.g, c.t
+	g.prepare(t)
+	w := g.w // capture before t becomes poppable; see park
+	// Requeue before parking: a worker may pop t and attempt the resume
+	// send immediately, which simply blocks until park reaches the
+	// receive.
+	t.rt.submit(t, g)
+	g.park(t.rt, w)
 }
 
 // Checkpoint yields only if the worker's level assignment changed since
-// it granted this task the slot (the quantum-boundary preemption point of
-// the two-level scheduler). It is cheap enough for inner loops.
+// it granted this task's goroutine the slot (the quantum-boundary
+// preemption point of the two-level scheduler). It is cheap enough for
+// inner loops.
 func (c *Ctx) Checkpoint() {
-	if w := c.t.runningOn; w != nil && w.revoked() {
+	g := c.g
+	if w := g.w; w != nil && c.t.rt.assignment[w.id].Load() != g.grantLvl {
 		c.Yield()
 	}
 }
@@ -89,31 +158,61 @@ func (e *PriorityInversionError) Error() string {
 		e.Touched, e.Toucher)
 }
 
-// run is the fiber body wrapper: it waits for the first slot grant, runs
-// the user function, completes the future, and returns the slot. A panic
-// in the body (including a PriorityInversionError from a nested Touch)
-// fails the future; touching a failed future re-panics the error in the
-// toucher, so failures propagate along join edges instead of crashing
-// unrelated workers.
-func (t *task) run(fn func(*Ctx) any) {
-	<-t.resume
-	t.firstRun = time.Now()
-	ctx := &Ctx{t: t}
+// execTask runs t's body to completion on the current goroutine — the
+// fcreate fast path. A panic in the body (including a
+// PriorityInversionError from a nested Touch) fails the future; touching
+// a failed future re-panics the error in the toucher, so failures
+// propagate along join edges instead of crashing unrelated workers.
+// execTask returns only once the task has finished (it may park and be
+// resumed by other workers any number of times in between).
+func (rt *Runtime) execTask(g *gctx, t *task) {
+	c := &Ctx{t: t, g: g}
+	if rt.cfg.CollectMetrics {
+		t.firstRun = time.Now()
+	}
 	defer func() {
 		if r := recover(); r != nil {
-			t.done = time.Now()
-			t.rt.recordTask(t)
+			if rt.cfg.CollectMetrics {
+				t.done = time.Now()
+			}
+			rt.recordTask(t)
 			if err, ok := r.(error); ok {
 				t.fut.fail(fmt.Errorf("icilk: task %q panicked: %w", t.name, err))
 			} else {
 				t.fut.fail(fmt.Errorf("icilk: task %q panicked: %v", t.name, r))
 			}
-			t.yield <- yDone
+			rt.taskDone()
 		}
 	}()
-	v := fn(ctx)
-	t.done = time.Now()
-	t.rt.recordTask(t)
+	v := t.fn(c)
+	if t.g == nil {
+		// The task finished without ever parking — the fcreate fast
+		// path: no goroutine, no channel operations, no promotion.
+		rt.stats.inlineRuns.Add(1)
+	}
+	if rt.cfg.CollectMetrics {
+		t.done = time.Now()
+	}
+	rt.recordTask(t)
 	t.fut.complete(v)
-	t.yield <- yDone
+	rt.taskDone()
+}
+
+// runTask executes t using the slot currently held by g's goroutine:
+// inline for a bare closure, by resume/yield handshake for a promoted
+// task's fiber. Callers are the worker run loop and the touch-time
+// helping path. g.grantLvl is deliberately left alone: it changes only
+// when a slot is acquired (the run loop sets it per dispatch, park's
+// granter sets it per resume), so helping mid-task cannot clobber the
+// outer task's Checkpoint baseline. A fiber granted the slot inherits
+// the grantor's baseline — it is the same slot under the same mandate.
+func (rt *Runtime) runTask(g *gctx, t *task) {
+	if fb := t.g; fb != nil {
+		fb.w, fb.grantLvl = g.w, g.grantLvl
+		rt.stats.resumes.Add(1)
+		fb.resume <- struct{}{}
+		<-fb.yield
+		return
+	}
+	rt.execTask(g, t)
 }
