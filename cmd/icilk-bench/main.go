@@ -25,15 +25,60 @@ import (
 	"repro/internal/experiments"
 )
 
+// experimentInfo is one catalogue entry: the name, what it reproduces,
+// the flags that shape it, and the runner itself — a single table
+// drives -h, the unknown-experiment error, and dispatch, so they
+// cannot drift apart. The "all" entry has no runner of its own.
+type experimentInfo struct {
+	name  string
+	about string
+	flags string
+	run   func(cfg experiments.EvalConfig, iters int)
+}
+
+// experimentList is the authoritative experiment catalogue: -h prints
+// it, and an unknown -experiment value echoes it before exiting.
+var experimentList = []experimentInfo{
+	{"table1", "Table 1: static overhead of the priority type system", "-iters",
+		func(_ experiments.EvalConfig, iters int) { table1(iters) }},
+	{"fig13", "Figure 13: responsiveness ratios (proxy & email)", "-workers -duration -connections -seed",
+		func(cfg experiments.EvalConfig, _ int) { fig13(cfg) }},
+	{"fig14", "Figure 14: compute-time ratios per component (proxy & email)", "-workers -duration -connections -seed",
+		func(cfg experiments.EvalConfig, _ int) { fig14(cfg) }},
+	{"jserver", "Figure 14, jserver panel: compute-time ratios per job type", "-workers -duration -seed",
+		func(cfg experiments.EvalConfig, _ int) { fig14JServer(cfg) }},
+	{"ablations", "quantum / gamma / utilization-threshold sweeps (email)", "-workers -duration -seed",
+		func(cfg experiments.EvalConfig, _ int) { ablations(cfg) }},
+	{"sched", "scheduler event counters (inline runs, promotions, parks...)", "-workers -duration -seed",
+		func(cfg experiments.EvalConfig, _ int) { sched(cfg) }},
+	{"all", "every experiment above, in order", "", nil},
+}
+
+func experimentUsage(w *os.File) {
+	fmt.Fprintln(w, "experiments:")
+	for _, e := range experimentList {
+		fmt.Fprintf(w, "  %-10s %s\n", e.name, e.about)
+		if e.flags != "" {
+			fmt.Fprintf(w, "  %-10s   flags: %s\n", "", e.flags)
+		}
+	}
+}
+
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "table1, fig13, fig14, jserver, ablations, sched, or all")
+		exp      = flag.String("experiment", "all", "which experiment to run (see list below)")
 		workers  = flag.Int("workers", 4, "virtual cores P")
 		duration = flag.Duration("duration", 400*time.Millisecond, "request window per data point")
 		conns    = flag.String("connections", "90,120,150,180", "comma-separated client counts")
 		seed     = flag.Int64("seed", 20200406, "random seed")
 		iters    = flag.Int("iters", 50, "iterations for Table 1 timing")
 	)
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: icilk-bench [flags]")
+		flag.PrintDefaults()
+		fmt.Fprintln(os.Stderr)
+		experimentUsage(os.Stderr)
+	}
 	flag.Parse()
 
 	cfg := experiments.EvalConfig{
@@ -50,18 +95,22 @@ func main() {
 		cfg.Connections = append(cfg.Connections, n)
 	}
 
-	run := func(name string, f func()) {
-		switch *exp {
-		case name, "all":
-			f()
+	known := false
+	for _, e := range experimentList {
+		if e.name == *exp {
+			known = true
 		}
 	}
-	run("table1", func() { table1(*iters) })
-	run("fig13", func() { fig13(cfg) })
-	run("fig14", func() { fig14(cfg) })
-	run("jserver", func() { fig14JServer(cfg) })
-	run("ablations", func() { ablations(cfg) })
-	run("sched", func() { sched(cfg) })
+	if !known {
+		fmt.Fprintf(os.Stderr, "icilk-bench: unknown experiment %q\n\n", *exp)
+		experimentUsage(os.Stderr)
+		os.Exit(2)
+	}
+	for _, e := range experimentList {
+		if e.run != nil && (*exp == "all" || *exp == e.name) {
+			e.run(cfg, *iters)
+		}
+	}
 }
 
 func table1(iters int) {

@@ -1,0 +1,224 @@
+// Command icilk-serve serves the paper's case studies over real TCP on
+// the icilk runtime, and generates the load to measure them under:
+//
+//	icilk-serve serve   -addr 127.0.0.1:8080        # run the server
+//	icilk-serve loadgen -addr 127.0.0.1:8080        # drive it, print per-class latency
+//	icilk-serve demo                                # both in one process
+//
+// The load generator is open-loop (Poisson arrivals detached from
+// service completions), so the per-priority-class p50/p95/p99 table it
+// prints reflects honest queueing behavior under overload — the
+// measurement the paper's responsiveness bound is about.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/apps/jserver"
+	"repro/internal/serve"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "serve":
+		cmdServe(os.Args[2:])
+	case "loadgen":
+		cmdLoadgen(os.Args[2:])
+	case "demo":
+		cmdDemo(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "icilk-serve: unknown subcommand %q\n\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `usage: icilk-serve <subcommand> [flags]
+
+subcommands:
+  serve     run the server until interrupted
+  loadgen   drive a running server with open-loop Poisson traffic and
+            print the per-priority-class latency table
+  demo      start a server, run a loadgen burst against it, print the
+            table, and exit (non-zero unless every class that saw
+            traffic reports a bounded p99)
+
+run "icilk-serve <subcommand> -h" for that subcommand's flags.
+`)
+}
+
+// serveFlags registers the server's flags on fs. defaultAddr differs
+// per subcommand: serve binds a well-known port, demo picks a free one.
+func serveFlags(fs *flag.FlagSet, defaultAddr string) func() serve.Config {
+	var (
+		addr     = fs.String("addr", defaultAddr, "TCP listen address")
+		workers  = fs.Int("workers", 4, "icilk virtual cores")
+		baseline = fs.Bool("baseline", false, "disable prioritization (Cilk-F baseline)")
+		matmulN  = fs.Int("matmul-n", 0, "jserver matmul size (0 = default)")
+		fibN     = fs.Int("fib-n", 0, "jserver fib size (0 = default)")
+		sortN    = fs.Int("sort-n", 0, "jserver sort size (0 = default)")
+		swN      = fs.Int("sw-n", 0, "jserver Smith-Waterman size (0 = default)")
+		seed     = fs.Int64("seed", 20200406, "random seed for the simulated backends")
+	)
+	return func() serve.Config {
+		return serve.Config{
+			Addr:     *addr,
+			Workers:  *workers,
+			Baseline: *baseline,
+			Jobs:     jserver.Config{MatMulN: *matmulN, FibN: *fibN, SortN: *sortN, SWN: *swN},
+			Seed:     *seed,
+		}
+	}
+}
+
+// loadFlags registers the load generator's flags on fs. withAddr is
+// false when the caller (demo) already owns the -addr flag.
+func loadFlags(fs *flag.FlagSet, withAddr bool) func(addr string) serve.LoadConfig {
+	addr := new(string)
+	if withAddr {
+		addr = fs.String("addr", "127.0.0.1:8080", "server address to drive")
+	}
+	var (
+		duration = fs.Duration("duration", 2*time.Second, "arrival window")
+		mean     = fs.Duration("mean", 2*time.Millisecond, "mean Poisson interarrival time")
+		conns    = fs.Int("conns", 16, "client connection pool size")
+		seed     = fs.Int64("load-seed", 20200406, "arrival seed")
+		mix      = fs.String("mix", "", `request mix as "weight*path,..." (empty = default mix over every endpoint)`)
+	)
+	return func(override string) serve.LoadConfig {
+		a := *addr
+		if override != "" {
+			a = override
+		}
+		entries, err := parseMix(*mix)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "icilk-serve:", err)
+			os.Exit(2)
+		}
+		return serve.LoadConfig{
+			Addr:        a,
+			Duration:    *duration,
+			MeanArrival: *mean,
+			Conns:       *conns,
+			Seed:        *seed,
+			Mix:         entries,
+		}
+	}
+}
+
+// parseMix turns "4*/ping,1*/jserver?job=sw" into a mix; a bare path
+// gets weight 1, and a parseable weight prefix must be positive. Empty
+// input returns nil (the default mix).
+func parseMix(s string) ([]serve.MixEntry, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var mix []serve.MixEntry
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		weight := 1
+		path := part
+		if w, rest, ok := strings.Cut(part, "*"); ok {
+			if n, err := strconv.Atoi(w); err == nil {
+				if n <= 0 {
+					return nil, fmt.Errorf("mix entry %q: weight must be positive", part)
+				}
+				weight, path = n, rest
+			}
+		}
+		mix = append(mix, serve.MixEntry{Path: path, Weight: weight})
+	}
+	return mix, nil
+}
+
+func cmdServe(args []string) {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	cfg := serveFlags(fs, "127.0.0.1:8080")
+	fs.Parse(args)
+
+	s, err := serve.Start(cfg())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icilk-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("icilk-serve: listening on %s (workers=%d, prioritized=%v)\n",
+		s.Addr(), cfg().Workers, !cfg().Baseline)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("icilk-serve: shutting down")
+	if err := s.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "icilk-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func cmdLoadgen(args []string) {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	load := loadFlags(fs, true)
+	fs.Parse(args)
+	runLoad(load(""))
+}
+
+func cmdDemo(args []string) {
+	fs := flag.NewFlagSet("demo", flag.ExitOnError)
+	cfg := serveFlags(fs, "127.0.0.1:0") // default: pick a free port
+	load := loadFlags(fs, false)
+	fs.Parse(args)
+
+	s, err := serve.Start(cfg())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icilk-serve:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("icilk-serve: demo server on %s\n", s.Addr())
+	runLoad(load(s.Addr()))
+	if err := s.Shutdown(); err != nil {
+		fmt.Fprintln(os.Stderr, "icilk-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// runLoad executes one load generation run and prints the per-class
+// table, exiting non-zero unless every class that saw traffic reports
+// a bounded p99.
+func runLoad(cfg serve.LoadConfig) {
+	res, err := serve.RunLoad(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icilk-serve:", err)
+		os.Exit(1)
+	}
+	res.Report(os.Stdout)
+	// The smoke gate: every class that saw traffic must have a p99
+	// within the loadgen's own read deadline — a response stream that
+	// only survives on timeouts fails loudly here (and in CI).
+	finite := 0
+	for class := range res.PerClass {
+		if p99 := res.Summary(class).P99; p99 > 0 && p99 < 30*time.Second {
+			finite++
+		}
+	}
+	if finite < len(res.PerClass) {
+		fmt.Fprintf(os.Stderr, "icilk-serve: only %d/%d classes produced a bounded p99\n",
+			finite, len(res.PerClass))
+		os.Exit(1)
+	}
+	fmt.Printf("p99 finite for %d/%d classes\n", finite, len(res.PerClass))
+}

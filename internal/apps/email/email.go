@@ -129,8 +129,11 @@ func body(user, id int) []byte {
 		fmt.Sprintf("message %d for user %d lorem ipsum dolor sit amet ", id, user), 40))
 }
 
-// Run executes the email workload on the given runtime (≥ Levels levels).
-func Run(rt *icilk.Runtime, cfg Config) Result {
+// NewServer builds the email service core — per-user mailboxes seeded
+// with messages, plus the simulated printer and SMTP devices. It is the
+// reusable piece behind both the simulated harness (Run) and
+// internal/serve's /email endpoint.
+func NewServer(rt *icilk.Runtime, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	srv := &Server{
 		rt:      rt,
@@ -149,6 +152,35 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 		}
 		srv.boxes = append(srv.boxes, box)
 	}
+	return srv
+}
+
+// Users returns the number of mailboxes.
+func (s *Server) Users() int { return len(s.boxes) }
+
+// Send composes and ships a message for user. Call from a task at
+// PrioSend (or the matching admission level of a smaller runtime).
+func (s *Server) Send(c *icilk.Ctx, user int) {
+	s.send(c, s.boxes[user%len(s.boxes)], user)
+}
+
+// Sort re-sorts user's mailbox display order. Call from a task at
+// PrioSort.
+func (s *Server) Sort(c *icilk.Ctx, user int) {
+	s.sortBox(c, s.boxes[user%len(s.boxes)])
+}
+
+// Print prints email eid of user's mailbox, coordinating with any
+// in-flight compression through the slot protocol. Spawn with GoSelf at
+// PrioCompress and pass the task's own future as self.
+func (s *Server) Print(c *icilk.Ctx, user, eid int, self *icilk.Future[int]) {
+	s.print(c, s.boxes[user%len(s.boxes)], eid, self)
+}
+
+// Run executes the email workload on the given runtime (≥ Levels levels).
+func Run(rt *icilk.Runtime, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	srv := NewServer(rt, cfg)
 
 	var (
 		mu         sync.Mutex

@@ -19,9 +19,12 @@ import (
 // Levels is the number of priority levels jserver needs (one per type).
 const Levels = 4
 
-// Priorities by job type: matmul > fib > sort > sw, the paper's
-// smallest-work-first order with our calibrated sizes.
-func priorityOf(t workload.JobType) icilk.Priority {
+// PriorityOf maps a job type to its priority: matmul > fib > sort > sw,
+// the paper's smallest-work-first order with our calibrated sizes.
+// internal/serve reuses this mapping for network admission, so a job's
+// priority is the same whether it arrives from the simulated Poisson
+// generator or over a TCP connection.
+func PriorityOf(t workload.JobType) icilk.Priority {
 	switch t {
 	case workload.JobMatMul:
 		return 3
@@ -69,6 +72,45 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// JobSet holds pre-generated inputs for the four job kernels, so job
+// cost excludes input construction. It is shared by the simulated
+// harness (Run) and the network server (internal/serve): both execute
+// the same kernels on the same inputs, only the arrival process differs.
+type JobSet struct {
+	cfg        Config
+	ma, mb     *workload.Matrix
+	ints       []int
+	seqA, seqB string
+}
+
+// NewJobSet pre-generates inputs from the config's sizes and seed.
+func NewJobSet(cfg Config) *JobSet {
+	cfg = cfg.withDefaults()
+	return &JobSet{
+		cfg:  cfg,
+		ma:   workload.RandomMatrix(cfg.MatMulN, cfg.Seed),
+		mb:   workload.RandomMatrix(cfg.MatMulN, cfg.Seed+1),
+		ints: workload.RandomInts(cfg.SortN, cfg.Seed+2),
+		seqA: workload.RandomSeq(cfg.SWN, cfg.Seed+3),
+		seqB: workload.RandomSeq(cfg.SWN, cfg.Seed+4),
+	}
+}
+
+// Exec runs one job of type jt at priority p on the calling task's
+// context, using the pre-generated inputs.
+func (js *JobSet) Exec(rt *icilk.Runtime, c *icilk.Ctx, p icilk.Priority, jt workload.JobType) {
+	switch jt {
+	case workload.JobMatMul:
+		workload.MatMul(rt, c, p, js.ma, js.mb)
+	case workload.JobFib:
+		workload.Fib(rt, c, p, js.cfg.FibN)
+	case workload.JobSort:
+		workload.MergeSort(rt, c, p, js.ints)
+	case workload.JobSW:
+		workload.SmithWaterman(rt, c, p, js.seqA, js.seqB)
+	}
+}
+
 // Result holds per-type response times (arrival to completion).
 type Result struct {
 	PerType map[workload.JobType][]time.Duration
@@ -83,12 +125,7 @@ func (r Result) Summary(t workload.JobType) stats.Summary {
 // Run executes the job server on the given runtime (≥ Levels levels).
 func Run(rt *icilk.Runtime, cfg Config) Result {
 	cfg = cfg.withDefaults()
-	// Pre-generate inputs so job cost excludes input construction.
-	ma := workload.RandomMatrix(cfg.MatMulN, cfg.Seed)
-	mb := workload.RandomMatrix(cfg.MatMulN, cfg.Seed+1)
-	ints := workload.RandomInts(cfg.SortN, cfg.Seed+2)
-	seqA := workload.RandomSeq(cfg.SWN, cfg.Seed+3)
-	seqB := workload.RandomSeq(cfg.SWN, cfg.Seed+4)
+	jobSet := NewJobSet(cfg)
 
 	var (
 		mu      sync.Mutex
@@ -109,19 +146,10 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 	gen.Run(stop, func(i int) {
 		state = state*6364136223846793005 + 1442695040888963407
 		jt := workload.JobType((state >> 33) % 4)
-		p := priorityOf(jt)
+		p := PriorityOf(jt)
 		arrival := time.Now()
 		icilk.Go(rt, nil, p, jt.String(), func(c *icilk.Ctx) int {
-			switch jt {
-			case workload.JobMatMul:
-				workload.MatMul(rt, c, p, ma, mb)
-			case workload.JobFib:
-				workload.Fib(rt, c, p, cfg.FibN)
-			case workload.JobSort:
-				workload.MergeSort(rt, c, p, ints)
-			case workload.JobSW:
-				workload.SmithWaterman(rt, c, p, seqA, seqB)
-			}
+			jobSet.Exec(rt, c, p, jt)
 			record(jt, time.Since(arrival))
 			return 0
 		})

@@ -47,16 +47,16 @@ func TestJServerBaseline(t *testing.T) {
 
 func TestPriorityAssignment(t *testing.T) {
 	// Smallest-work-first: matmul highest, sw lowest.
-	if priorityOf(workload.JobMatMul) != 3 {
+	if PriorityOf(workload.JobMatMul) != 3 {
 		t.Error("matmul should be priority 3")
 	}
-	if priorityOf(workload.JobFib) != 2 {
+	if PriorityOf(workload.JobFib) != 2 {
 		t.Error("fib should be priority 2")
 	}
-	if priorityOf(workload.JobSort) != 1 {
+	if PriorityOf(workload.JobSort) != 1 {
 		t.Error("sort should be priority 1")
 	}
-	if priorityOf(workload.JobSW) != 0 {
+	if PriorityOf(workload.JobSW) != 0 {
 		t.Error("sw should be priority 0")
 	}
 }

@@ -94,18 +94,58 @@ func site(url string) string {
 	return fmt.Sprintf("<html>content of %s: %x</html>", url, h.Sum64())
 }
 
+// Service is the proxy's reusable core — the cache and the origin — used
+// by both the simulated harness (Run) and internal/serve's /proxy
+// endpoint. The front-end arrival process differs (Poisson clients vs
+// real TCP); the cache-or-fetch logic is the same.
+type Service struct {
+	cache  *conc.Map[string]
+	origin *simio.Device
+	Hits   atomic.Int64
+	Misses atomic.Int64
+}
+
+// NewService creates a proxy core with the given origin latency.
+func NewService(lat simio.Latency, seed int64) *Service {
+	return &Service{
+		cache:  conc.NewMap[string](),
+		origin: simio.NewDevice("origin", lat, seed),
+	}
+}
+
+// Lookup consults the cache, counting the hit or miss.
+func (s *Service) Lookup(url string) (string, bool) {
+	body, ok := s.cache.Get(url)
+	if ok {
+		s.Hits.Add(1)
+	} else {
+		s.Misses.Add(1)
+	}
+	return body, ok
+}
+
+// Fetch retrieves url from the origin (an IO future hides the latency),
+// parses it, and fills the cache. It runs on the calling task, which
+// should be at PrioFetch per the priority specification.
+func (s *Service) Fetch(rt *icilk.Runtime, c *icilk.Ctx, p icilk.Priority, url string) string {
+	body := simio.Read(rt, s.origin, p, func() string {
+		return site(url)
+	}).Touch(c)
+	spin(150 * time.Microsecond) // parse/validate
+	c.Checkpoint()
+	s.cache.Put(url, body)
+	return body
+}
+
 // Run executes the proxy workload on the given runtime, which must have
 // at least Levels priority levels.
 func Run(rt *icilk.Runtime, cfg Config) Result {
 	cfg = cfg.withDefaults()
-	cache := conc.NewMap[string]()
-	remote := simio.NewDevice("origin", cfg.FetchLatency, cfg.Seed)
+	svc := NewService(cfg.FetchLatency, cfg.Seed)
 
 	var (
 		mu        sync.Mutex
 		responses []time.Duration
-		hits      atomic.Int64
-		misses    atomic.Int64
 		requests  atomic.Int64
 	)
 
@@ -129,7 +169,7 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 			case <-tick.C:
 				icilk.Go(rt, nil, PrioStats, "stats", func(c *icilk.Ctx) int {
 					// Aggregate counters with a small amount of work.
-					h, m := hits.Load(), misses.Load()
+					h, m := svc.Hits.Load(), svc.Misses.Load()
 					spin(20 * time.Microsecond)
 					c.Checkpoint()
 					return int(h + m)
@@ -155,23 +195,15 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 				// The per-client event loop handles the request at the
 				// highest priority.
 				icilk.Go(rt, nil, PrioEvent, "event", func(c *icilk.Ctx) int {
-					if _, ok := cache.Get(url); ok {
-						hits.Add(1)
+					if _, ok := svc.Lookup(url); ok {
 						spin(15 * time.Microsecond) // compose response
 						record(&mu, &responses, time.Since(arrival))
 						return 1
 					}
-					misses.Add(1)
 					// Delegate the fetch to the lower-priority component;
 					// the event loop is done once the fetch is dispatched.
 					icilk.Go(rt, c, PrioFetch, "fetch", func(c *icilk.Ctx) int {
-						body := simio.Read(rt, remote, PrioFetch, func() string {
-							return site(url)
-						}).Touch(c)
-						spin(150 * time.Microsecond) // parse/validate
-						c.Checkpoint()
-						cache.Put(url, body)
-						return len(body)
+						return len(svc.Fetch(rt, c, PrioFetch, url))
 					})
 					record(&mu, &responses, time.Since(arrival))
 					return 0
@@ -195,8 +227,8 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 	defer mu.Unlock()
 	return Result{
 		Responses: append([]time.Duration(nil), responses...),
-		Hits:      hits.Load(),
-		Misses:    misses.Load(),
+		Hits:      svc.Hits.Load(),
+		Misses:    svc.Misses.Load(),
 		Requests:  requests.Load(),
 	}
 }

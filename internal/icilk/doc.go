@@ -1,0 +1,39 @@
+// Package icilk is a Go reimagining of I-Cilk (Muller et al., PLDI 2020,
+// Section 4): a task-parallel runtime for interactive parallel
+// applications with prioritized futures.
+//
+// The runtime is event-driven end to end. A spawned task (Go — the
+// paper's fcreate) is a bare closure that the scheduling worker runs
+// inline on its own goroutine; only when a task first blocks on an
+// unresolved Touch (ftouch) is it promoted to a fiber — the goroutine
+// hands its worker identity to a fresh runner and parks, hiding latency
+// exactly as I-Cilk's io_future does. Completed futures push their
+// waiters straight back into the run queues and wake parked workers; no
+// code path in this package sleeps or polls.
+//
+// Scheduling is two-level (Section 4.3): each priority level has its own
+// work-stealing scheduler (per-worker lock-free Chase-Lev deques plus a
+// lock-free injection queue), and a master scheduler reassigns workers to
+// levels every quantum using A-STEAL-style desire feedback: a level whose
+// utilization beat the threshold and whose desire was satisfied
+// multiplies its desire by γ; an underutilized level divides it by γ.
+// Cores are granted in priority order. With Prioritize=false the runtime
+// degenerates into the Cilk-F baseline: one priority-oblivious
+// work-stealing pool.
+//
+// # External IO
+//
+// Two primitives connect the runtime to the world outside it. IO builds
+// a timer-backed future (simulated devices, internal/simio). NewPromise
+// hands out an unresolved future plus the right to complete it from any
+// goroutine — the hook that real device drivers use: internal/serve's
+// acceptor and poller goroutines complete request and write promises on
+// socket events, so tasks touching them park and free their workers for
+// exactly as long as the network takes. Both paths reuse the task
+// completion machinery (requeue waiters, wake parked workers), so
+// latency hiding is identical for simulated and real IO.
+//
+// See ARCHITECTURE.md at the repository root for the end-to-end
+// scheduler design, including the task lifecycle diagram, the park/wake
+// sequence protocol, and the steal order across priority levels.
+package icilk

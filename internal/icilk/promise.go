@@ -1,0 +1,78 @@
+package icilk
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Promise is an externally completed future — the hook that device
+// drivers use to inject real-world completions into the runtime. The
+// timer-based IO helper and internal/serve's socket layer are both built
+// on it: an acceptor or poller goroutine observes an external event (a
+// parsed request, a finished write, an expired timer) and calls Complete,
+// which reuses the task completion path — waiters are requeued at their
+// own levels and parked workers are woken. Nothing polls the promise.
+//
+// A Promise counts as outstanding from creation until Complete or Fail,
+// so Runtime.WaitIdle waits for in-flight IO exactly as it waits for
+// tasks. Complete and Fail may be called from any goroutine, but only
+// once between them; a second resolution panics, matching the
+// single-assignment semantics of futures.
+type Promise[T any] struct {
+	rt       *Runtime
+	f        *future
+	resolved atomic.Bool
+}
+
+// NewPromise creates an unresolved promise at priority p. The returned
+// promise's Future can be stored, passed, and Touched like any other;
+// touchers park (freeing their workers) until some goroutine resolves it.
+func NewPromise[T any](rt *Runtime, p Priority) *Promise[T] {
+	rt.outstanding.Add(1)
+	return &Promise[T]{rt: rt, f: &future{prio: p}}
+}
+
+// Future returns the consumer-side handle.
+func (p *Promise[T]) Future() *Future[T] { return &Future[T]{f: p.f} }
+
+// Complete resolves the promise with v, requeueing every parked toucher.
+// It panics if the promise was already resolved.
+func (p *Promise[T]) Complete(v T) {
+	if p.resolved.Swap(true) {
+		panic("icilk: promise resolved twice")
+	}
+	defer p.rt.taskDone()
+	p.f.complete(v)
+}
+
+// Fail resolves the promise with an error; touchers re-panic it, so an
+// IO failure propagates along join edges like a task panic. It panics if
+// the promise was already resolved.
+func (p *Promise[T]) Fail(err error) {
+	if p.resolved.Swap(true) {
+		panic("icilk: promise resolved twice")
+	}
+	defer p.rt.taskDone()
+	p.f.fail(err)
+}
+
+// Resolved reports whether Complete or Fail has been called.
+func (p *Promise[T]) Resolved() bool { return p.resolved.Load() }
+
+// Completed returns an already-resolved future holding v — for IO layers
+// whose fast path (buffered data, cache hit) has the value on hand and
+// needs a Future only to keep one signature. It never parks a toucher
+// and does not count as outstanding.
+func Completed[T any](p Priority, v T) *Future[T] {
+	return &Future[T]{f: &future{prio: p, done: true, val: v}}
+}
+
+// IO returns a future that completes with mk() after d elapses, without
+// occupying a worker — the io_future of Section 4.1. The simulated I/O
+// substrate (internal/simio) builds on this; real-socket IO in
+// internal/serve uses NewPromise directly.
+func IO[T any](rt *Runtime, p Priority, d time.Duration, mk func() T) *Future[T] {
+	pr := NewPromise[T](rt, p)
+	time.AfterFunc(d, func() { pr.Complete(mk()) })
+	return pr.Future()
+}

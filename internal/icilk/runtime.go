@@ -1,25 +1,3 @@
-// Package icilk is a Go reimagining of I-Cilk (Muller et al., PLDI 2020,
-// Section 4): a task-parallel runtime for interactive parallel
-// applications with prioritized futures.
-//
-// The runtime is event-driven end to end. A spawned task (Go — the
-// paper's fcreate) is a bare closure that the scheduling worker runs
-// inline on its own goroutine; only when a task first blocks on an
-// unresolved Touch (ftouch) is it promoted to a fiber — the goroutine
-// hands its worker identity to a fresh runner and parks, hiding latency
-// exactly as I-Cilk's io_future does. Completed futures push their
-// waiters straight back into the run queues and wake parked workers; no
-// code path in this package sleeps or polls.
-//
-// Scheduling is two-level (Section 4.3): each priority level has its own
-// work-stealing scheduler (per-worker lock-free Chase-Lev deques plus a
-// lock-free injection queue), and a master scheduler reassigns workers to
-// levels every quantum using A-STEAL-style desire feedback: a level whose
-// utilization beat the threshold and whose desire was satisfied
-// multiplies its desire by γ; an underutilized level divides it by γ.
-// Cores are granted in priority order. With Prioritize=false the runtime
-// degenerates into the Cilk-F baseline: one priority-oblivious
-// work-stealing pool.
 package icilk
 
 import (
@@ -354,19 +332,6 @@ func GoSelf[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx, *
 	self := &Future[T]{f: f}
 	rt.spawn(c, p, name, f, func(c *Ctx) any { return fn(c, self) })
 	return self
-}
-
-// IO returns a future that completes with mk() after d elapses, without
-// occupying a worker — the io_future of Section 4.1. The simulated I/O
-// substrate (internal/simio) builds on this.
-func IO[T any](rt *Runtime, p Priority, d time.Duration, mk func() T) *Future[T] {
-	f := &future{prio: p}
-	rt.outstanding.Add(1)
-	time.AfterFunc(d, func() {
-		defer rt.taskDone()
-		f.complete(mk())
-	})
-	return &Future[T]{f: f}
 }
 
 // requeue puts an unblocked task back into circulation at its own level

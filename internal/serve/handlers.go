@@ -1,0 +1,211 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/apps/jserver"
+	"repro/internal/icilk"
+	"repro/internal/workload"
+)
+
+// handlerFn computes one response body. self is non-nil only for
+// slot-protocol handlers (email print), which receive their own future
+// to install in the coordination slot.
+type handlerFn func(c *icilk.Ctx, self *icilk.Future[int]) (int, string)
+
+// dispatch admits req to a priority class and spawns its handler at that
+// class's level — the network edge of the paper's priority
+// specifications: the event loop stays at top priority and hands real
+// work down to the level the admission table assigns.
+//
+// Handlers on one connection run concurrently, but HTTP/1.1 requires
+// pipelined responses to leave in request order, so each handler
+// inherits its predecessor's order token (an icilk future): it computes
+// its response in parallel, touches the token before writing, and
+// completes its own token once its response is on the socket. The
+// tokens are created at the top level, so touching one is never a
+// priority inversion regardless of the two handlers' classes.
+func (s *Server) dispatch(c *icilk.Ctx, cn *sconn, req *request) {
+	class, prio, run, self := s.route(req)
+	s.countAdmit(class)
+	prev := cn.lastWrite
+	token := icilk.NewPromise[int](s.rt, PrioInteractive)
+	cn.lastWrite = token.Future()
+	// A slot-protocol handler (email print) runs as its own inner task
+	// so the future it installs in the coordination slot completes as
+	// soon as the print work does. Spanning the response write with that
+	// future would let the slot protocol and the order chain form a
+	// circular wait: print A parks on B's slot handle while B's task end
+	// parks on A's order token.
+	exec := func(c *icilk.Ctx) (int, string) {
+		if !self {
+			return run(c, nil)
+		}
+		var status int
+		var text string
+		inner := icilk.GoSelf(s.rt, c, prio, class,
+			func(c *icilk.Ctx, fut *icilk.Future[int]) int {
+				status, text = run(c, fut)
+				return 0
+			})
+		inner.Touch(c) // re-panics an inner failure into the recover below
+		return status, text
+	}
+	icilk.Go(s.rt, c, prio, class, func(c *icilk.Ctx) int {
+		defer func() {
+			if !token.Resolved() {
+				token.Complete(-1) // backstop: never strand the successor
+			}
+		}()
+		// A panicking handler must still emit a response in its slot,
+		// or every later response on this keep-alive connection would
+		// be attributed to the wrong request.
+		status, text := 500, "internal error\n"
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					status, text = 500, fmt.Sprintf("handler panic: %v\n", r)
+				}
+			}()
+			status, text = exec(c)
+		}()
+		prev.Touch(c)
+		s.respond(c, cn, prio, class, status, text)
+		token.Complete(0)
+		return 0
+	})
+}
+
+// route is the admission table: request → (class name, priority level,
+// handler). jserver jobs inherit jserver.PriorityOf — the
+// smallest-work-first order of Section 5.1 — unchanged, because the
+// serving runtime's four levels are the same four levels the simulated
+// job server uses.
+func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
+	fail := func(status int, msg string) (string, icilk.Priority, handlerFn, bool) {
+		return "error", PrioInteractive, func(*icilk.Ctx, *icilk.Future[int]) (int, string) {
+			return status, msg
+		}, false
+	}
+	if req.method != "GET" {
+		return fail(405, fmt.Sprintf("method %s not allowed\n", req.method))
+	}
+	switch req.path {
+	case "/ping":
+		return "ping", PrioInteractive, func(*icilk.Ctx, *icilk.Future[int]) (int, string) {
+			return 200, "pong\n"
+		}, false
+
+	case "/stats":
+		return "stats", PrioInteractive, func(*icilk.Ctx, *icilk.Future[int]) (int, string) {
+			return 200, s.statsBody()
+		}, false
+
+	case "/jserver":
+		jt, ok := jobType(req.query.Get("job"))
+		if !ok {
+			return fail(400, fmt.Sprintf("unknown job %q: want matmul, fib, sort, or sw\n",
+				req.query.Get("job")))
+		}
+		prio := jserver.PriorityOf(jt)
+		class := "jserver-" + jt.String()
+		return class, prio, func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+			start := time.Now()
+			s.jobs.Exec(s.rt, c, prio, jt)
+			return 200, fmt.Sprintf("%s done in %v\n", jt, time.Since(start).Round(time.Microsecond))
+		}, false
+
+	case "/proxy":
+		url := req.query.Get("url")
+		if url == "" {
+			return fail(400, "missing url parameter\n")
+		}
+		return "proxy", PrioInteractive, func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+			if body, ok := s.proxy.Lookup(url); ok {
+				return 200, body
+			}
+			// The event-side handler answers as soon as the fetch is
+			// dispatched (the paper's responsiveness definition); the
+			// content lands in the cache for the next request.
+			icilk.Go(s.rt, c, PrioHeavy, "proxy-fetch", func(c *icilk.Ctx) int {
+				return len(s.proxy.Fetch(s.rt, c, PrioHeavy, url))
+			})
+			return 202, "miss: fetch scheduled\n"
+		}, false
+
+	case "/email":
+		user := atoiDefault(req.query.Get("user"), 0)
+		switch op := req.query.Get("op"); op {
+		case "send":
+			return "email-send", PrioNormal, func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+				s.email.Send(c, user)
+				return 200, "sent\n"
+			}, false
+		case "sort":
+			return "email-sort", PrioHeavy, func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+				s.email.Sort(c, user)
+				return 200, "sorted\n"
+			}, false
+		case "print":
+			eid := atoiDefault(req.query.Get("id"), 0)
+			return "email-print", PrioHeavy, func(c *icilk.Ctx, self *icilk.Future[int]) (int, string) {
+				s.email.Print(c, user, eid, self)
+				return 200, "printed\n"
+			}, true
+		default:
+			return fail(400, fmt.Sprintf("unknown op %q: want send, sort, or print\n", op))
+		}
+	}
+	return fail(404, fmt.Sprintf("no such endpoint %s\n", req.path))
+}
+
+func jobType(name string) (workload.JobType, bool) {
+	switch name {
+	case "matmul":
+		return workload.JobMatMul, true
+	case "fib":
+		return workload.JobFib, true
+	case "sort":
+		return workload.JobSort, true
+	case "sw":
+		return workload.JobSW, true
+	}
+	return 0, false
+}
+
+func atoiDefault(s string, def int) int {
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 0 {
+		return def
+	}
+	return n
+}
+
+// statsBody renders the server's counters and the runtime's scheduler
+// observables as text.
+func (s *Server) statsBody() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "uptime: %v\n", time.Since(s.start).Round(time.Millisecond))
+	fmt.Fprintf(&b, "connections accepted: %d\n", s.accepted.Load())
+	fmt.Fprintf(&b, "requests: %d\n", s.requests.Load())
+	fmt.Fprintf(&b, "write errors: %d\n", s.writeErrs.Load())
+	fmt.Fprintf(&b, "proxy cache: %d hits, %d misses\n",
+		s.proxy.Hits.Load(), s.proxy.Misses.Load())
+	admitted := s.Admitted()
+	classes := make([]string, 0, len(admitted))
+	for cl := range admitted {
+		classes = append(classes, cl)
+	}
+	sort.Strings(classes)
+	b.WriteString("admitted per class:\n")
+	for _, cl := range classes {
+		fmt.Fprintf(&b, "  %-16s %d\n", cl, admitted[cl])
+	}
+	fmt.Fprintf(&b, "scheduler: %v\n", s.rt.Stats())
+	fmt.Fprintf(&b, "worker allocation (level per worker): %v\n", s.rt.Allocation())
+	return b.String()
+}

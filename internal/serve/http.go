@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/textproto"
+	"net/url"
+	"strconv"
+	"strings"
+
+	"repro/internal/icilk"
+)
+
+// request is one parsed HTTP request, delivered to a connection's event
+// loop through an IO future.
+type request struct {
+	method string
+	path   string
+	query  url.Values
+}
+
+// parseRequest reads one HTTP/1.1 request (request line plus headers)
+// from the connection. Bodies are read and discarded — every endpoint is
+// a GET. It runs on the connection's reader goroutine, where blocking is
+// free: the Go netpoller parks the goroutine, not an icilk worker.
+func parseRequest(tp *textproto.Reader, br *bufio.Reader) (*request, error) {
+	line, err := tp.ReadLine()
+	if err != nil {
+		return nil, err
+	}
+	if line == "" { // tolerate a stray blank line between requests
+		if line, err = tp.ReadLine(); err != nil {
+			return nil, err
+		}
+	}
+	method, rest, ok := strings.Cut(line, " ")
+	uri, _, ok2 := strings.Cut(rest, " ")
+	if !ok || !ok2 {
+		return nil, fmt.Errorf("serve: malformed request line %q", line)
+	}
+	h, err := tp.ReadMIMEHeader()
+	if err != nil {
+		return nil, err
+	}
+	if cl := h.Get("Content-Length"); cl != "" {
+		n, err := strconv.Atoi(cl)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("serve: bad Content-Length %q", cl)
+		}
+		if _, err := io.CopyN(io.Discard, br, int64(n)); err != nil {
+			return nil, err
+		}
+	}
+	u, err := url.ParseRequestURI(uri)
+	if err != nil {
+		return nil, fmt.Errorf("serve: bad request URI %q: %w", uri, err)
+	}
+	return &request{method: method, path: u.Path, query: u.Query()}, nil
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 202:
+		return "Accepted"
+	case 400:
+		return "Bad Request"
+	case 404:
+		return "Not Found"
+	case 405:
+		return "Method Not Allowed"
+	default:
+		return "Internal Server Error"
+	}
+}
+
+// httpResponse serializes a keep-alive HTTP/1.1 response. The admission
+// class and priority ride in X-Class/X-Priority headers so the load
+// generator can aggregate latencies per priority class without knowing
+// the server's admission table.
+func httpResponse(status int, class string, prio icilk.Priority, body string) []byte {
+	var b strings.Builder
+	b.Grow(len(body) + 128)
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", status, statusText(status))
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(body))
+	fmt.Fprintf(&b, "Content-Type: text/plain\r\n")
+	fmt.Fprintf(&b, "X-Class: %s\r\n", class)
+	fmt.Fprintf(&b, "X-Priority: %d\r\n", int(prio))
+	b.WriteString("\r\n")
+	b.WriteString(body)
+	return []byte(b.String())
+}
+
+// response is the client-side view of one reply, as read by the load
+// generator.
+type response struct {
+	status int
+	class  string
+	prio   int
+	body   []byte
+}
+
+// readResponse parses one HTTP/1.1 response from a client connection.
+func readResponse(tp *textproto.Reader, br *bufio.Reader) (*response, error) {
+	line, err := tp.ReadLine()
+	if err != nil {
+		return nil, err
+	}
+	parts := strings.SplitN(line, " ", 3)
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("serve: malformed status line %q", line)
+	}
+	status, err := strconv.Atoi(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("serve: bad status in %q", line)
+	}
+	h, err := tp.ReadMIMEHeader()
+	if err != nil {
+		return nil, err
+	}
+	n, err := strconv.Atoi(h.Get("Content-Length"))
+	if err != nil || n < 0 {
+		return nil, fmt.Errorf("serve: bad Content-Length %q", h.Get("Content-Length"))
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, err
+	}
+	prio, _ := strconv.Atoi(h.Get("X-Priority"))
+	return &response{status: status, class: h.Get("X-Class"), prio: prio, body: body}, nil
+}

@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/apps/jserver"
+)
+
+// TestJServerTailLatencyUnderLoad guards the paper's responsiveness
+// property at the network edge: while open-loop low-priority batch
+// traffic (sw, level 0) saturates the workers, the high-priority class
+// (matmul, level 3 — smallest work first) must keep a bounded p99.
+//
+// Two independent connection pools drive the server so the probe
+// stream's client-side queueing cannot be polluted by batch responses
+// occupying connections; every latency includes server-side admission,
+// scheduling, execution, and the response write.
+func TestJServerTailLatencyUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load test")
+	}
+	s := testServer(t, Config{
+		Workers: 4,
+		// sw sized well above matmul: the batch class brings sustained
+		// multi-millisecond jobs, the probe class sub-millisecond ones.
+		Jobs: jserver.Config{MatMulN: 32, FibN: 18, SortN: 20_000, SWN: 1000},
+	})
+
+	var (
+		wg           sync.WaitGroup
+		batch, probe *LoadResult
+		batchErr     error
+		probeErr     error
+	)
+	duration := 2 * time.Second
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		batch, batchErr = RunLoad(LoadConfig{
+			Addr:        s.Addr(),
+			Duration:    duration,
+			MeanArrival: 2 * time.Millisecond, // ~500 jobs/s of multi-ms work: saturating
+			Conns:       8,
+			Mix:         []MixEntry{{Path: "/jserver?job=sw", Weight: 1}},
+			Seed:        1,
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		probe, probeErr = RunLoad(LoadConfig{
+			Addr:        s.Addr(),
+			Duration:    duration,
+			MeanArrival: 10 * time.Millisecond,
+			Conns:       8,
+			Mix:         []MixEntry{{Path: "/jserver?job=matmul", Weight: 1}},
+			Seed:        2,
+		})
+	}()
+	wg.Wait()
+	if batchErr != nil {
+		t.Fatalf("batch load: %v", batchErr)
+	}
+	if probeErr != nil {
+		t.Fatalf("probe load: %v", probeErr)
+	}
+
+	lo := batch.Summary("jserver-sw")
+	hi := probe.Summary("jserver-matmul")
+	var report strings.Builder
+	report.WriteString("batch (sw, prio 0):\n")
+	batch.Report(&report)
+	report.WriteString("probe (matmul, prio 3):\n")
+	probe.Report(&report)
+	t.Logf("\n%s", report.String())
+
+	if hi.Count < 20 {
+		t.Fatalf("too few high-priority samples: %d", hi.Count)
+	}
+	if lo.Count < 100 {
+		t.Fatalf("too few low-priority samples: %d", lo.Count)
+	}
+	// The regression bound: the high-priority tail must stay bounded
+	// while low-priority work saturates. When prioritization breaks, the
+	// probe class queues like the batch class and its p99 blows past
+	// both the absolute bound (generous, for slow CI machines) and the
+	// relative one (a healthy prioritized run keeps the probe tail far
+	// below the saturated batch tail; a broken one puts them within a
+	// small factor of each other).
+	const absBound = 250 * time.Millisecond
+	if hi.P99 >= absBound && hi.P99*4 >= lo.P99 {
+		t.Fatalf("high-priority p99 unbounded under load: hi p99=%v (bound %v), lo p99=%v",
+			hi.P99, absBound, lo.P99)
+	}
+}

@@ -1,0 +1,269 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/textproto"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/simio"
+	"repro/internal/stats"
+)
+
+// MixEntry is one request kind in the generated traffic, drawn with
+// probability proportional to Weight.
+type MixEntry struct {
+	Path   string
+	Weight int
+}
+
+// DefaultMix exercises every endpoint: mostly interactive traffic with a
+// steady stream of batch jobs underneath, mirroring the paper's
+// interactive-plus-background workloads.
+func DefaultMix() []MixEntry {
+	return []MixEntry{
+		{Path: "/ping", Weight: 4},
+		{Path: "/proxy?url=http://site-%d.example/", Weight: 4},
+		{Path: "/jserver?job=matmul", Weight: 2},
+		{Path: "/jserver?job=fib", Weight: 2},
+		{Path: "/jserver?job=sort", Weight: 1},
+		{Path: "/jserver?job=sw", Weight: 1},
+		{Path: "/email?op=send&user=%d", Weight: 2},
+		{Path: "/email?op=sort&user=%d", Weight: 1},
+		{Path: "/email?op=print&user=%d&id=3", Weight: 1},
+	}
+}
+
+// LoadConfig parameterizes a load generation run.
+type LoadConfig struct {
+	// Addr is the server address to drive.
+	Addr string
+	// Duration is the arrival window.
+	Duration time.Duration
+	// MeanArrival is the open-loop Poisson mean interarrival time.
+	MeanArrival time.Duration
+	// Conns is the client connection pool size.
+	Conns int
+	// Mix is the request mix (default DefaultMix). Entries may contain
+	// one %d verb, filled with a per-request pseudo-random value.
+	Mix []MixEntry
+	// Seed makes arrivals reproducible.
+	Seed int64
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.MeanArrival <= 0 {
+		c.MeanArrival = 2 * time.Millisecond
+	}
+	if c.Conns <= 0 {
+		c.Conns = 16
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.Seed == 0 {
+		c.Seed = 20200406
+	}
+	return c
+}
+
+// ClassSample aggregates response latencies for one priority class, as
+// reported by the server's X-Class/X-Priority headers.
+type ClassSample struct {
+	Class     string
+	Prio      int
+	Latencies []time.Duration
+}
+
+// LoadResult is one load generation run's outcome.
+type LoadResult struct {
+	Sent    int64
+	Done    int64
+	Errors  int64
+	Elapsed time.Duration
+	// PerClass maps class name → latency sample. Latency is measured
+	// from the request's scheduled arrival instant to the last response
+	// byte, so queueing delay counts — the open-loop discipline that
+	// makes tail latencies honest under overload.
+	PerClass map[string]*ClassSample
+}
+
+// Summary returns the latency summary for one class.
+func (r *LoadResult) Summary(class string) stats.Summary {
+	cs := r.PerClass[class]
+	if cs == nil {
+		return stats.Summary{}
+	}
+	return stats.Summarize(cs.Latencies)
+}
+
+// Report renders the per-class latency table, highest priority first.
+func (r *LoadResult) Report(w io.Writer) {
+	fmt.Fprintf(w, "sent=%d done=%d errors=%d elapsed=%v\n",
+		r.Sent, r.Done, r.Errors, r.Elapsed.Round(time.Millisecond))
+	classes := make([]*ClassSample, 0, len(r.PerClass))
+	for _, cs := range r.PerClass {
+		classes = append(classes, cs)
+	}
+	sort.Slice(classes, func(i, j int) bool {
+		if classes[i].Prio != classes[j].Prio {
+			return classes[i].Prio > classes[j].Prio
+		}
+		return classes[i].Class < classes[j].Class
+	})
+	fmt.Fprintf(w, "%-16s %4s %7s %10s %10s %10s %10s\n",
+		"class", "prio", "count", "p50", "p95", "p99", "max")
+	for _, cs := range classes {
+		s := stats.Summarize(cs.Latencies)
+		fmt.Fprintf(w, "%-16s %4d %7d %10v %10v %10v %10v\n",
+			cs.Class, cs.Prio, s.Count,
+			s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond),
+			s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+	}
+}
+
+// arrival is one scheduled request: the timestamp is fixed by the
+// Poisson generator, not by when a connection frees up.
+type arrival struct {
+	path string
+	at   time.Time
+}
+
+// RunLoad drives cfg.Addr with open-loop Poisson traffic: a generator
+// goroutine schedules arrivals regardless of how the server keeps up,
+// and a fixed pool of keep-alive connections issues them. It returns the
+// per-class latency aggregation.
+func RunLoad(cfg LoadConfig) (*LoadResult, error) {
+	cfg = cfg.withDefaults()
+
+	// Weighted mix lookup table.
+	var picks []string
+	for _, m := range cfg.Mix {
+		for i := 0; i < m.Weight; i++ {
+			picks = append(picks, m.Path)
+		}
+	}
+	if len(picks) == 0 {
+		return nil, fmt.Errorf("serve: empty request mix")
+	}
+
+	res := &LoadResult{PerClass: map[string]*ClassSample{}}
+	var mu sync.Mutex
+	record := func(class string, prio int, d time.Duration) {
+		mu.Lock()
+		cs := res.PerClass[class]
+		if cs == nil {
+			cs = &ClassSample{Class: class, Prio: prio}
+			res.PerClass[class] = cs
+		}
+		cs.Latencies = append(cs.Latencies, d)
+		mu.Unlock()
+	}
+
+	var sent, done, errs atomic.Int64
+	arrivals := make(chan arrival, 1<<14)
+
+	// The generator: open-loop Poisson arrivals over the mix.
+	stop := make(chan struct{})
+	time.AfterFunc(cfg.Duration, func() { close(stop) })
+	go func() {
+		defer close(arrivals)
+		gen := simio.NewPoisson(cfg.MeanArrival, cfg.Seed)
+		state := uint64(cfg.Seed)*2654435761 + 7
+		gen.Run(stop, func(i int) {
+			state = state*6364136223846793005 + 1442695040888963407
+			path := picks[(state>>33)%uint64(len(picks))]
+			if strings.Contains(path, "%d") {
+				path = fmt.Sprintf(path, (state>>41)%64)
+			}
+			sent.Add(1)
+			select {
+			case arrivals <- arrival{path: path, at: time.Now()}:
+			default:
+				errs.Add(1) // arrival backlog overflow: count, don't block the clock
+			}
+		})
+	}()
+
+	// The connection pool.
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Conns; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var (
+				conn net.Conn
+				br   *bufio.Reader
+				tp   *textproto.Reader
+			)
+			dial := func() bool {
+				var err error
+				conn, err = net.DialTimeout("tcp", cfg.Addr, 5*time.Second)
+				if err != nil {
+					return false
+				}
+				br = bufio.NewReader(conn)
+				tp = textproto.NewReader(br)
+				return true
+			}
+			if !dial() {
+				// The generator enqueues with select/default and never
+				// blocks, so a failed connection just leaves the pool;
+				// stealing arrivals here would deflate the healthy
+				// connections' offered load.
+				errs.Add(1)
+				return
+			}
+			// Close whatever connection is current at exit, not the
+			// first one dialed (dial() rebinds conn after errors).
+			defer func() { conn.Close() }()
+			for a := range arrivals {
+				req := fmt.Sprintf("GET %s HTTP/1.1\r\nHost: loadgen\r\n\r\n", a.path)
+				conn.SetWriteDeadline(time.Now().Add(10 * time.Second))
+				if _, err := conn.Write([]byte(req)); err != nil {
+					errs.Add(1) // one failed request = one error, even if the redial below also fails
+					conn.Close()
+					if !dial() {
+						return
+					}
+					continue
+				}
+				// A hung server must surface as a counted error and a
+				// non-zero exit, not an indefinite hang (the CI smoke
+				// job depends on this).
+				conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+				resp, err := readResponse(tp, br)
+				if err != nil {
+					errs.Add(1)
+					conn.Close()
+					if !dial() {
+						return
+					}
+					continue
+				}
+				done.Add(1)
+				record(resp.class, resp.prio, time.Since(a.at))
+			}
+		}()
+	}
+	wg.Wait()
+
+	res.Sent = sent.Load()
+	res.Done = done.Load()
+	res.Errors = errs.Load()
+	res.Elapsed = time.Since(start)
+	if res.Done == 0 {
+		return res, fmt.Errorf("serve: no responses from %s (%d errors)", cfg.Addr, res.Errors)
+	}
+	return res, nil
+}

@@ -1,0 +1,220 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"net/textproto"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps/jserver"
+)
+
+// testServer starts a server with small job kernels on a free port.
+func testServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	if cfg.Jobs == (jserver.Config{}) {
+		cfg.Jobs = jserver.Config{MatMulN: 32, FibN: 18, SortN: 20_000, SWN: 192}
+	}
+	s, err := Start(cfg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		if err := s.Shutdown(); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+// client is a tiny keep-alive test client.
+type client struct {
+	conn net.Conn
+	br   *bufio.Reader
+	tp   *textproto.Reader
+}
+
+func dialTest(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		t.Fatalf("dial %s: %v", addr, err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	br := bufio.NewReader(conn)
+	return &client{conn: conn, br: br, tp: textproto.NewReader(br)}
+}
+
+func (cl *client) get(t *testing.T, path string) *response {
+	t.Helper()
+	if _, err := fmt.Fprintf(cl.conn, "GET %s HTTP/1.1\r\nHost: t\r\n\r\n", path); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	cl.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	resp, err := readResponse(cl.tp, cl.br)
+	if err != nil {
+		t.Fatalf("read %s: %v", path, err)
+	}
+	return resp
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	s := testServer(t, Config{})
+	cl := dialTest(t, s.Addr())
+
+	if r := cl.get(t, "/ping"); r.status != 200 || string(r.body) != "pong\n" {
+		t.Fatalf("/ping = %d %q", r.status, r.body)
+	}
+	if r := cl.get(t, "/ping"); r.class != "ping" || r.prio != int(PrioInteractive) {
+		t.Fatalf("/ping class headers = %q prio %d", r.class, r.prio)
+	}
+
+	// jserver endpoints carry the smallest-work-first admission levels.
+	for _, tc := range []struct {
+		job  string
+		prio int
+	}{{"matmul", 3}, {"fib", 2}, {"sort", 1}, {"sw", 0}} {
+		r := cl.get(t, "/jserver?job="+tc.job)
+		if r.status != 200 {
+			t.Fatalf("/jserver?job=%s status = %d %q", tc.job, r.status, r.body)
+		}
+		if r.prio != tc.prio || r.class != "jserver-"+tc.job {
+			t.Fatalf("/jserver?job=%s admitted as %q prio %d, want prio %d",
+				tc.job, r.class, r.prio, tc.prio)
+		}
+	}
+
+	// Proxy: first request misses and schedules the fetch; the content
+	// must eventually land in the cache and hit.
+	url := "/proxy?url=http://site-42.example/"
+	if r := cl.get(t, url); r.status != 202 {
+		t.Fatalf("first proxy request = %d %q, want 202 miss", r.status, r.body)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		r := cl.get(t, url)
+		if r.status == 200 {
+			if !strings.Contains(string(r.body), "site-42.example") {
+				t.Fatalf("proxy hit body = %q", r.body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("proxy fetch never filled the cache")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Email operations.
+	for _, path := range []string{
+		"/email?op=send&user=2", "/email?op=sort&user=2", "/email?op=print&user=2&id=1",
+	} {
+		if r := cl.get(t, path); r.status != 200 {
+			t.Fatalf("%s = %d %q", path, r.status, r.body)
+		}
+	}
+
+	// Error admission.
+	if r := cl.get(t, "/nope"); r.status != 404 {
+		t.Fatalf("/nope = %d", r.status)
+	}
+	if r := cl.get(t, "/jserver?job=zzz"); r.status != 400 {
+		t.Fatalf("bad job = %d", r.status)
+	}
+	if r := cl.get(t, "/email?op=zzz"); r.status != 400 {
+		t.Fatalf("bad op = %d", r.status)
+	}
+
+	if r := cl.get(t, "/stats"); r.status != 200 || !strings.Contains(string(r.body), "admitted per class") {
+		t.Fatalf("/stats = %d %q", r.status, r.body)
+	}
+}
+
+func TestServeLoadgen(t *testing.T) {
+	s := testServer(t, Config{})
+	res, err := RunLoad(LoadConfig{
+		Addr:        s.Addr(),
+		Duration:    400 * time.Millisecond,
+		MeanArrival: 2 * time.Millisecond,
+		Conns:       8,
+	})
+	if err != nil {
+		t.Fatalf("RunLoad: %v", err)
+	}
+	if res.Done == 0 {
+		t.Fatal("no completed requests")
+	}
+	var sb strings.Builder
+	res.Report(&sb)
+	t.Logf("loadgen report:\n%s", sb.String())
+	if !strings.Contains(sb.String(), "class") {
+		t.Fatal("report missing table header")
+	}
+}
+
+// TestPipelinedSlotPrints pipelines prints that all target the same
+// mailbox slot. The slot protocol makes each print task touch the
+// previous print's future, so this is the shape that would deadlock if
+// the slot handle's lifetime were coupled to the response-order chain
+// (print A waiting on B's handle while B's task end waits on A's order
+// token); the handlers must all complete and answer in order instead.
+func TestPipelinedSlotPrints(t *testing.T) {
+	s := testServer(t, Config{})
+	cl := dialTest(t, s.Addr())
+	const n = 8
+	var req strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&req, "GET /email?op=print&user=1&id=2 HTTP/1.1\r\nHost: t\r\n\r\n")
+	}
+	if _, err := cl.conn.Write([]byte(req.String())); err != nil {
+		t.Fatalf("write burst: %v", err)
+	}
+	cl.conn.SetReadDeadline(time.Now().Add(20 * time.Second))
+	for i := 0; i < n; i++ {
+		resp, err := readResponse(cl.tp, cl.br)
+		if err != nil {
+			t.Fatalf("response %d: %v (slot protocol deadlocked against response ordering?)", i, err)
+		}
+		if resp.status != 200 || resp.class != "email-print" {
+			t.Fatalf("response %d = %d %q class %q", i, resp.status, resp.body, resp.class)
+		}
+	}
+}
+
+// TestPipelinedRequests checks HTTP/1.1 response ordering: a burst of
+// pipelined requests alternating slow low-priority jobs with fast
+// high-priority pings must produce responses in request order, even
+// though the handlers execute concurrently at different levels (each
+// handler waits on its predecessor's order token before writing).
+func TestPipelinedRequests(t *testing.T) {
+	s := testServer(t, Config{})
+	cl := dialTest(t, s.Addr())
+	var (
+		req  strings.Builder
+		want []string
+	)
+	for i := 0; i < 8; i++ {
+		fmt.Fprintf(&req, "GET /jserver?job=sw HTTP/1.1\r\nHost: t\r\n\r\n")
+		fmt.Fprintf(&req, "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n")
+		want = append(want, "jserver-sw", "ping")
+	}
+	if _, err := cl.conn.Write([]byte(req.String())); err != nil {
+		t.Fatalf("write burst: %v", err)
+	}
+	cl.conn.SetReadDeadline(time.Now().Add(30 * time.Second))
+	for i, wantClass := range want {
+		resp, err := readResponse(cl.tp, cl.br)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if resp.status != 200 {
+			t.Fatalf("response %d status = %d %q", i, resp.status, resp.body)
+		}
+		if resp.class != wantClass {
+			t.Fatalf("response %d out of order: got class %q, want %q", i, resp.class, wantClass)
+		}
+	}
+}

@@ -1,0 +1,380 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"net/textproto"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/apps/email"
+	"repro/internal/apps/jserver"
+	"repro/internal/apps/proxy"
+	"repro/internal/icilk"
+	"repro/internal/simio"
+)
+
+// Priority classes of the serving runtime (Levels levels, highest = most
+// urgent). jserver's smallest-work-first order maps directly onto them:
+// jserver.PriorityOf already returns matmul=3, fib=2, sort=1, sw=0.
+const (
+	// PrioBulk runs the largest batch work (jserver sw).
+	PrioBulk icilk.Priority = 0
+	// PrioHeavy runs heavy but bounded work: jserver sort, proxy
+	// fetches, email sort/print.
+	PrioHeavy icilk.Priority = 1
+	// PrioNormal runs medium work: jserver fib, email send.
+	PrioNormal icilk.Priority = 2
+	// PrioInteractive runs connection event loops and the smallest jobs:
+	// ping, stats, proxy cache lookups, jserver matmul.
+	PrioInteractive icilk.Priority = 3
+)
+
+// Levels is the number of priority levels the serving runtime uses.
+const Levels = 4
+
+// Config parameterizes a Server.
+type Config struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:8080"; ":0" picks
+	// a free port).
+	Addr string
+	// Workers is the icilk runtime's virtual core count (default 4).
+	Workers int
+	// Baseline disables the prioritized scheduler (Cilk-F comparison).
+	Baseline bool
+	// Jobs configures the jserver endpoint's kernel sizes (zero fields
+	// take jserver's calibrated defaults).
+	Jobs jserver.Config
+	// Users is the email endpoint's mailbox count (default 8).
+	Users int
+	// Seed makes the simulated backends (proxy origin, email devices)
+	// reproducible.
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Users <= 0 {
+		c.Users = 8
+	}
+	if c.Seed == 0 {
+		c.Seed = 20200406
+	}
+	return c
+}
+
+// Server serves the three case-study apps over real TCP on an icilk
+// runtime. The goroutine split follows the paper's runtime/IO boundary:
+// the acceptor, per-connection readers, and per-response writers are
+// plain goroutines standing where I-Cilk's IO daemon stands — they
+// observe socket events and resolve IO promises — while all request
+// handling runs as prioritized icilk tasks.
+type Server struct {
+	cfg Config
+	rt  *icilk.Runtime
+	ln  net.Listener
+
+	jobs  *jserver.JobSet
+	proxy *proxy.Service
+	email *email.Server
+	start time.Time
+
+	writeWG sync.WaitGroup
+
+	connMu sync.Mutex
+	conns  map[*sconn]struct{}
+	connWG sync.WaitGroup
+
+	accepted  atomic.Int64
+	requests  atomic.Int64
+	writeErrs atomic.Int64
+	admitMu   sync.Mutex
+	admitted  map[string]int64
+	shutdown  atomic.Bool
+}
+
+// writeOp is one response write, executed on its own writer goroutine;
+// the promise completes when the bytes are on the socket (or the write
+// failed), resuming the handler task that touched it. The response-order
+// chain guarantees at most one op per connection is in flight, so each
+// connection has at most one writer goroutine at a time, and a client
+// that stops reading stalls only its own writer — never another
+// connection's response.
+type writeOp struct {
+	cn   *sconn
+	data []byte
+	pr   *icilk.Promise[int]
+}
+
+// sconn is one accepted connection: the reader goroutine parses requests
+// into queue and resolves pending, the event-loop task drains them.
+type sconn struct {
+	c net.Conn
+
+	mu      sync.Mutex
+	queue   []*request
+	closed  bool
+	pending *icilk.Promise[*request]
+
+	// lastWrite is the response-order chain: the future that completes
+	// when the most recently dispatched request's response has been
+	// written. Only the event-loop task reads and replaces it, so it
+	// needs no lock. The chain also means at most one write per
+	// connection is ever in flight, so writes need no per-conn lock.
+	lastWrite *icilk.Future[int]
+}
+
+// Start listens on cfg.Addr and begins serving.
+func Start(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	rt := icilk.New(icilk.Config{
+		Workers:    cfg.Workers,
+		Levels:     Levels,
+		Prioritize: !cfg.Baseline,
+	})
+	s := &Server{
+		cfg:      cfg,
+		rt:       rt,
+		ln:       ln,
+		jobs:     jserver.NewJobSet(cfg.Jobs),
+		proxy:    proxy.NewService(simio.Latency{Base: 3 * time.Millisecond, Jitter: 5 * time.Millisecond}, cfg.Seed),
+		email:    email.NewServer(rt, email.Config{Users: cfg.Users, Seed: cfg.Seed}),
+		start:    time.Now(),
+		conns:    map[*sconn]struct{}{},
+		admitted: map[string]int64{},
+	}
+	s.connWG.Add(1)
+	go s.acceptor()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Runtime returns the underlying icilk runtime (diagnostics, tests).
+func (s *Server) Runtime() *icilk.Runtime { return s.rt }
+
+// acceptor accepts connections and hands each one a reader goroutine and
+// an event-loop task.
+func (s *Server) acceptor() {
+	defer s.connWG.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return // listener closed by Shutdown
+			}
+			// Transient accept failure (fd exhaustion, aborted
+			// handshake): back off briefly and keep serving rather
+			// than silently refusing all future connections.
+			time.Sleep(10 * time.Millisecond)
+			continue
+		}
+		s.accepted.Add(1)
+		cn := &sconn{c: c, lastWrite: icilk.Completed(PrioInteractive, 0)}
+		s.connMu.Lock()
+		if s.shutdown.Load() {
+			s.connMu.Unlock()
+			c.Close()
+			return
+		}
+		s.conns[cn] = struct{}{}
+		s.connMu.Unlock()
+		s.connWG.Add(1)
+		go s.reader(cn)
+		s.eventLoop(cn)
+	}
+}
+
+// reader is cn's poller: it blocks in the kernel (via the netpoller) for
+// request bytes and completes the connection's pending request promise on
+// each arrival — the socket-readiness edge that drives the runtime.
+func (s *Server) reader(cn *sconn) {
+	defer s.connWG.Done()
+	br := bufio.NewReader(cn.c)
+	tp := textproto.NewReader(br)
+	for {
+		req, err := parseRequest(tp, br)
+		cn.mu.Lock()
+		if err != nil {
+			cn.closed = true
+			cn.queue = nil // a dead client gets no buffered work executed
+			pr := cn.pending
+			cn.pending = nil
+			cn.mu.Unlock()
+			if pr != nil {
+				pr.Complete(nil) // nil request = connection over
+			}
+			s.dropConn(cn)
+			return
+		}
+		if pr := cn.pending; pr != nil {
+			cn.pending = nil
+			cn.mu.Unlock()
+			pr.Complete(req)
+			continue
+		}
+		if len(cn.queue) >= maxPipelined {
+			// Pipelining far beyond anything a real client does: treat
+			// it as abuse rather than buffering unbounded work.
+			cn.closed = true
+			cn.queue = nil
+			cn.mu.Unlock()
+			s.dropConn(cn)
+			return
+		}
+		cn.queue = append(cn.queue, req)
+		cn.mu.Unlock()
+	}
+}
+
+// maxPipelined caps a connection's buffered (parsed but not yet
+// dispatched) requests.
+const maxPipelined = 256
+
+func (s *Server) dropConn(cn *sconn) {
+	cn.c.Close()
+	s.connMu.Lock()
+	delete(s.conns, cn)
+	s.connMu.Unlock()
+}
+
+// nextRequest returns a future for cn's next request: already-buffered
+// requests resolve immediately; otherwise the reader completes the
+// promise when bytes arrive, and the event loop parks in between —
+// freeing its worker for exactly as long as the client takes.
+func (s *Server) nextRequest(cn *sconn) *icilk.Future[*request] {
+	cn.mu.Lock()
+	// Closed beats buffered: no one can read the responses, so buffered
+	// requests on a dead connection are dropped, not executed.
+	if cn.closed {
+		cn.queue = nil
+		cn.mu.Unlock()
+		return icilk.Completed[*request](PrioInteractive, nil)
+	}
+	if len(cn.queue) > 0 {
+		req := cn.queue[0]
+		cn.queue = cn.queue[1:]
+		cn.mu.Unlock()
+		return icilk.Completed(PrioInteractive, req)
+	}
+	pr := icilk.NewPromise[*request](s.rt, PrioInteractive)
+	cn.pending = pr
+	cn.mu.Unlock()
+	return pr.Future()
+}
+
+// eventLoop spawns cn's per-connection event loop: a top-priority task
+// that touches the next-request IO future, admits the request to a
+// priority class, dispatches the handler at that class's level, and
+// loops. It is the network analogue of the case studies' event loops.
+func (s *Server) eventLoop(cn *sconn) {
+	icilk.Go(s.rt, nil, PrioInteractive, "conn-loop", func(c *icilk.Ctx) int {
+		n := 0
+		for {
+			req := s.nextRequest(cn).Touch(c)
+			if req == nil {
+				return n
+			}
+			n++
+			s.requests.Add(1)
+			s.dispatch(c, cn, req)
+			c.Checkpoint()
+		}
+	})
+}
+
+// respond ships one response on a dedicated writer goroutine; the
+// handler task parks on the write promise until the bytes are out.
+// Nothing here blocks the icilk worker: the goroutine spawn is cheap
+// and the touch parks the task, freeing the worker immediately.
+func (s *Server) respond(c *icilk.Ctx, cn *sconn, prio icilk.Priority, class string, status int, body string) {
+	pr := icilk.NewPromise[int](s.rt, prio)
+	s.writeWG.Add(1)
+	go s.write(writeOp{cn: cn, data: httpResponse(status, class, prio, body), pr: pr})
+	if pr.Future().Touch(c) < 0 {
+		s.writeErrs.Add(1)
+	}
+}
+
+// writeStall bounds one response write: a client that reads nothing for
+// this long is treated as dead and its connection dropped, rather than
+// holding its writer goroutine (and the handler parked on the write
+// promise) forever.
+const writeStall = 30 * time.Second
+
+// write performs one blocking socket write, then completes the promise
+// (with the byte count, or -1 on error), resuming the parked handler.
+// It runs on its own goroutine — blocking here parks the goroutine in
+// the netpoller, never an icilk worker. A failed or stalled write means
+// the byte stream is dead or desynced, so the connection is dropped —
+// unblocking its reader, which in turn winds down the event loop and
+// any buffered requests.
+func (s *Server) write(op writeOp) {
+	defer s.writeWG.Done()
+	op.cn.c.SetWriteDeadline(time.Now().Add(writeStall))
+	_, err := op.cn.c.Write(op.data)
+	if err != nil {
+		s.dropConn(op.cn)
+		op.pr.Complete(-1)
+		return
+	}
+	op.pr.Complete(len(op.data))
+}
+
+// countAdmit records one admission into class (served by /stats).
+func (s *Server) countAdmit(class string) {
+	s.admitMu.Lock()
+	s.admitted[class]++
+	s.admitMu.Unlock()
+}
+
+// Admitted returns a copy of the per-class admission counters.
+func (s *Server) Admitted() map[string]int64 {
+	s.admitMu.Lock()
+	defer s.admitMu.Unlock()
+	out := make(map[string]int64, len(s.admitted))
+	for k, v := range s.admitted {
+		out[k] = v
+	}
+	return out
+}
+
+// Shutdown stops accepting, closes every connection, drains in-flight
+// tasks, and stops the runtime.
+func (s *Server) Shutdown() error {
+	if s.shutdown.Swap(true) {
+		return nil
+	}
+	s.ln.Close()
+	s.connMu.Lock()
+	for cn := range s.conns {
+		cn.c.Close() // readers unblock with an error and finish the loops
+	}
+	s.connMu.Unlock()
+	s.connWG.Wait()
+	err := s.rt.WaitIdle(30 * time.Second)
+	if err == nil {
+		// A drained runtime guarantees no handler will start another
+		// write; on timeout any straggling writers die with the process
+		// instead of racing a late Add against this Wait.
+		s.writeWG.Wait()
+	}
+	s.rt.Shutdown()
+	if err != nil {
+		return fmt.Errorf("serve: shutdown drain: %w", err)
+	}
+	return nil
+}

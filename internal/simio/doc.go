@@ -1,0 +1,21 @@
+// Package simio is the simulated I/O substrate standing in for the Linux
+// sockets and files of the paper's evaluation (a documented substitution;
+// see DESIGN.md). It provides latency-hiding I/O futures with controllable
+// latency distributions and Poisson client-request generators, which is
+// everything the evaluation workloads need from real I/O: latency to hide
+// and an arrival process to serve.
+//
+// Simulated devices build their futures on icilk.IO (timer-backed); real
+// sockets are served by internal/serve, which builds on icilk.NewPromise
+// instead — same completion path, different event source. The two
+// substrates coexist deliberately: simio keeps the evaluation workloads
+// reproducible and deterministic, internal/serve measures the same
+// runtime against genuine network traffic.
+//
+// Example (a simulated read whose latency the runtime hides):
+//
+//	dev := simio.NewDevice("disk", simio.Latency{Base: time.Millisecond}, 1)
+//	icilk.Go(rt, nil, 1, "reader", func(c *icilk.Ctx) string {
+//		return simio.Read(rt, dev, 1, func() string { return "block" }).Touch(c)
+//	})
+package simio

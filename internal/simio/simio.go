@@ -1,9 +1,3 @@
-// Package simio is the simulated I/O substrate standing in for the Linux
-// sockets and files of the paper's evaluation (a documented substitution;
-// see DESIGN.md). It provides latency-hiding I/O futures with controllable
-// latency distributions and Poisson client-request generators, which is
-// everything the evaluation workloads need from real I/O: latency to hide
-// and an arrival process to serve.
 package simio
 
 import (
