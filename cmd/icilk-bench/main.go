@@ -6,7 +6,12 @@
 //	icilk-bench -experiment jserver    # Figure 14, jserver panel
 //	icilk-bench -experiment ablations  # quantum / γ / threshold sweeps
 //	icilk-bench -experiment sched      # scheduler suspend/resume counters
+//	icilk-bench -experiment state      # Ref/Mutex priority-inheritance contention
 //	icilk-bench -experiment all
+//
+// Passing -json additionally writes each experiment's result to
+// BENCH_<experiment>.json in the current directory, recording the perf
+// trajectory across PRs.
 //
 // Ratios are baseline (Cilk-F) time over I-Cilk time: higher means the
 // prioritized scheduler wins. Expect the paper's shape, not its absolute
@@ -15,6 +20,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,30 +34,55 @@ import (
 // experimentInfo is one catalogue entry: the name, what it reproduces,
 // the flags that shape it, and the runner itself — a single table
 // drives -h, the unknown-experiment error, and dispatch, so they
-// cannot drift apart. The "all" entry has no runner of its own.
+// cannot drift apart. Runners return the machine-readable result that
+// -json writes to BENCH_<name>.json (nil = nothing to record). The
+// "all" entry has no runner of its own.
 type experimentInfo struct {
 	name  string
 	about string
 	flags string
-	run   func(cfg experiments.EvalConfig, iters int)
+	run   func(cfg experiments.EvalConfig, iters int) any
 }
 
 // experimentList is the authoritative experiment catalogue: -h prints
 // it, and an unknown -experiment value echoes it before exiting.
 var experimentList = []experimentInfo{
 	{"table1", "Table 1: static overhead of the priority type system", "-iters",
-		func(_ experiments.EvalConfig, iters int) { table1(iters) }},
+		func(_ experiments.EvalConfig, iters int) any { return table1(iters) }},
 	{"fig13", "Figure 13: responsiveness ratios (proxy & email)", "-workers -duration -connections -seed",
-		func(cfg experiments.EvalConfig, _ int) { fig13(cfg) }},
+		func(cfg experiments.EvalConfig, _ int) any { return fig13(cfg) }},
 	{"fig14", "Figure 14: compute-time ratios per component (proxy & email)", "-workers -duration -connections -seed",
-		func(cfg experiments.EvalConfig, _ int) { fig14(cfg) }},
+		func(cfg experiments.EvalConfig, _ int) any { return fig14(cfg) }},
 	{"jserver", "Figure 14, jserver panel: compute-time ratios per job type", "-workers -duration -seed",
-		func(cfg experiments.EvalConfig, _ int) { fig14JServer(cfg) }},
+		func(cfg experiments.EvalConfig, _ int) any { return fig14JServer(cfg) }},
 	{"ablations", "quantum / gamma / utilization-threshold sweeps (email)", "-workers -duration -seed",
-		func(cfg experiments.EvalConfig, _ int) { ablations(cfg) }},
+		func(cfg experiments.EvalConfig, _ int) any { return ablations(cfg) }},
 	{"sched", "scheduler event counters (inline runs, promotions, parks...)", "-workers -duration -seed",
-		func(cfg experiments.EvalConfig, _ int) { sched(cfg) }},
+		func(cfg experiments.EvalConfig, _ int) any { return sched(cfg) }},
+	{"state", "Ref/Mutex contention: high-priority p99 with inheritance on vs off", "-duration -seed",
+		func(cfg experiments.EvalConfig, _ int) any { return state(cfg) }},
 	{"all", "every experiment above, in order", "", nil},
+}
+
+// writeBench records one experiment's result as BENCH_<name>.json in the
+// current directory — the perf-trajectory artifact CI and future PRs
+// diff against.
+func writeBench(name string, payload any) {
+	out := struct {
+		Experiment string `json:"experiment"`
+		Result     any    `json:"result"`
+	}{Experiment: name, Result: payload}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icilk-bench: marshal %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	file := "BENCH_" + name + ".json"
+	if err := os.WriteFile(file, append(b, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "icilk-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", file)
 }
 
 func experimentUsage(w *os.File) {
@@ -72,6 +103,7 @@ func main() {
 		conns    = flag.String("connections", "90,120,150,180", "comma-separated client counts")
 		seed     = flag.Int64("seed", 20200406, "random seed")
 		iters    = flag.Int("iters", 50, "iterations for Table 1 timing")
+		jsonOut  = flag.Bool("json", false, "also write each experiment's result to BENCH_<experiment>.json")
 	)
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: icilk-bench [flags]")
@@ -108,12 +140,15 @@ func main() {
 	}
 	for _, e := range experimentList {
 		if e.run != nil && (*exp == "all" || *exp == e.name) {
-			e.run(cfg, *iters)
+			payload := e.run(cfg, *iters)
+			if *jsonOut && payload != nil {
+				writeBench(e.name, payload)
+			}
 		}
 	}
 }
 
-func table1(iters int) {
+func table1(iters int) any {
 	fmt.Println("=== Table 1: static overhead of the priority type system ===")
 	fmt.Println("(λ4i model checking time and elaborated-program size; the paper")
 	fmt.Println(" measured clang compile time and binary size — see DESIGN.md)")
@@ -130,9 +165,10 @@ func table1(iters int) {
 			r.SizeNoPrio, r.SizeWithPrio, r.SizeOverhead())
 	}
 	fmt.Println()
+	return rows
 }
 
-func fig13(cfg experiments.EvalConfig) {
+func fig13(cfg experiments.EvalConfig) any {
 	fmt.Println("=== Figure 13: responsiveness ratio (Cilk-F / I-Cilk; higher = I-Cilk wins) ===")
 	rows := experiments.Fig13(cfg)
 	fmt.Printf("%-8s %6s %12s %12s %12s %12s %9s %9s\n",
@@ -145,18 +181,21 @@ func fig13(cfg experiments.EvalConfig) {
 			r.RatioAvg, r.RatioP95)
 	}
 	fmt.Println()
+	return rows
 }
 
-func fig14(cfg experiments.EvalConfig) {
+func fig14(cfg experiments.EvalConfig) any {
 	fmt.Println("=== Figure 14 (proxy & email): compute-time ratio per component ===")
 	rows := experiments.Fig14ProxyEmail(cfg)
 	printFig14(rows)
+	return rows
 }
 
-func fig14JServer(cfg experiments.EvalConfig) {
+func fig14JServer(cfg experiments.EvalConfig) any {
 	fmt.Println("=== Figure 14 (jserver): compute-time ratio per job type ===")
 	rows := experiments.Fig14JServer(cfg)
 	printFig14(rows)
+	return rows
 }
 
 func printFig14(rows []experiments.Fig14Row) {
@@ -180,7 +219,7 @@ func printFig14(rows []experiments.Fig14Row) {
 	fmt.Println()
 }
 
-func sched(cfg experiments.EvalConfig) {
+func sched(cfg experiments.EvalConfig) any {
 	fmt.Println("=== Scheduler event counters (event-driven core observables) ===")
 	pts := experiments.SchedCounters(cfg)
 	fmt.Printf("%-8s %-9s %9s %9s %9s %9s %9s %9s %9s %9s\n",
@@ -197,18 +236,63 @@ func sched(cfg experiments.EvalConfig) {
 		fmt.Printf("         event-loop response: %s\n", pt.Response)
 	}
 	fmt.Println()
+	return pts
 }
 
-func ablations(cfg experiments.EvalConfig) {
+func ablations(cfg experiments.EvalConfig) any {
 	fmt.Println("=== Ablations: event-loop response vs scheduler parameters (email app) ===")
+	var all []experiments.AblationPoint
 	for _, pts := range [][]experiments.AblationPoint{
 		experiments.AblationQuantum(cfg),
 		experiments.AblationGamma(cfg),
 		experiments.AblationThreshold(cfg),
 	} {
+		all = append(all, pts...)
 		for _, pt := range pts {
 			fmt.Printf("  %-10s = %-8s -> %s\n", pt.Param, pt.Value, pt.Response)
 		}
 	}
 	fmt.Println()
+	return all
+}
+
+// stateRatio is the headline number of the state experiment: the
+// uninherited p99 over the inherited p99 (higher = inheritance wins).
+type stateRatio struct {
+	Points   []experiments.StatePoint `json:"points"`
+	P99Ratio float64                  `json:"p99_ratio_off_over_on"`
+}
+
+func state(cfg experiments.EvalConfig) any {
+	fmt.Println("=== Shared state: high-priority lock latency under low-priority contention ===")
+	fmt.Println("(a low-priority chain holds a ceilinged icilk.Mutex across IO while")
+	fmt.Println(" background low-priority work saturates its level; high-priority probes")
+	fmt.Println(" lock the same mutex — priority inheritance re-levels the holder)")
+	pts := experiments.StateContention(cfg)
+	fmt.Printf("%-12s %7s %10s %10s %10s %10s %9s %9s\n",
+		"inheritance", "probes", "p50", "p95", "p99", "max", "inherits", "mtxparks")
+	var onP99, offP99 time.Duration
+	for _, pt := range pts {
+		mode := "on"
+		if !pt.Inherit {
+			mode = "off"
+		}
+		if pt.Inherit {
+			onP99 = pt.Probe.P99
+		} else {
+			offP99 = pt.Probe.P99
+		}
+		fmt.Printf("%-12s %7d %10v %10v %10v %10v %9d %9d\n",
+			mode, pt.Probe.Count,
+			pt.Probe.P50.Round(time.Microsecond), pt.Probe.P95.Round(time.Microsecond),
+			pt.Probe.P99.Round(time.Microsecond), pt.Probe.Max.Round(time.Microsecond),
+			pt.Stats.Inherits, pt.Stats.MutexParks)
+	}
+	out := stateRatio{Points: pts}
+	if onP99 > 0 {
+		out.P99Ratio = float64(offP99) / float64(onP99)
+		fmt.Printf("p99 ratio (inheritance off / on): %.2fx\n", out.P99Ratio)
+	}
+	fmt.Println()
+	return out
 }

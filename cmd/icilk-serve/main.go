@@ -86,7 +86,10 @@ func serveFlags(fs *flag.FlagSet, defaultAddr string) func() serve.Config {
 }
 
 // loadFlags registers the load generator's flags on fs. withAddr is
-// false when the caller (demo) already owns the -addr flag.
+// false when the caller (demo) already owns the -addr flag — and with it
+// the -seed name, which demo's server flags use for the simulated
+// backends; standalone loadgen additionally accepts plain -seed as the
+// natural spelling.
 func loadFlags(fs *flag.FlagSet, withAddr bool) func(addr string) serve.LoadConfig {
 	addr := new(string)
 	if withAddr {
@@ -96,9 +99,12 @@ func loadFlags(fs *flag.FlagSet, withAddr bool) func(addr string) serve.LoadConf
 		duration = fs.Duration("duration", 2*time.Second, "arrival window")
 		mean     = fs.Duration("mean", 2*time.Millisecond, "mean Poisson interarrival time")
 		conns    = fs.Int("conns", 16, "client connection pool size")
-		seed     = fs.Int64("load-seed", 20200406, "arrival seed")
+		seed     = fs.Int64("load-seed", 20200406, "arrival seed: fixes the Poisson arrival times and the request mix draws, so identical flags replay the identical load")
 		mix      = fs.String("mix", "", `request mix as "weight*path,..." (empty = default mix over every endpoint)`)
 	)
+	if withAddr {
+		fs.Int64Var(seed, "seed", 20200406, "alias for -load-seed")
+	}
 	return func(override string) serve.LoadConfig {
 		a := *addr
 		if override != "" {

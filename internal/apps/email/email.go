@@ -83,9 +83,12 @@ func (c Config) withDefaults() Config {
 
 // email is one message. The body is either plain text or a Huffman blob;
 // mu guards body+compressed (the slot protocol serializes print against
-// compress, but sends can append concurrently).
+// compress, but sends can append concurrently). The lock is a ceilinged
+// icilk.Mutex at PrioCompress: print and compress are its highest
+// lockers, and the check scan (PrioCheck, below them) holding it while a
+// print blocks is exactly the shape priority inheritance repairs.
 type email struct {
-	mu         sync.Mutex
+	mu         *icilk.Mutex
 	id         int
 	subject    string
 	body       []byte
@@ -93,11 +96,25 @@ type email struct {
 }
 
 // mailbox holds a user's messages and the per-email coordination slots.
+// The mailbox lock's ceiling is PrioSend — sends (the highest accessor)
+// append under it while sort, print/compress, and the check scan lock it
+// from below, so a send blocking behind a mid-sort mailbox boosts the
+// sorter to the send level.
 type mailbox struct {
-	mu     sync.Mutex
+	mu     *icilk.Mutex
 	emails []*email
 	order  []int // display order, updated by sort
 	slots  *conc.SlotTable
+}
+
+// newEmail builds one message with its ceilinged body lock.
+func newEmail(rt *icilk.Runtime, id int, subject string, body []byte) *email {
+	return &email{
+		mu:      icilk.NewMutex(rt, PrioCompress, "email.body"),
+		id:      id,
+		subject: subject,
+		body:    body,
+	}
 }
 
 // Server is a running email service.
@@ -141,13 +158,13 @@ func NewServer(rt *icilk.Runtime, cfg Config) *Server {
 		smtp:    simio.NewDevice("smtp", cfg.SMTPLatency, cfg.Seed+2),
 	}
 	for u := 0; u < cfg.Users; u++ {
-		box := &mailbox{slots: conc.NewSlotTable(cfg.EmailsPerUser * 4)}
+		box := &mailbox{
+			mu:    icilk.NewMutex(rt, PrioSend, "email.mailbox"),
+			slots: conc.NewSlotTable(cfg.EmailsPerUser * 4),
+		}
 		for e := 0; e < cfg.EmailsPerUser; e++ {
-			box.emails = append(box.emails, &email{
-				id:      e,
-				subject: fmt.Sprintf("subject-%03d-%02d", (e*37)%100, u),
-				body:    body(u, e),
-			})
+			box.emails = append(box.emails,
+				newEmail(rt, e, fmt.Sprintf("subject-%03d-%02d", (e*37)%100, u), body(u, e)))
 			box.order = append(box.order, e)
 		}
 		srv.boxes = append(srv.boxes, box)
@@ -212,19 +229,19 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 					fired := 0
 					for u := range srv.boxes {
 						box := srv.boxes[u]
-						box.mu.Lock()
+						box.mu.Lock(c)
 						var pending []*email
 						for _, e := range box.emails {
-							e.mu.Lock()
+							e.mu.Lock(c)
 							if !e.compressed {
 								pending = append(pending, e)
 							}
-							e.mu.Unlock()
+							e.mu.Unlock(c)
 							if len(pending) >= 4 {
 								break
 							}
 						}
-						box.mu.Unlock()
+						box.mu.Unlock(c)
 						for _, e := range pending {
 							srv.compress(c, box, e, &compresses)
 							fired++
@@ -305,38 +322,34 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 
 // send composes a new message and ships it over simulated SMTP.
 func (s *Server) send(c *icilk.Ctx, box *mailbox, user int) {
-	box.mu.Lock()
+	box.mu.Lock(c)
 	id := len(box.emails)
-	e := &email{
-		id:      id,
-		subject: fmt.Sprintf("subject-%03d-re", id%100),
-		body:    body(user, id),
-	}
+	e := newEmail(s.rt, id, fmt.Sprintf("subject-%03d-re", id%100), body(user, id))
 	box.emails = append(box.emails, e)
 	box.order = append(box.order, id)
-	box.mu.Unlock()
+	box.mu.Unlock(c)
 	// Ship a copy over the wire; the io-future hides the latency.
 	simio.Write(s.rt, s.smtp, PrioSend).Touch(c)
 }
 
 // sortBox sorts the mailbox display order by subject — real computation.
 func (s *Server) sortBox(c *icilk.Ctx, box *mailbox) {
-	box.mu.Lock()
+	box.mu.Lock(c)
 	subjects := make([]string, len(box.emails))
 	for i, e := range box.emails {
 		subjects[i] = e.subject
 	}
 	order := append([]int(nil), box.order...)
-	box.mu.Unlock()
+	box.mu.Unlock(c)
 	sort.Slice(order, func(a, b int) bool {
 		return subjects[order[a]%len(subjects)] < subjects[order[b]%len(subjects)]
 	})
 	c.Checkpoint()
-	box.mu.Lock()
+	box.mu.Lock(c)
 	if len(order) == len(box.order) {
 		box.order = order
 	}
-	box.mu.Unlock()
+	box.mu.Unlock(c)
 }
 
 // print uncompresses (if needed) and sends the email to the printer,
@@ -344,20 +357,20 @@ func (s *Server) sortBox(c *icilk.Ctx, box *mailbox) {
 // install this print task's own handle, touch whatever was there before
 // (the mirror image of the paper's compress pseudocode).
 func (s *Server) print(c *icilk.Ctx, box *mailbox, eid int, self *icilk.Future[int]) {
-	box.mu.Lock()
+	box.mu.Lock(c)
 	if eid >= len(box.emails) {
-		box.mu.Unlock()
+		box.mu.Unlock(c)
 		return
 	}
 	e := box.emails[eid]
-	box.mu.Unlock()
+	box.mu.Unlock(c)
 
 	if eid < box.slots.Len() {
 		if prev := box.slots.Swap(eid, self.Untyped()); prev != nil {
 			prev.Touch(c) // wait for the in-flight compress/print
 		}
 	}
-	e.mu.Lock()
+	e.mu.Lock(c)
 	text := e.body
 	if e.compressed {
 		if dec, err := huffman.Decode(e.body); err == nil {
@@ -365,7 +378,7 @@ func (s *Server) print(c *icilk.Ctx, box *mailbox, eid int, self *icilk.Future[i
 		}
 	}
 	_ = len(text)
-	e.mu.Unlock()
+	e.mu.Unlock(c)
 	simio.Write(s.rt, s.printer, PrioCompress).Touch(c)
 	c.Checkpoint()
 }
@@ -382,13 +395,13 @@ func (s *Server) compress(c *icilk.Ctx, box *mailbox, e *email, count *atomic.In
 					prev.Touch(c) // wait for in-flight print
 				}
 			}
-			e.mu.Lock()
+			e.mu.Lock(c)
 			if !e.compressed {
 				e.body = huffman.Encode(e.body)
 				e.compressed = true
 				count.Add(1)
 			}
-			e.mu.Unlock()
+			e.mu.Unlock(c)
 			c.Checkpoint()
 			return 0
 		})

@@ -81,7 +81,7 @@ func TestPrintDecompressesCorrectly(t *testing.T) {
 	srv := &Server{rt: rt}
 	cfg := Config{}.withDefaults()
 	srv.printer = newTestDevice(cfg)
-	box := newTestMailbox(3)
+	box := newTestMailbox(rt, 3)
 	srv.boxes = []*mailbox{box}
 
 	original := append([]byte(nil), box.emails[1].body...)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/conc"
+	"repro/internal/icilk"
 	"repro/internal/simio"
 )
 
@@ -15,14 +16,13 @@ func deviceForTest(cfg Config) *simio.Device {
 	return simio.NewDevice("printer", cfg.PrinterLatency, 1)
 }
 
-func newTestMailbox(n int) *mailbox {
-	box := &mailbox{slots: conc.NewSlotTable(n * 2)}
+func newTestMailbox(rt *icilk.Runtime, n int) *mailbox {
+	box := &mailbox{
+		mu:    icilk.NewMutex(rt, PrioSend, "email.mailbox"),
+		slots: conc.NewSlotTable(n * 2),
+	}
 	for e := 0; e < n; e++ {
-		box.emails = append(box.emails, &email{
-			id:      e,
-			subject: fmt.Sprintf("s-%d", e),
-			body:    body(0, e),
-		})
+		box.emails = append(box.emails, newEmail(rt, e, fmt.Sprintf("s-%d", e), body(0, e)))
 		box.order = append(box.order, e)
 	}
 	return box

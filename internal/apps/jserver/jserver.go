@@ -7,7 +7,6 @@
 package jserver
 
 import (
-	"sync"
 	"time"
 
 	"repro/internal/icilk"
@@ -122,22 +121,61 @@ func (r Result) Summary(t workload.JobType) stats.Summary {
 	return stats.Summarize(r.PerType[t])
 }
 
+// Table is the server's shared job table: every finishing job, at any of
+// the four levels, records its response time here. The table is guarded
+// by a ceilinged icilk.Mutex (ceiling = the matmul level, the table's
+// highest-priority writer), so the scheduler sees the contention: a
+// matmul job blocking behind an sw job mid-record boosts the sw job to
+// the matmul level instead of letting the record stall the urgent class.
+type Table struct {
+	mu      *icilk.Mutex
+	perType map[workload.JobType][]time.Duration
+	jobs    int
+}
+
+// NewTable creates an empty job table on rt.
+func NewTable(rt *icilk.Runtime) *Table {
+	return &Table{
+		mu:      icilk.NewMutex(rt, PriorityOf(workload.JobMatMul), "jserver.table"),
+		perType: map[workload.JobType][]time.Duration{},
+	}
+}
+
+// Record logs one completed job from the job's own task context.
+func (tb *Table) Record(c *icilk.Ctx, jt workload.JobType, d time.Duration) {
+	tb.mu.Lock(c)
+	tb.perType[jt] = append(tb.perType[jt], d)
+	tb.jobs++
+	tb.mu.Unlock(c)
+}
+
+// Snapshot copies the table out under its lock. It is called from
+// harness goroutines (no task context), so the read runs as a task at
+// the table's ceiling — external code never takes an icilk.Mutex
+// directly. A non-nil error means the snapshot task could not run
+// (wedged or shutting-down runtime) and the Result is empty.
+func (tb *Table) Snapshot(rt *icilk.Runtime) (Result, error) {
+	fut := icilk.Go(rt, nil, tb.mu.Ceiling(), "table-snapshot", func(c *icilk.Ctx) Result {
+		tb.mu.Lock(c)
+		defer tb.mu.Unlock(c)
+		out := Result{PerType: map[workload.JobType][]time.Duration{}, Jobs: tb.jobs}
+		for t, ds := range tb.perType {
+			out.PerType[t] = append([]time.Duration(nil), ds...)
+		}
+		return out
+	})
+	res, err := icilk.Await(fut, 30*time.Second)
+	if err != nil {
+		return Result{PerType: map[workload.JobType][]time.Duration{}}, err
+	}
+	return res, nil
+}
+
 // Run executes the job server on the given runtime (≥ Levels levels).
 func Run(rt *icilk.Runtime, cfg Config) Result {
 	cfg = cfg.withDefaults()
 	jobSet := NewJobSet(cfg)
-
-	var (
-		mu      sync.Mutex
-		perType = map[workload.JobType][]time.Duration{}
-		jobs    int
-	)
-	record := func(t workload.JobType, d time.Duration) {
-		mu.Lock()
-		perType[t] = append(perType[t], d)
-		jobs++
-		mu.Unlock()
-	}
+	table := NewTable(rt)
 
 	gen := simio.NewPoisson(cfg.MeanArrival, cfg.Seed+5)
 	stop := make(chan struct{})
@@ -150,17 +188,14 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 		arrival := time.Now()
 		icilk.Go(rt, nil, p, jt.String(), func(c *icilk.Ctx) int {
 			jobSet.Exec(rt, c, p, jt)
-			record(jt, time.Since(arrival))
+			table.Record(c, jt, time.Since(arrival))
 			return 0
 		})
 	})
 	_ = rt.WaitIdle(60 * time.Second)
-
-	mu.Lock()
-	defer mu.Unlock()
-	out := Result{PerType: map[workload.JobType][]time.Duration{}, Jobs: jobs}
-	for t, ds := range perType {
-		out.PerType[t] = append([]time.Duration(nil), ds...)
-	}
-	return out
+	// A failed snapshot means the runtime is wedged; surface it through
+	// an empty result rather than hanging the harness (the proxy app's
+	// convention for the same situation).
+	res, _ := table.Snapshot(rt)
+	return res
 }

@@ -21,7 +21,6 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/conc"
 	"repro/internal/icilk"
 	"repro/internal/simio"
 	"repro/internal/stats"
@@ -98,28 +97,45 @@ func site(url string) string {
 // by both the simulated harness (Run) and internal/serve's /proxy
 // endpoint. The front-end arrival process differs (Poisson clients vs
 // real TCP); the cache-or-fetch logic is the same.
+//
+// The cache is the paper's showcase shared state: event loops (the
+// highest level) read it on every request while fetchers (one level
+// down) write it on every miss. It lives behind a ceilinged icilk.Mutex
+// so the scheduler sees that contention — an event loop blocking behind
+// a mid-fill fetcher boosts the fetcher to the event level rather than
+// letting the fill stall the interactive class behind batch work.
 type Service struct {
-	cache  *conc.Map[string]
-	origin *simio.Device
-	Hits   atomic.Int64
-	Misses atomic.Int64
+	cacheMu *icilk.Mutex
+	cache   map[string]string
+	origin  *simio.Device
+	// Hits and Misses are ceilinged Refs; harness and /stats code reads
+	// them with a nil Ctx (external access).
+	Hits   *icilk.Ref[int64]
+	Misses *icilk.Ref[int64]
 }
 
-// NewService creates a proxy core with the given origin latency.
-func NewService(lat simio.Latency, seed int64) *Service {
+// NewService creates a proxy core on rt with the given origin latency.
+// The cache ceiling is PrioEvent: event loops are its highest readers.
+func NewService(rt *icilk.Runtime, lat simio.Latency, seed int64) *Service {
 	return &Service{
-		cache:  conc.NewMap[string](),
-		origin: simio.NewDevice("origin", lat, seed),
+		cacheMu: icilk.NewMutex(rt, PrioEvent, "proxy.cache"),
+		cache:   map[string]string{},
+		origin:  simio.NewDevice("origin", lat, seed),
+		Hits:    icilk.NewRef[int64](rt, PrioEvent, 0),
+		Misses:  icilk.NewRef[int64](rt, PrioEvent, 0),
 	}
 }
 
-// Lookup consults the cache, counting the hit or miss.
-func (s *Service) Lookup(url string) (string, bool) {
-	body, ok := s.cache.Get(url)
+// Lookup consults the cache from the calling task, counting the hit or
+// miss.
+func (s *Service) Lookup(c *icilk.Ctx, url string) (string, bool) {
+	s.cacheMu.Lock(c)
+	body, ok := s.cache[url]
+	s.cacheMu.Unlock(c)
 	if ok {
-		s.Hits.Add(1)
+		s.Hits.Update(c, func(v int64) int64 { return v + 1 })
 	} else {
-		s.Misses.Add(1)
+		s.Misses.Update(c, func(v int64) int64 { return v + 1 })
 	}
 	return body, ok
 }
@@ -133,7 +149,9 @@ func (s *Service) Fetch(rt *icilk.Runtime, c *icilk.Ctx, p icilk.Priority, url s
 	}).Touch(c)
 	spin(150 * time.Microsecond) // parse/validate
 	c.Checkpoint()
-	s.cache.Put(url, body)
+	s.cacheMu.Lock(c)
+	s.cache[url] = body
+	s.cacheMu.Unlock(c)
 	return body
 }
 
@@ -141,7 +159,7 @@ func (s *Service) Fetch(rt *icilk.Runtime, c *icilk.Ctx, p icilk.Priority, url s
 // at least Levels priority levels.
 func Run(rt *icilk.Runtime, cfg Config) Result {
 	cfg = cfg.withDefaults()
-	svc := NewService(cfg.FetchLatency, cfg.Seed)
+	svc := NewService(rt, cfg.FetchLatency, cfg.Seed)
 
 	var (
 		mu        sync.Mutex
@@ -169,7 +187,7 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 			case <-tick.C:
 				icilk.Go(rt, nil, PrioStats, "stats", func(c *icilk.Ctx) int {
 					// Aggregate counters with a small amount of work.
-					h, m := svc.Hits.Load(), svc.Misses.Load()
+					h, m := svc.Hits.Load(c), svc.Misses.Load(c)
 					spin(20 * time.Microsecond)
 					c.Checkpoint()
 					return int(h + m)
@@ -195,7 +213,7 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 				// The per-client event loop handles the request at the
 				// highest priority.
 				icilk.Go(rt, nil, PrioEvent, "event", func(c *icilk.Ctx) int {
-					if _, ok := svc.Lookup(url); ok {
+					if _, ok := svc.Lookup(c, url); ok {
 						spin(15 * time.Microsecond) // compose response
 						record(&mu, &responses, time.Since(arrival))
 						return 1
@@ -227,8 +245,8 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 	defer mu.Unlock()
 	return Result{
 		Responses: append([]time.Duration(nil), responses...),
-		Hits:      svc.Hits.Load(),
-		Misses:    svc.Misses.Load(),
+		Hits:      svc.Hits.Load(nil),
+		Misses:    svc.Misses.Load(nil),
 		Requests:  requests.Load(),
 	}
 }

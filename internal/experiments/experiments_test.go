@@ -134,3 +134,27 @@ func TestAblations(t *testing.T) {
 		t.Errorf("threshold points = %d", len(pts))
 	}
 }
+
+// TestStateContention smoke-checks the shared-state experiment: both
+// modes produce probes, and the inheritance machinery demonstrably fires
+// in (and only in) the inherit=true run.
+func TestStateContention(t *testing.T) {
+	pts := StateContention(EvalConfig{Duration: 120 * time.Millisecond})
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.Probe.Count == 0 {
+			t.Errorf("inherit=%v: no probes completed", pt.Inherit)
+		}
+		if pt.Inherit && pt.Stats.Inherits == 0 {
+			t.Error("inherit=true run recorded no inheritance events")
+		}
+		if !pt.Inherit && pt.Stats.Inherits != 0 {
+			t.Errorf("inherit=false run recorded %d inheritance events", pt.Stats.Inherits)
+		}
+		if pt.Stats.MutexParks == 0 {
+			t.Errorf("inherit=%v: no mutex contention measured", pt.Inherit)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/icilk"
+	"repro/internal/stats"
+)
+
+// StatePoint is one run of the shared-state contention experiment: the
+// latency distribution of high-priority probe tasks that lock a Mutex
+// under saturating low-priority lock traffic, with priority inheritance
+// on or off, plus the scheduler counters that explain the difference
+// (Inherits is nonzero exactly when the boost machinery fired).
+type StatePoint struct {
+	Inherit bool             `json:"inherit"`
+	Probe   stats.Summary    `json:"probe_latency"`
+	Stats   icilk.SchedStats `json:"sched_stats"`
+}
+
+// StateContention measures what priority inheritance buys. The workload
+// has three parts, all sharing one Mutex with ceiling 1 on a 2-level
+// prioritized runtime:
+//
+//   - a low-priority lock chain: each link locks, computes briefly,
+//     parks on a short IO future while holding the lock (the blocking
+//     acquire-hold shape that creates the inversion window), computes
+//     again, unlocks, and spawns its successor;
+//   - low-priority background tasks that keep the level-0 injection
+//     queue tens of milliseconds deep; and
+//   - high-priority probes, one every 5ms, that lock, compute a few
+//     microseconds, and unlock, measuring spawn-to-completion latency.
+//
+// Without inheritance, a holder whose IO completes is requeued at level
+// 0 behind the background backlog, and every probe blocked on it eats
+// that backlog in its tail. With inheritance the blocked probe boosts
+// the holder to level 1, its requeue lands at the probe's level, and the
+// tail collapses to the remaining critical section.
+//
+// The runtime deliberately uses a single worker regardless of
+// EvalConfig.Workers: the inversion is a queueing phenomenon, not a
+// parallelism one, and one worker keeps the backlog arithmetic exact —
+// the uninherited tail equals the injection-queue depth by construction
+// — while also keeping the measurement honest on small hosts, where
+// several spinning workers would drown the runtime's own scheduling in
+// OS-level timeslicing.
+func StateContention(cfg EvalConfig) []StatePoint {
+	cfg = cfg.withDefaults()
+	var out []StatePoint
+	for _, inherit := range []bool{true, false} {
+		out = append(out, stateRun(cfg, inherit))
+	}
+	return out
+}
+
+func stateRun(cfg EvalConfig, inherit bool) StatePoint {
+	rt := icilk.New(icilk.Config{
+		Workers:            1,
+		Levels:             2,
+		Prioritize:         true,
+		DisableInheritance: !inherit,
+		DisableMetrics:     true,
+	})
+	defer rt.Shutdown()
+	m := icilk.NewMutex(rt, 1, "state.bench")
+
+	var stop atomic.Bool
+
+	// The lock chain (level 0): one holder at a time, parked on IO
+	// mid-critical-section. The successor spawn keeps lock traffic
+	// continuous without an external pacer.
+	var chain func(c *icilk.Ctx) int
+	chain = func(c *icilk.Ctx) int {
+		if stop.Load() {
+			return 0
+		}
+		m.Lock(c)
+		stateSpin(20 * time.Microsecond)
+		icilk.IO(rt, 0, 200*time.Microsecond, func() int { return 0 }).Touch(c)
+		stateSpin(20 * time.Microsecond)
+		m.Unlock(c)
+		icilk.Go(rt, c, 0, "state-chain", chain)
+		return 0
+	}
+	icilk.Go(rt, nil, 0, "state-chain", chain)
+
+	// Background saturation (level 0): keep ~256 spin tasks of 200µs
+	// outstanding, so the injection queue stays ~50ms deep for the single
+	// worker — the queue a deposed holder must wait out when inheritance
+	// is off.
+	const bgTarget, bgSpin = 256, 200 * time.Microsecond
+	var outstanding atomic.Int64
+	bgStop := make(chan struct{})
+	var bgWG sync.WaitGroup
+	bgWG.Add(1)
+	go func() {
+		defer bgWG.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-bgStop:
+				return
+			case <-tick.C:
+				for outstanding.Load() < bgTarget {
+					outstanding.Add(1)
+					icilk.Go(rt, nil, 0, "state-bg", func(c *icilk.Ctx) int {
+						stateSpin(bgSpin)
+						outstanding.Add(-1)
+						return 0
+					})
+				}
+			}
+		}
+	}()
+
+	// Probes (level 1): open-loop arrivals measuring spawn-to-completion
+	// latency of a short critical section against the saturated lock.
+	var (
+		resMu     sync.Mutex
+		latencies []time.Duration
+	)
+	var probeWG sync.WaitGroup
+	probeEnd := time.Now().Add(cfg.Duration)
+	for time.Now().Before(probeEnd) {
+		t0 := time.Now()
+		probeWG.Add(1)
+		icilk.Go(rt, nil, 1, "state-probe", func(c *icilk.Ctx) int {
+			defer probeWG.Done()
+			m.Lock(c)
+			stateSpin(5 * time.Microsecond)
+			m.Unlock(c)
+			resMu.Lock()
+			latencies = append(latencies, time.Since(t0))
+			resMu.Unlock()
+			return 0
+		})
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stop.Store(true)
+	close(bgStop)
+	bgWG.Wait()
+	probeWG.Wait()
+	_ = rt.WaitIdle(60 * time.Second)
+
+	resMu.Lock()
+	defer resMu.Unlock()
+	return StatePoint{
+		Inherit: inherit,
+		Probe:   stats.Summarize(latencies),
+		Stats:   rt.Stats(),
+	}
+}
+
+// stateSpin burns roughly d of CPU.
+func stateSpin(d time.Duration) {
+	end := time.Now().Add(d)
+	x := 1
+	for time.Now().Before(end) {
+		for i := 0; i < 64; i++ {
+			x = x*31 + i
+		}
+	}
+	_ = x
+}

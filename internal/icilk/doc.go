@@ -21,6 +21,17 @@
 // degenerates into the Cilk-F baseline: one priority-oblivious
 // work-stealing pool.
 //
+// # Shared state
+//
+// Ref and Mutex are the runtime half of the paper's "and state": shared
+// mutable state carrying a priority ceiling the scheduler understands.
+// Accessing either from a task whose declared priority exceeds the
+// ceiling is detected dynamically (a PriorityInversionError, like
+// Touch's check), and a Mutex applies priority inheritance: a holder
+// blocked ahead of a more urgent waiter is re-leveled to the waiter's
+// priority until it unlocks, so critical sections cannot smuggle the
+// priority inversions the λ4i state typing (Fig. 12) rules out.
+//
 // # External IO
 //
 // Two primitives connect the runtime to the world outside it. IO builds

@@ -97,7 +97,7 @@ func (f *future) touch(c *Ctx) any {
 		if owner == nil || g.w == nil {
 			break
 		}
-		d := rt.levels[rt.effLevel(owner.prio)].deques[g.w.id]
+		d := rt.levels[rt.effLevel(owner.effPrio())].deques[g.w.id]
 		popped := d.popBottom()
 		if popped == nil {
 			break
@@ -107,6 +107,11 @@ func (f *future) touch(c *Ctx) any {
 			d.pushBottom(popped)
 			break
 		}
+		if !popped.tryClaim() {
+			// A stale duplicate: an inheritance kick dispatched the
+			// producer elsewhere. Drop this entry and re-check the future.
+			continue
+		}
 		rt.stats.helps.Add(1)
 		rt.runTask(g, popped)
 		// Inline execution finished the producer, so the next loop
@@ -115,9 +120,12 @@ func (f *future) touch(c *Ctx) any {
 		// fall through to parking ourselves.
 	}
 
-	// Slow path: park until completion. prepare must precede waiter
-	// registration so that a completion racing with us can already
-	// resume the task.
+	// Slow path: park until completion. A spawn-inherited boost ends
+	// here if no lock is held (see shedSpawnBoost); a lock holder keeps
+	// its boost so the requeue lands at the waiter's level. prepare must
+	// precede waiter registration so that a completion racing with us
+	// can already resume the task.
+	t.shedSpawnBoost()
 	g.prepare(t)
 	w := g.w // capture before t becomes resumable; see park
 	f.mu.Lock()

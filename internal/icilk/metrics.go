@@ -86,6 +86,9 @@ type schedCounters struct {
 	helps      counter
 	steals     counter
 	wakes      counter
+	mutexParks counter
+	inherits   counter
+	ceilings   counter
 }
 
 // SchedStats is a snapshot of the scheduler's event counters since the
@@ -117,6 +120,17 @@ type SchedStats struct {
 	// Wakes counts park-condition broadcasts caused by new work arriving
 	// while at least one worker was parked.
 	Wakes int64
+	// MutexParks counts tasks that blocked on a held Mutex.
+	MutexParks int64
+	// Inherits counts priority-inheritance events: a Mutex holder's
+	// effective priority raised because a higher-priority task blocked
+	// behind it.
+	Inherits int64
+	// CeilingViolations counts Ref/Mutex accesses from tasks whose
+	// declared priority exceeded the primitive's ceiling — the dynamic
+	// analogue of the state-typing rule (paper Fig. 12) that Touch's
+	// inversion check is for futures.
+	CeilingViolations int64
 }
 
 // Stats returns a snapshot of the scheduler's event counters.
@@ -130,11 +144,16 @@ func (rt *Runtime) Stats() SchedStats {
 		Helps:      rt.stats.helps.Load(),
 		Steals:     rt.stats.steals.Load(),
 		Wakes:      rt.stats.wakes.Load(),
+
+		MutexParks:        rt.stats.mutexParks.Load(),
+		Inherits:          rt.stats.inherits.Load(),
+		CeilingViolations: rt.stats.ceilings.Load(),
 	}
 }
 
 func (s SchedStats) String() string {
 	return fmt.Sprintf(
-		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d",
-		s.Spawns, s.InlineRuns, s.Promotions, s.Parks, s.Resumes, s.Helps, s.Steals, s.Wakes)
+		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d mutexparks=%d inherits=%d ceilings=%d",
+		s.Spawns, s.InlineRuns, s.Promotions, s.Parks, s.Resumes, s.Helps, s.Steals, s.Wakes,
+		s.MutexParks, s.Inherits, s.CeilingViolations)
 }

@@ -32,15 +32,22 @@ type Config struct {
 	// suspected deque bug.
 	LockedDeques bool
 	// CheckInversions enables the dynamic priority-inversion check on
-	// Touch (default true; set DisableInversionCheck to turn off).
+	// Touch and the ceiling check on Ref/Mutex (default true; set
+	// DisableInversionCheck to turn off).
 	CheckInversions bool
 	// CollectMetrics records per-task timing (default true; set
 	// DisableMetrics to turn off).
 	CollectMetrics bool
-	// DisableInversionCheck and DisableMetrics exist so the zero Config
-	// enables both features.
+	// Inherit enables priority inheritance on Mutex: a holder blocked
+	// ahead of a higher-priority waiter is re-leveled to the waiter's
+	// priority until it releases the lock (default true; set
+	// DisableInheritance to turn off — the state benchmark's ablation).
+	Inherit bool
+	// DisableInversionCheck, DisableMetrics, and DisableInheritance
+	// exist so the zero Config enables all three features.
 	DisableInversionCheck bool
 	DisableMetrics        bool
+	DisableInheritance    bool
 }
 
 func (c Config) withDefaults() Config {
@@ -61,6 +68,7 @@ func (c Config) withDefaults() Config {
 	}
 	c.CheckInversions = !c.DisableInversionCheck
 	c.CollectMetrics = !c.DisableMetrics
+	c.Inherit = !c.DisableInheritance
 	return c
 }
 
@@ -270,8 +278,15 @@ func (rt *Runtime) wake() {
 // (still owned: steals only take the top) and routes it through the
 // level's injection queue, so a task can never strand on a deque no
 // worker at its level scans.
+//
+// Placement uses effPrio, so a holder boosted by priority inheritance
+// re-enters circulation at its waiter's level. Resetting claimed here —
+// before the push publishes the task — opens the new dispatch round;
+// any stale duplicate entry that wins the claim simply resumes the task
+// in this entry's place (the resume channel serializes them).
 func (rt *Runtime) submit(t *task, g *gctx) {
-	lvl := rt.effLevel(t.prio)
+	t.claimed.Store(false)
+	lvl := rt.effLevel(t.effPrio())
 	if g != nil {
 		if w := g.w; w != nil && int(rt.assignment[w.id].Load()) == lvl {
 			d := rt.levels[lvl].deques[w.id]
@@ -300,6 +315,18 @@ func (rt *Runtime) spawn(c *Ctx, p Priority, name string, f *future, fn func(*Ct
 	}
 	t := &task{rt: rt, prio: p, fut: f, name: name, fn: fn}
 	f.owner = t
+	// A task spawned from inside a boosted critical section inherits the
+	// boost as a floor: if the holder forks work it will join before
+	// releasing the lock, that work must run at the inherited level too,
+	// or the inversion the boost removed would reappear one edge away.
+	// The floor is transient — the child sheds it the first time it
+	// blocks without holding a lock (shedSpawnBoost), so fire-and-forget
+	// spawns cannot squat on the high level indefinitely.
+	if c != nil && c.t != nil {
+		if b := c.t.boost.Load(); b > int32(p) {
+			t.boost.Store(b)
+		}
+	}
 	if rt.cfg.CollectMetrics {
 		t.created = time.Now()
 	}
@@ -334,11 +361,13 @@ func GoSelf[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx, *
 	return self
 }
 
-// requeue puts an unblocked task back into circulation at its own level
-// and wakes a worker to run it. Called from completion context, which
-// can be any goroutine (a worker, a fiber, or an IO timer).
+// requeue puts an unblocked task back into circulation at its effective
+// level and wakes a worker to run it. Called from completion context,
+// which can be any goroutine (a worker, a fiber, or an IO timer). A
+// holder that was boosted while parked re-enters at the waiter's level.
 func (rt *Runtime) requeue(t *task) {
-	rt.levels[rt.effLevel(t.prio)].inject.push(t)
+	t.claimed.Store(false)
+	rt.levels[rt.effLevel(t.effPrio())].inject.push(t)
 	rt.wake()
 }
 
@@ -435,14 +464,29 @@ func (w *worker) findTask(lvl int) *task {
 }
 
 // findAtLevel looks for work at one level: own deque, injection queue,
-// then stealing from a random victim.
+// then stealing from a random victim. Every pop must win the task's
+// dispatch claim before returning it: priority inheritance can push a
+// duplicate entry for a queued holder at the waiter's level, and
+// whichever entry is popped second loses the CAS and is dropped here.
 func (w *worker) findAtLevel(lvl int) *task {
 	L := w.rt.levels[lvl]
-	if t := L.deques[w.id].popBottom(); t != nil {
-		return t
+	for {
+		t := L.deques[w.id].popBottom()
+		if t == nil {
+			break
+		}
+		if t.tryClaim() {
+			return t
+		}
 	}
-	if t := L.inject.pop(); t != nil {
-		return t
+	for {
+		t := L.inject.pop()
+		if t == nil {
+			break
+		}
+		if t.tryClaim() {
+			return t
+		}
 	}
 	off := w.rng.Intn(len(L.deques))
 	for i := 0; i < len(L.deques); i++ {
@@ -450,9 +494,15 @@ func (w *worker) findAtLevel(lvl int) *task {
 		if v == w.id {
 			continue
 		}
-		if t := L.deques[v].stealTop(); t != nil {
-			w.rt.stats.steals.Add(1)
-			return t
+		for {
+			t := L.deques[v].stealTop()
+			if t == nil {
+				break
+			}
+			if t.tryClaim() {
+				w.rt.stats.steals.Add(1)
+				return t
+			}
 		}
 	}
 	return nil

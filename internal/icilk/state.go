@@ -1,0 +1,242 @@
+package icilk
+
+import (
+	"sync"
+)
+
+// This file is the runtime half of the paper's "and state": mutable
+// shared state whose priority discipline the scheduler understands. The
+// λ4i type system (Figure 12, modeled statically in
+// internal/machine/statetyping.go) assigns every piece of state a
+// priority and rules out a high-priority thread depending on state that
+// lower-priority threads may be mid-way through; Ref and Mutex enforce
+// the same contract dynamically, in the style of Touch's inversion check,
+// and add the remedy the type system cannot express: priority
+// inheritance, which re-levels a lock holder while a more urgent task is
+// blocked behind it.
+
+// Ref is an atomic cell of type T carrying a priority ceiling: the
+// highest declared task priority allowed to access it. Accessing a Ref
+// from above its ceiling panics with a PriorityInversionError when the
+// runtime's inversion checking is enabled — the dynamic analogue of
+// dereferencing a ref the λ4i state typing forbids at the current
+// priority. Ref operations never block or park (Update's function runs
+// under a short internal lock), so Ref is the primitive for counters,
+// flags, and small shared values; state with real critical sections
+// belongs behind a Mutex.
+type Ref[T any] struct {
+	rt      *Runtime
+	ceiling Priority
+	mu      sync.Mutex
+	v       T
+}
+
+// NewRef creates a Ref with the given ceiling and initial value.
+func NewRef[T any](rt *Runtime, ceiling Priority, v T) *Ref[T] {
+	return &Ref[T]{rt: rt, ceiling: ceiling, v: v}
+}
+
+// Ceiling returns the Ref's priority ceiling.
+func (r *Ref[T]) Ceiling() Priority { return r.ceiling }
+
+// check enforces the ceiling for task-context access. A nil Ctx marks
+// access from outside the runtime (harness goroutines, diagnostics),
+// which has no priority to violate.
+func (r *Ref[T]) check(c *Ctx) {
+	if c == nil {
+		return
+	}
+	if r.rt.cfg.CheckInversions && c.t.prio > r.ceiling {
+		r.rt.stats.ceilings.Add(1)
+		panic(&PriorityInversionError{Toucher: c.t.prio, Touched: r.ceiling, Primitive: "ref"})
+	}
+}
+
+// Load returns the current value.
+func (r *Ref[T]) Load(c *Ctx) T {
+	r.check(c)
+	r.mu.Lock()
+	v := r.v
+	r.mu.Unlock()
+	return v
+}
+
+// Store replaces the value.
+func (r *Ref[T]) Store(c *Ctx, v T) {
+	r.check(c)
+	r.mu.Lock()
+	r.v = v
+	r.mu.Unlock()
+}
+
+// Update atomically applies fn to the value and returns the new value.
+// fn runs under the Ref's internal lock and must not block, spawn, or
+// touch.
+func (r *Ref[T]) Update(c *Ctx, fn func(T) T) T {
+	r.check(c)
+	r.mu.Lock()
+	r.v = fn(r.v)
+	v := r.v
+	r.mu.Unlock()
+	return v
+}
+
+// Mutex is a scheduler-aware mutual-exclusion lock with a priority
+// ceiling and priority inheritance.
+//
+// Ceiling: the highest declared task priority allowed to acquire the
+// lock. Locking from above the ceiling panics with a
+// PriorityInversionError when inversion checking is enabled, mirroring
+// Touch: state only ever held by tasks at or below the ceiling can make
+// a task above it wait, which is exactly the hazard the λ4i state
+// typing rules out.
+//
+// Inheritance: when a task blocks on a held Mutex, the holder's
+// effective priority is raised to the waiter's (Config.Inherit, default
+// on). The boost re-levels the holder everywhere placement decisions
+// are made — a holder parked on IO or a future is requeued at the
+// waiter's level when it completes, a holder already sitting in a run
+// queue is re-injected at the waiter's level (a duplicate entry; the
+// dispatch claim on the task keeps it from running twice), and tasks the
+// holder spawns while boosted inherit the boost as a floor. Unlock
+// recomputes the boost from the locks the holder still holds, hands the
+// Mutex to the highest-priority waiter, and requeues it.
+//
+// Lock and Unlock must be called from task context (a non-nil Ctx): a
+// blocked Lock parks the task exactly like an unresolved Touch, freeing
+// its worker. External goroutines coordinate with the runtime through
+// Promise, not Mutex.
+type Mutex struct {
+	rt      *Runtime
+	ceiling Priority
+	name    string
+
+	mu      sync.Mutex // guards holder and waiters
+	holder  *task
+	waiters []*task
+}
+
+// NewMutex creates a Mutex with the given ceiling. The name identifies
+// the lock in ceiling-violation errors and diagnostics.
+func NewMutex(rt *Runtime, ceiling Priority, name string) *Mutex {
+	return &Mutex{rt: rt, ceiling: ceiling, name: name}
+}
+
+// Ceiling returns the Mutex's priority ceiling.
+func (m *Mutex) Ceiling() Priority { return m.ceiling }
+
+// Lock acquires the Mutex, parking the task (and freeing its worker)
+// while another task holds it. Acquiring from a task whose declared
+// priority exceeds the ceiling panics with a PriorityInversionError when
+// the runtime's inversion checking is enabled.
+func (m *Mutex) Lock(c *Ctx) {
+	if c == nil {
+		panic("icilk: Mutex.Lock outside task context")
+	}
+	t := c.t
+	rt := t.rt
+	if rt.cfg.CheckInversions && t.prio > m.ceiling {
+		rt.stats.ceilings.Add(1)
+		panic(&PriorityInversionError{Toucher: t.prio, Touched: m.ceiling, Primitive: "mutex", Name: m.name})
+	}
+
+	m.mu.Lock()
+	if m.holder == nil {
+		m.holder = t
+		m.mu.Unlock()
+		t.held = append(t.held, m)
+		return
+	}
+	if m.holder == t {
+		m.mu.Unlock()
+		panic("icilk: Mutex is not reentrant: Lock by current holder")
+	}
+
+	// Contended: inherit, register, park. prepare must precede waiter
+	// registration so that an Unlock racing with us can already resume
+	// the task (the same protocol as future.touch).
+	g := c.g
+	g.prepare(t)
+	w := g.w // capture before t becomes resumable; see gctx.park
+	holder := m.holder
+	if rt.cfg.Inherit && holder.raiseBoost(t.effPrio()) {
+		rt.stats.inherits.Add(1)
+		// Kick: if the holder is sitting in a run queue at its old level,
+		// make it visible at the waiter's level by injecting a duplicate
+		// entry there. The dispatch claim arbitrates: whichever entry is
+		// popped first runs the holder, the other is dropped. If the
+		// holder is running or parked the duplicate dies harmlessly (its
+		// claim fails), and the boost takes effect at the next requeue.
+		rt.levels[rt.effLevel(holder.effPrio())].inject.push(holder)
+		rt.wake()
+	}
+	m.waiters = append(m.waiters, t)
+	m.mu.Unlock()
+	rt.stats.mutexParks.Add(1)
+	g.park(rt, w)
+	// Resumed: Unlock handed us the Mutex (m.holder == t already).
+	t.held = append(t.held, m)
+}
+
+// Unlock releases the Mutex: the holder's inherited boost is recomputed
+// from the locks it still holds, and the Mutex is handed directly to the
+// highest-priority waiter (FIFO among equals), which is requeued at its
+// own level. Unlock panics if the calling task does not hold the Mutex.
+func (m *Mutex) Unlock(c *Ctx) {
+	if c == nil {
+		panic("icilk: Mutex.Unlock outside task context")
+	}
+	t := c.t
+	m.mu.Lock()
+	if m.holder != t {
+		m.mu.Unlock()
+		panic("icilk: Mutex.Unlock by a task that does not hold it")
+	}
+	var next *task
+	if len(m.waiters) > 0 {
+		best := 0
+		for i, wt := range m.waiters {
+			if wt.effPrio() > m.waiters[best].effPrio() {
+				best = i
+			}
+		}
+		next = m.waiters[best]
+		m.waiters = append(m.waiters[:best], m.waiters[best+1:]...)
+		m.holder = next
+	} else {
+		m.holder = nil
+	}
+	m.mu.Unlock()
+
+	// Drop this lock from the held list (task-private) and shed its
+	// boost contribution before waking the successor.
+	for i, h := range t.held {
+		if h == m {
+			t.held = append(t.held[:i], t.held[i+1:]...)
+			break
+		}
+	}
+	t.dropBoost()
+	if next != nil {
+		t.rt.requeue(next)
+	}
+}
+
+// TryLock acquires the Mutex if it is free, without blocking and without
+// ceiling checking (like TryTouch, a non-blocking attempt cannot make a
+// higher-priority task wait on lower-priority work).
+func (m *Mutex) TryLock(c *Ctx) bool {
+	if c == nil {
+		panic("icilk: Mutex.TryLock outside task context")
+	}
+	t := c.t
+	m.mu.Lock()
+	if m.holder != nil {
+		m.mu.Unlock()
+		return false
+	}
+	m.holder = t
+	m.mu.Unlock()
+	t.held = append(t.held, m)
+	return true
+}

@@ -2,6 +2,7 @@ package icilk
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,6 +42,107 @@ type task struct {
 
 	// blockedOn is set while parked on a future (diagnostics only).
 	blockedOn *future
+
+	// boost is the priority-inheritance floor: while a higher-priority
+	// task waits on a Mutex this task holds, boost carries the waiter's
+	// priority and every queue-placement decision uses effPrio instead of
+	// prio. Zero means no boost (priority 0 can never exceed a base
+	// priority, so the zero value needs no sentinel).
+	boost atomic.Int32
+
+	// claimed guards dispatch when a task may appear in more than one run
+	// queue at once (priority-inheritance re-leveling pushes a duplicate
+	// entry at the waiter's level). It is reset to false each time the
+	// task is made runnable (submit/requeue) and CASed true by the worker
+	// that dispatches it; an entry whose CAS fails is a stale duplicate
+	// and is dropped.
+	claimed atomic.Bool
+
+	// held lists the Mutexes this task currently holds, newest last. It
+	// is task-private (only read and written from the task's own
+	// execution context), and is what Unlock scans to recompute boost
+	// when inheritance from one critical section ends while another is
+	// still in progress.
+	held []*Mutex
+}
+
+// effPrio is the task's effective priority: its declared priority, or
+// the inherited boost when a higher-priority waiter is blocked behind
+// it. All queue placement (submit, requeue) routes on effPrio; the
+// declared prio still governs inversion checks and child priorities.
+func (t *task) effPrio() Priority {
+	if b := t.boost.Load(); b > int32(t.prio) {
+		return Priority(b)
+	}
+	return t.prio
+}
+
+// raiseBoost lifts the task's effective priority to at least p,
+// reporting whether it actually rose (the inheritance event).
+func (t *task) raiseBoost(p Priority) bool {
+	if p <= t.prio {
+		return false
+	}
+	for {
+		cur := t.boost.Load()
+		if int32(p) <= cur {
+			return false
+		}
+		if t.boost.CompareAndSwap(cur, int32(p)) {
+			return true
+		}
+	}
+}
+
+// dropBoost recomputes the task's boost from the waiters of the Mutexes
+// it still holds — called by Unlock from the task's own context. A
+// concurrent raiseBoost (a new waiter arriving on another held Mutex)
+// makes the CAS fail; the loop then rescans and finds the newcomer.
+func (t *task) dropBoost() {
+	for {
+		cur := t.boost.Load()
+		if cur <= int32(t.prio) {
+			return
+		}
+		target := int32(t.prio)
+		for _, m := range t.held {
+			m.mu.Lock()
+			for _, wt := range m.waiters {
+				if p := int32(wt.effPrio()); p > target {
+					target = p
+				}
+			}
+			m.mu.Unlock()
+		}
+		if cur <= target {
+			return
+		}
+		if t.boost.CompareAndSwap(cur, target) {
+			return
+		}
+	}
+}
+
+// tryClaim is the dispatch gate: exactly one queue entry per runnable
+// round wins it and runs the task; duplicates (inheritance kicks) lose
+// and are dropped by the popper.
+func (t *task) tryClaim() bool {
+	return t.claimed.CompareAndSwap(false, true)
+}
+
+// shedSpawnBoost clears a spawn-inherited boost when the task blocks
+// while holding no locks. The inherited floor exists so work forked
+// inside a boosted critical section runs at the critical section's
+// level; a lock-free task parking marks the end of that usefulness —
+// without shedding, fire-and-forget work spawned inside a critical
+// section would occupy the high level for its whole lifetime. Called
+// only from the task's own context, where len(held) == 0 implies no
+// Mutex lists the task as holder, so no concurrent raiseBoost can race
+// the clear.
+func (t *task) shedSpawnBoost() {
+	if len(t.held) == 0 && t.boost.Load() != 0 {
+		t.boost.Store(0)
+	}
 }
 
 // gctx is the execution context of a goroutine that runs tasks: either a
@@ -124,6 +226,7 @@ func (c *Ctx) Runtime() *Runtime { return c.t.rt }
 // master has reassigned this worker.
 func (c *Ctx) Yield() {
 	g, t := c.g, c.t
+	t.shedSpawnBoost()
 	g.prepare(t)
 	w := g.w // capture before t becomes poppable; see park
 	// Requeue before parking: a worker may pop t and attempt the resume
@@ -144,16 +247,26 @@ func (c *Ctx) Checkpoint() {
 	}
 }
 
-// PriorityInversionError reports an ftouch from a higher-priority task on
-// a lower-priority future — exactly what the λ4i type system rules out
-// statically and this runtime (C++ being no safer than Go here) detects
-// dynamically.
+// PriorityInversionError reports a priority-discipline violation —
+// an ftouch from a higher-priority task on a lower-priority future, or
+// a Ref/Mutex access from above the primitive's ceiling — exactly what
+// the λ4i type system rules out statically and this runtime (C++ being
+// no safer than Go here) detects dynamically.
 type PriorityInversionError struct {
 	Toucher Priority
 	Touched Priority
+	// Primitive and Name identify the violated object for state
+	// ceilings: Primitive is "ref" or "mutex" and Name the value given
+	// at construction. Both are empty for future touches.
+	Primitive string
+	Name      string
 }
 
 func (e *PriorityInversionError) Error() string {
+	if e.Primitive != "" {
+		return fmt.Sprintf("icilk: priority inversion: %s %q (ceiling %d) accessed from priority-%d task",
+			e.Primitive, e.Name, e.Touched, e.Toucher)
+	}
 	return fmt.Sprintf("icilk: priority inversion: touch of priority-%d future from priority-%d task",
 		e.Touched, e.Toucher)
 }

@@ -31,7 +31,8 @@ type handlerFn func(c *icilk.Ctx, self *icilk.Future[int]) (int, string)
 // priority inversion regardless of the two handlers' classes.
 func (s *Server) dispatch(c *icilk.Ctx, cn *sconn, req *request) {
 	class, prio, run, self := s.route(req)
-	s.countAdmit(class)
+	s.countAdmit(c, class)
+	s.trackSession(c, cn, req)
 	prev := cn.lastWrite
 	token := icilk.NewPromise[int](s.rt, PrioInteractive)
 	cn.lastWrite = token.Future()
@@ -101,8 +102,8 @@ func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
 		}, false
 
 	case "/stats":
-		return "stats", PrioInteractive, func(*icilk.Ctx, *icilk.Future[int]) (int, string) {
-			return 200, s.statsBody()
+		return "stats", PrioInteractive, func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+			return 200, s.statsBody(c)
 		}, false
 
 	case "/jserver":
@@ -125,7 +126,13 @@ func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
 			return fail(400, "missing url parameter\n")
 		}
 		return "proxy", PrioInteractive, func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
-			if body, ok := s.proxy.Lookup(url); ok {
+			// Fastest path: the serve-layer response cache (proxy content
+			// is deterministic, so whole bodies are safe to replay).
+			if body, ok := s.cachedResponse(c, "proxy:"+url); ok {
+				return 200, body
+			}
+			if body, ok := s.proxy.Lookup(c, url); ok {
+				s.storeResponse(c, "proxy:"+url, body)
 				return 200, body
 			}
 			// The event-side handler answers as soon as the fetch is
@@ -185,17 +192,30 @@ func atoiDefault(s string, def int) int {
 	return n
 }
 
-// statsBody renders the server's counters and the runtime's scheduler
-// observables as text.
-func (s *Server) statsBody() string {
+// statsBody renders the server's counters, the shared-state stores, and
+// the runtime's scheduler observables as text. It runs in the /stats
+// handler task, so every store is read under its own ceilinged lock.
+func (s *Server) statsBody(c *icilk.Ctx) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "uptime: %v\n", time.Since(s.start).Round(time.Millisecond))
 	fmt.Fprintf(&b, "connections accepted: %d\n", s.accepted.Load())
 	fmt.Fprintf(&b, "requests: %d\n", s.requests.Load())
 	fmt.Fprintf(&b, "write errors: %d\n", s.writeErrs.Load())
 	fmt.Fprintf(&b, "proxy cache: %d hits, %d misses\n",
-		s.proxy.Hits.Load(), s.proxy.Misses.Load())
-	admitted := s.Admitted()
+		s.proxy.Hits.Load(c), s.proxy.Misses.Load(c))
+	s.rcacheMu.Lock(c)
+	rcacheLen := len(s.rcache)
+	s.rcacheMu.Unlock(c)
+	fmt.Fprintf(&b, "response cache: %d entries, %d hits\n",
+		rcacheLen, s.rcacheHits.Load(c))
+	s.sessMu.Lock(c)
+	sessN, sessReqs := len(s.sessions), int64(0)
+	for _, sess := range s.sessions {
+		sessReqs += sess.requests
+	}
+	s.sessMu.Unlock(c)
+	fmt.Fprintf(&b, "sessions: %d tracked, %d requests\n", sessN, sessReqs)
+	admitted := s.Admitted(c)
 	classes := make([]string, 0, len(admitted))
 	for cl := range admitted {
 		classes = append(classes, cl)

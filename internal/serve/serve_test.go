@@ -218,3 +218,57 @@ func TestPipelinedRequests(t *testing.T) {
 		}
 	}
 }
+
+// TestSessionAndResponseCache exercises the serve layer's shared state:
+// the session store keyed by sid, and the response cache that replays
+// deterministic proxy bodies without re-entering the proxy service.
+func TestSessionAndResponseCache(t *testing.T) {
+	s := testServer(t, Config{})
+	cl := dialTest(t, s.Addr())
+
+	url := "/proxy?url=http://site-7.example/&sid=alpha"
+	if r := cl.get(t, url); r.status != 202 {
+		t.Fatalf("first proxy request = %d, want 202 miss", r.status)
+	}
+	// Wait for the fetch to land, then hit twice: the first 200 fills the
+	// response cache, the second must be served from it.
+	deadline := time.Now().Add(5 * time.Second)
+	hits := 0
+	for hits < 2 {
+		if r := cl.get(t, url); r.status == 200 {
+			hits++
+			continue
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("proxy fetch never filled the cache")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cl.get(t, "/ping?sid=beta")
+
+	r := cl.get(t, "/stats")
+	body := string(r.body)
+	if !strings.Contains(body, "response cache: 1 entries") {
+		t.Errorf("stats missing response cache line:\n%s", body)
+	}
+	if !strings.Contains(body, "sessions:") {
+		t.Errorf("stats missing sessions line:\n%s", body)
+	}
+	// alpha + beta sessions at minimum (plus the stats/ping requests'
+	// fallback host key).
+	var n, reqs int
+	if _, err := fmt.Sscanf(body[strings.Index(body, "sessions:"):], "sessions: %d tracked, %d requests", &n, &reqs); err != nil {
+		t.Fatalf("unparseable sessions line: %v\n%s", err, body)
+	}
+	if n < 2 {
+		t.Errorf("sessions tracked = %d, want >= 2 (sid=alpha, sid=beta)", n)
+	}
+	rcLine := body[strings.Index(body, "response cache:"):]
+	var entries, rcHits int
+	if _, err := fmt.Sscanf(rcLine, "response cache: %d entries, %d hits", &entries, &rcHits); err != nil {
+		t.Fatalf("unparseable response cache line: %v\n%s", err, body)
+	}
+	if rcHits < 1 {
+		t.Errorf("response cache hits = %d, want >= 1", rcHits)
+	}
+}

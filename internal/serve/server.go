@@ -96,10 +96,41 @@ type Server struct {
 	accepted  atomic.Int64
 	requests  atomic.Int64
 	writeErrs atomic.Int64
-	admitMu   sync.Mutex
-	admitted  map[string]int64
 	shutdown  atomic.Bool
+
+	// Scheduler-visible shared state (ceiling PrioInteractive: the
+	// event-loop and handler tasks are the only accessors). admitted is
+	// the per-class admission table; sessions tracks client sessions
+	// (keyed by the sid query parameter, falling back to the remote
+	// host); rcache caches whole response bodies for idempotent
+	// endpoints, with its hit count in a Ref. All three surface in
+	// /stats.
+	admitMu    *icilk.Mutex
+	admitted   map[string]int64
+	sessMu     *icilk.Mutex
+	sessions   map[string]*session
+	rcacheMu   *icilk.Mutex
+	rcache     map[string]string
+	rcacheHits *icilk.Ref[int64]
 }
+
+// session is one tracked client session.
+type session struct {
+	requests int64
+	lastPath string
+	lastSeen time.Time
+}
+
+// maxResponseCache bounds the response cache; on overflow the whole
+// cache is dropped (the workloads' key spaces are small, so anything
+// smarter would never trigger).
+const maxResponseCache = 4096
+
+// maxSessions bounds the session store; at the cap, inserting a new
+// session evicts the least-recently-seen one, so connection churn
+// (every sid-less connection is its own session) cannot grow the map
+// without bound.
+const maxSessions = 4096
 
 // writeOp is one response write, executed on its own writer goroutine;
 // the promise completes when the bytes are on the socket (or the write
@@ -145,15 +176,21 @@ func Start(cfg Config) (*Server, error) {
 		Prioritize: !cfg.Baseline,
 	})
 	s := &Server{
-		cfg:      cfg,
-		rt:       rt,
-		ln:       ln,
-		jobs:     jserver.NewJobSet(cfg.Jobs),
-		proxy:    proxy.NewService(simio.Latency{Base: 3 * time.Millisecond, Jitter: 5 * time.Millisecond}, cfg.Seed),
-		email:    email.NewServer(rt, email.Config{Users: cfg.Users, Seed: cfg.Seed}),
-		start:    time.Now(),
-		conns:    map[*sconn]struct{}{},
-		admitted: map[string]int64{},
+		cfg:        cfg,
+		rt:         rt,
+		ln:         ln,
+		jobs:       jserver.NewJobSet(cfg.Jobs),
+		proxy:      proxy.NewService(rt, simio.Latency{Base: 3 * time.Millisecond, Jitter: 5 * time.Millisecond}, cfg.Seed),
+		email:      email.NewServer(rt, email.Config{Users: cfg.Users, Seed: cfg.Seed}),
+		start:      time.Now(),
+		conns:      map[*sconn]struct{}{},
+		admitMu:    icilk.NewMutex(rt, PrioInteractive, "serve.admitted"),
+		admitted:   map[string]int64{},
+		sessMu:     icilk.NewMutex(rt, PrioInteractive, "serve.sessions"),
+		sessions:   map[string]*session{},
+		rcacheMu:   icilk.NewMutex(rt, PrioInteractive, "serve.rcache"),
+		rcache:     map[string]string{},
+		rcacheHits: icilk.NewRef[int64](rt, PrioInteractive, 0),
 	}
 	s.connWG.Add(1)
 	go s.acceptor()
@@ -334,22 +371,82 @@ func (s *Server) write(op writeOp) {
 	op.pr.Complete(len(op.data))
 }
 
-// countAdmit records one admission into class (served by /stats).
-func (s *Server) countAdmit(class string) {
-	s.admitMu.Lock()
+// countAdmit records one admission into class (served by /stats). It
+// runs in the event-loop task, so the admission table's Mutex sees the
+// true accessor priority.
+func (s *Server) countAdmit(c *icilk.Ctx, class string) {
+	s.admitMu.Lock(c)
 	s.admitted[class]++
-	s.admitMu.Unlock()
+	s.admitMu.Unlock(c)
 }
 
-// Admitted returns a copy of the per-class admission counters.
-func (s *Server) Admitted() map[string]int64 {
-	s.admitMu.Lock()
-	defer s.admitMu.Unlock()
+// Admitted returns a copy of the per-class admission counters, read
+// under the table's lock from the calling task.
+func (s *Server) Admitted(c *icilk.Ctx) map[string]int64 {
+	s.admitMu.Lock(c)
+	defer s.admitMu.Unlock(c)
 	out := make(map[string]int64, len(s.admitted))
 	for k, v := range s.admitted {
 		out[k] = v
 	}
 	return out
+}
+
+// trackSession updates the session store for one admitted request. The
+// session key is the sid query parameter when the client sends one, the
+// remote host otherwise (host only — the ephemeral port would make
+// every connection a fresh session).
+func (s *Server) trackSession(c *icilk.Ctx, cn *sconn, req *request) {
+	key := req.query.Get("sid")
+	if key == "" {
+		key = cn.c.RemoteAddr().String()
+		if host, _, err := net.SplitHostPort(key); err == nil {
+			key = host
+		}
+	}
+	s.sessMu.Lock(c)
+	sess := s.sessions[key]
+	if sess == nil {
+		if len(s.sessions) >= maxSessions {
+			// Evict the least-recently-seen session.
+			var oldKey string
+			var oldSeen time.Time
+			for k, v := range s.sessions {
+				if oldKey == "" || v.lastSeen.Before(oldSeen) {
+					oldKey, oldSeen = k, v.lastSeen
+				}
+			}
+			delete(s.sessions, oldKey)
+		}
+		sess = &session{}
+		s.sessions[key] = sess
+	}
+	sess.requests++
+	sess.lastPath = req.path
+	sess.lastSeen = time.Now()
+	s.sessMu.Unlock(c)
+}
+
+// cachedResponse consults the shared response cache.
+func (s *Server) cachedResponse(c *icilk.Ctx, key string) (string, bool) {
+	s.rcacheMu.Lock(c)
+	body, ok := s.rcache[key]
+	s.rcacheMu.Unlock(c)
+	if ok {
+		s.rcacheHits.Update(c, func(v int64) int64 { return v + 1 })
+	}
+	return body, ok
+}
+
+// storeResponse fills the shared response cache. Only deterministic,
+// side-effect-free response bodies belong here.
+func (s *Server) storeResponse(c *icilk.Ctx, key, body string) {
+	s.rcacheMu.Lock(c)
+	if len(s.rcache) >= maxResponseCache {
+		s.rcache = map[string]string{}
+	}
+	s.rcache[key] = body
+	s.rcacheMu.Unlock(c)
 }
 
 // Shutdown stops accepting, closes every connection, drains in-flight
