@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -61,17 +63,40 @@ var experimentList = []experimentInfo{
 		func(cfg experiments.EvalConfig, _ int) any { return sched(cfg) }},
 	{"state", "Ref/Mutex contention: high-priority p99 with inheritance on vs off", "-duration -seed",
 		func(cfg experiments.EvalConfig, _ int) any { return state(cfg) }},
+	{"lock", "lock-free fast paths: uncontended ns/op vs raw baselines + RWMutex read scaling", "-workers -duration",
+		func(cfg experiments.EvalConfig, _ int) any { return lock(cfg) }},
 	{"all", "every experiment above, in order", "", nil},
+}
+
+// gitSHA best-effort identifies the commit being measured, so committed
+// BENCH_*.json snapshots are attributable. A working tree with
+// uncommitted changes gets a "-dirty" suffix — a snapshot generated
+// while building a PR measures code HEAD does not yet contain, and a
+// trajectory diff keyed on the bare SHA would misattribute it. Empty
+// when git is unavailable (e.g. a release tarball).
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	sha := strings.TrimSpace(string(out))
+	if st, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(st) > 0 {
+		sha += "-dirty"
+	}
+	return sha
 }
 
 // writeBench records one experiment's result as BENCH_<name>.json in the
 // current directory — the perf-trajectory artifact CI and future PRs
-// diff against.
+// diff against. The envelope records the commit and GOMAXPROCS so
+// snapshots from different machines and PRs compare honestly.
 func writeBench(name string, payload any) {
 	out := struct {
 		Experiment string `json:"experiment"`
+		GitSHA     string `json:"git_sha,omitempty"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
 		Result     any    `json:"result"`
-	}{Experiment: name, Result: payload}
+	}{Experiment: name, GitSHA: gitSHA(), GOMAXPROCS: runtime.GOMAXPROCS(0), Result: payload}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "icilk-bench: marshal %s: %v\n", name, err)
@@ -295,4 +320,28 @@ func state(cfg experiments.EvalConfig) any {
 	}
 	fmt.Println()
 	return out
+}
+
+func lock(cfg experiments.EvalConfig) any {
+	fmt.Println("=== Lock-free fast paths: uncontended cost and read-mostly scaling ===")
+	res := experiments.LockFast(cfg)
+	f := res.FastPath
+	fmt.Printf("%-28s %10s %14s %8s\n", "fast path (uncontended)", "ns/op", "baseline ns/op", "ratio")
+	fmt.Printf("%-28s %10.1f %14.1f %7.2fx  (vs sync.Mutex)\n",
+		"Mutex.Lock+Unlock", f.MutexLockUnlockNs, f.SyncMutexLockUnlockNs, f.MutexOverhead())
+	fmt.Printf("%-28s %10.1f %14s %8s\n", "Mutex.TryLock+Unlock", f.TryLockUnlockNs, "-", "-")
+	fmt.Printf("%-28s %10.1f %14s %8s\n", "RWMutex.RLock+RUnlock", f.RWMutexRLockRUnlockNs, "-", "-")
+	fmt.Printf("%-28s %10.1f %14.1f %7.2fx  (vs atomic load)\n",
+		"Ref.Load", f.RefLoadNs, f.AtomicLoadNs, f.RefOverhead())
+	fmt.Printf("%-28s %10.1f %14.1f %7s  (vs atomic add)\n",
+		"Ref.Update", f.RefUpdateNs, f.AtomicAddNs, "-")
+	fmt.Println()
+	fmt.Printf("read-mostly scaling (1 write per 1024 reads, ~2µs read sections):\n")
+	fmt.Printf("%8s %16s %16s %9s\n", "workers", "rwmutex ops/s", "mutex ops/s", "speedup")
+	for _, pt := range res.ReadScaling {
+		fmt.Printf("%8d %16.0f %16.0f %8.2fx\n",
+			pt.Workers, pt.RWOpsPerSec, pt.MutexOpsPerSec, pt.Speedup())
+	}
+	fmt.Println()
+	return res
 }

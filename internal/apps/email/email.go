@@ -200,8 +200,7 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 	srv := NewServer(rt, cfg)
 
 	var (
-		mu         sync.Mutex
-		responses  []time.Duration
+		responses  stats.Recorder
 		requests   atomic.Int64
 		sends      atomic.Int64
 		sorts      atomic.Int64
@@ -296,7 +295,7 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 								return 0
 							})
 					}
-					record(&mu, &responses, time.Since(arrival))
+					responses.Record(time.Since(arrival))
 					return 0
 				})
 			})
@@ -308,10 +307,8 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 	icilk.Go(rt, nil, PrioMain, "main", func(c *icilk.Ctx) int { return 0 })
 	_ = rt.WaitIdle(15 * time.Second)
 
-	mu.Lock()
-	defer mu.Unlock()
 	return Result{
-		Responses:  append([]time.Duration(nil), responses...),
+		Responses:  responses.Samples(),
 		Requests:   requests.Load(),
 		Sends:      sends.Load(),
 		Sorts:      sorts.Load(),
@@ -405,10 +402,4 @@ func (s *Server) compress(c *icilk.Ctx, box *mailbox, e *email, count *atomic.In
 			c.Checkpoint()
 			return 0
 		})
-}
-
-func record(mu *sync.Mutex, dst *[]time.Duration, d time.Duration) {
-	mu.Lock()
-	*dst = append(*dst, d)
-	mu.Unlock()
 }

@@ -123,20 +123,22 @@ func (r Result) Summary(t workload.JobType) stats.Summary {
 
 // Table is the server's shared job table: every finishing job, at any of
 // the four levels, records its response time here. The table is guarded
-// by a ceilinged icilk.Mutex (ceiling = the matmul level, the table's
-// highest-priority writer), so the scheduler sees the contention: a
-// matmul job blocking behind an sw job mid-record boosts the sw job to
-// the matmul level instead of letting the record stall the urgent class.
+// by a ceilinged icilk.RWMutex (both ceilings at the matmul level — the
+// table's highest-priority writer and reader), so the scheduler sees the
+// contention: a matmul job blocking behind an sw job mid-record boosts
+// the sw job to the matmul level instead of letting the record stall the
+// urgent class, and snapshots read concurrently with each other.
 type Table struct {
-	mu      *icilk.Mutex
+	mu      *icilk.RWMutex
 	perType map[workload.JobType][]time.Duration
 	jobs    int
 }
 
 // NewTable creates an empty job table on rt.
 func NewTable(rt *icilk.Runtime) *Table {
+	top := PriorityOf(workload.JobMatMul)
 	return &Table{
-		mu:      icilk.NewMutex(rt, PriorityOf(workload.JobMatMul), "jserver.table"),
+		mu:      icilk.NewRWMutex(rt, top, top, "jserver.table"),
 		perType: map[workload.JobType][]time.Duration{},
 	}
 }
@@ -149,15 +151,16 @@ func (tb *Table) Record(c *icilk.Ctx, jt workload.JobType, d time.Duration) {
 	tb.mu.Unlock(c)
 }
 
-// Snapshot copies the table out under its lock. It is called from
-// harness goroutines (no task context), so the read runs as a task at
-// the table's ceiling — external code never takes an icilk.Mutex
-// directly. A non-nil error means the snapshot task could not run
-// (wedged or shutting-down runtime) and the Result is empty.
+// Snapshot copies the table out under a read lock (snapshots never
+// mutate, so they only exclude in-flight Records, not each other). It
+// is called from harness goroutines (no task context), so the read runs
+// as a task at the table's read ceiling — external code never takes an
+// icilk lock directly. A non-nil error means the snapshot task could
+// not run (wedged or shutting-down runtime) and the Result is empty.
 func (tb *Table) Snapshot(rt *icilk.Runtime) (Result, error) {
-	fut := icilk.Go(rt, nil, tb.mu.Ceiling(), "table-snapshot", func(c *icilk.Ctx) Result {
-		tb.mu.Lock(c)
-		defer tb.mu.Unlock(c)
+	fut := icilk.Go(rt, nil, tb.mu.ReadCeiling(), "table-snapshot", func(c *icilk.Ctx) Result {
+		tb.mu.RLock(c)
+		defer tb.mu.RUnlock(c)
 		out := Result{PerType: map[workload.JobType][]time.Duration{}, Jobs: tb.jobs}
 		for t, ds := range tb.perType {
 			out.PerType[t] = append([]time.Duration(nil), ds...)

@@ -100,42 +100,47 @@ func site(url string) string {
 //
 // The cache is the paper's showcase shared state: event loops (the
 // highest level) read it on every request while fetchers (one level
-// down) write it on every miss. It lives behind a ceilinged icilk.Mutex
-// so the scheduler sees that contention — an event loop blocking behind
-// a mid-fill fetcher boosts the fetcher to the event level rather than
-// letting the fill stall the interactive class behind batch work.
+// down) write it on every miss. That read-mostly split is exactly what
+// icilk.RWMutex's per-mode ceilings encode: readers are admitted up to
+// PrioEvent and share the lock, writers only up to PrioFetch — so
+// lookups from concurrent event loops never serialize against each
+// other, and an event loop blocking behind a mid-fill fetcher boosts
+// the fetcher to the event level rather than letting the fill stall the
+// interactive class behind batch work.
 type Service struct {
-	cacheMu *icilk.Mutex
+	cacheMu *icilk.RWMutex
 	cache   map[string]string
 	origin  *simio.Device
-	// Hits and Misses are ceilinged Refs; harness and /stats code reads
-	// them with a nil Ctx (external access).
-	Hits   *icilk.Ref[int64]
-	Misses *icilk.Ref[int64]
+	// Hits and Misses are ceilinged Counters (allocation-free atomic
+	// bumps); harness and /stats code reads them with a nil Ctx
+	// (external access).
+	Hits   *icilk.Counter
+	Misses *icilk.Counter
 }
 
 // NewService creates a proxy core on rt with the given origin latency.
-// The cache ceiling is PrioEvent: event loops are its highest readers.
+// The cache's read ceiling is PrioEvent (event loops are its highest
+// readers); its write ceiling is PrioFetch (fetchers fill it).
 func NewService(rt *icilk.Runtime, lat simio.Latency, seed int64) *Service {
 	return &Service{
-		cacheMu: icilk.NewMutex(rt, PrioEvent, "proxy.cache"),
+		cacheMu: icilk.NewRWMutex(rt, PrioEvent, PrioFetch, "proxy.cache"),
 		cache:   map[string]string{},
 		origin:  simio.NewDevice("origin", lat, seed),
-		Hits:    icilk.NewRef[int64](rt, PrioEvent, 0),
-		Misses:  icilk.NewRef[int64](rt, PrioEvent, 0),
+		Hits:    icilk.NewCounter(rt, PrioEvent),
+		Misses:  icilk.NewCounter(rt, PrioEvent),
 	}
 }
 
-// Lookup consults the cache from the calling task, counting the hit or
-// miss.
+// Lookup consults the cache from the calling task (a read lock: lookups
+// run in parallel), counting the hit or miss.
 func (s *Service) Lookup(c *icilk.Ctx, url string) (string, bool) {
-	s.cacheMu.Lock(c)
+	s.cacheMu.RLock(c)
 	body, ok := s.cache[url]
-	s.cacheMu.Unlock(c)
+	s.cacheMu.RUnlock(c)
 	if ok {
-		s.Hits.Update(c, func(v int64) int64 { return v + 1 })
+		s.Hits.Add(c, 1)
 	} else {
-		s.Misses.Update(c, func(v int64) int64 { return v + 1 })
+		s.Misses.Add(c, 1)
 	}
 	return body, ok
 }
@@ -149,7 +154,7 @@ func (s *Service) Fetch(rt *icilk.Runtime, c *icilk.Ctx, p icilk.Priority, url s
 	}).Touch(c)
 	spin(150 * time.Microsecond) // parse/validate
 	c.Checkpoint()
-	s.cacheMu.Lock(c)
+	s.cacheMu.Lock(c) // write lock: the fill is the cache's only mutation
 	s.cache[url] = body
 	s.cacheMu.Unlock(c)
 	return body
@@ -162,8 +167,7 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 	svc := NewService(rt, cfg.FetchLatency, cfg.Seed)
 
 	var (
-		mu        sync.Mutex
-		responses []time.Duration
+		responses stats.Recorder
 		requests  atomic.Int64
 	)
 
@@ -215,7 +219,7 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 				icilk.Go(rt, nil, PrioEvent, "event", func(c *icilk.Ctx) int {
 					if _, ok := svc.Lookup(c, url); ok {
 						spin(15 * time.Microsecond) // compose response
-						record(&mu, &responses, time.Since(arrival))
+						responses.Record(time.Since(arrival))
 						return 1
 					}
 					// Delegate the fetch to the lower-priority component;
@@ -223,7 +227,7 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 					icilk.Go(rt, c, PrioFetch, "fetch", func(c *icilk.Ctx) int {
 						return len(svc.Fetch(rt, c, PrioFetch, url))
 					})
-					record(&mu, &responses, time.Since(arrival))
+					responses.Record(time.Since(arrival))
 					return 0
 				})
 			})
@@ -241,20 +245,12 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 	}
 	_ = rt.WaitIdle(10 * time.Second)
 
-	mu.Lock()
-	defer mu.Unlock()
 	return Result{
-		Responses: append([]time.Duration(nil), responses...),
+		Responses: responses.Samples(),
 		Hits:      svc.Hits.Load(nil),
 		Misses:    svc.Misses.Load(nil),
 		Requests:  requests.Load(),
 	}
-}
-
-func record(mu *sync.Mutex, dst *[]time.Duration, d time.Duration) {
-	mu.Lock()
-	*dst = append(*dst, d)
-	mu.Unlock()
 }
 
 // spin burns roughly d of CPU.

@@ -158,3 +158,44 @@ func TestStateContention(t *testing.T) {
 		}
 	}
 }
+
+// TestLockFast smoke-checks the lock-free fast-path experiment: every
+// measured primitive produces a nonzero cost, the uncontended
+// icilk.Mutex pair stays within an order of magnitude of raw sync.Mutex
+// (the acceptance bound is 3x; 10x here keeps CI noise from flaking the
+// build while still catching a fast-path regression back to the
+// internal-lock implementation, which measured ~10-20x), and the
+// scaling sweep emits one point per worker count.
+func TestLockFast(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res := LockFast(EvalConfig{Workers: 2, Duration: 40 * time.Millisecond})
+	f := res.FastPath
+	for name, v := range map[string]float64{
+		"mutex":      f.MutexLockUnlockNs,
+		"sync.Mutex": f.SyncMutexLockUnlockNs,
+		"trylock":    f.TryLockUnlockNs,
+		"rlock":      f.RWMutexRLockRUnlockNs,
+		"ref.Load":   f.RefLoadNs,
+		"atomic":     f.AtomicLoadNs,
+		"ref.Update": f.RefUpdateNs,
+		"atomicAdd":  f.AtomicAddNs,
+	} {
+		if v <= 0 {
+			t.Errorf("%s cost = %v ns/op, want > 0", name, v)
+		}
+	}
+	if r := f.MutexOverhead(); r > 10 {
+		t.Errorf("uncontended Mutex pair is %.1fx sync.Mutex; the CAS fast path has regressed", r)
+	}
+	if len(res.ReadScaling) == 0 {
+		t.Error("no read-scaling points")
+	}
+	for _, pt := range res.ReadScaling {
+		if pt.RWOpsPerSec <= 0 || pt.MutexOpsPerSec <= 0 {
+			t.Errorf("workers=%d: zero throughput (rw=%.0f mutex=%.0f)",
+				pt.Workers, pt.RWOpsPerSec, pt.MutexOpsPerSec)
+		}
+	}
+}

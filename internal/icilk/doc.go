@@ -23,14 +23,18 @@
 //
 // # Shared state
 //
-// Ref and Mutex are the runtime half of the paper's "and state": shared
-// mutable state carrying a priority ceiling the scheduler understands.
-// Accessing either from a task whose declared priority exceeds the
-// ceiling is detected dynamically (a PriorityInversionError, like
-// Touch's check), and a Mutex applies priority inheritance: a holder
-// blocked ahead of a more urgent waiter is re-leveled to the waiter's
-// priority until it unlocks, so critical sections cannot smuggle the
-// priority inversions the λ4i state typing (Fig. 12) rules out.
+// Ref, Mutex, and RWMutex are the runtime half of the paper's "and
+// state": shared mutable state carrying priority ceilings the scheduler
+// understands. Accessing any of them from a task whose declared
+// priority exceeds the ceiling (per mode, for RWMutex) is detected
+// dynamically (a PriorityInversionError, like Touch's check), and the
+// locks apply priority inheritance: a holder blocked ahead of a more
+// urgent waiter is re-leveled to the waiter's priority until it
+// unlocks, so critical sections cannot smuggle the priority inversions
+// the λ4i state typing (Fig. 12) rules out. All three are lock-free on
+// the uncontended path — Ref is an atomic cell, and an uncontended
+// Lock/Unlock/TryLock/RLock is a single CAS — so the ceilinged
+// primitives cost about what the plain Go primitives they replace do.
 //
 // # External IO
 //

@@ -78,17 +78,19 @@ type counter struct {
 // always collected (plain atomic increments, no timestamps) and exposed
 // through Stats.
 type schedCounters struct {
-	spawns     counter
-	inlineRuns counter
-	promotions counter
-	parks      counter
-	resumes    counter
-	helps      counter
-	steals     counter
-	wakes      counter
-	mutexParks counter
-	inherits   counter
-	ceilings   counter
+	spawns       counter
+	inlineRuns   counter
+	promotions   counter
+	parks        counter
+	resumes      counter
+	helps        counter
+	steals       counter
+	wakes        counter
+	mutexParks   counter
+	rwReadParks  counter
+	rwWriteParks counter
+	inherits     counter
+	ceilings     counter
 }
 
 // SchedStats is a snapshot of the scheduler's event counters since the
@@ -122,14 +124,20 @@ type SchedStats struct {
 	Wakes int64
 	// MutexParks counts tasks that blocked on a held Mutex.
 	MutexParks int64
-	// Inherits counts priority-inheritance events: a Mutex holder's
-	// effective priority raised because a higher-priority task blocked
-	// behind it.
+	// RWReadParks and RWWriteParks count tasks that blocked acquiring an
+	// RWMutex in read mode (behind an active or waiting writer) and in
+	// write mode (behind readers or another writer) — the per-mode
+	// contention observables of the reader/writer primitive.
+	RWReadParks  int64
+	RWWriteParks int64
+	// Inherits counts priority-inheritance events: a Mutex or RWMutex
+	// write holder's effective priority raised because a higher-priority
+	// task blocked behind it.
 	Inherits int64
-	// CeilingViolations counts Ref/Mutex accesses from tasks whose
-	// declared priority exceeded the primitive's ceiling — the dynamic
-	// analogue of the state-typing rule (paper Fig. 12) that Touch's
-	// inversion check is for futures.
+	// CeilingViolations counts Ref/Mutex/RWMutex accesses from tasks
+	// whose declared priority exceeded the primitive's (per-mode)
+	// ceiling — the dynamic analogue of the state-typing rule (paper
+	// Fig. 12) that Touch's inversion check is for futures.
 	CeilingViolations int64
 }
 
@@ -146,6 +154,8 @@ func (rt *Runtime) Stats() SchedStats {
 		Wakes:      rt.stats.wakes.Load(),
 
 		MutexParks:        rt.stats.mutexParks.Load(),
+		RWReadParks:       rt.stats.rwReadParks.Load(),
+		RWWriteParks:      rt.stats.rwWriteParks.Load(),
 		Inherits:          rt.stats.inherits.Load(),
 		CeilingViolations: rt.stats.ceilings.Load(),
 	}
@@ -153,7 +163,7 @@ func (rt *Runtime) Stats() SchedStats {
 
 func (s SchedStats) String() string {
 	return fmt.Sprintf(
-		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d mutexparks=%d inherits=%d ceilings=%d",
+		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d mutexparks=%d rwrparks=%d rwwparks=%d inherits=%d ceilings=%d",
 		s.Spawns, s.InlineRuns, s.Promotions, s.Parks, s.Resumes, s.Helps, s.Steals, s.Wakes,
-		s.MutexParks, s.Inherits, s.CeilingViolations)
+		s.MutexParks, s.RWReadParks, s.RWWriteParks, s.Inherits, s.CeilingViolations)
 }

@@ -1,7 +1,10 @@
 package icilk
 
 import (
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // This file is the runtime half of the paper's "and state": mutable
@@ -14,26 +17,35 @@ import (
 // and add the remedy the type system cannot express: priority
 // inheritance, which re-levels a lock holder while a more urgent task is
 // blocked behind it.
+//
+// Both primitives are built around lock-free fast paths: the uncontended
+// case pays only atomics (the Chase–Lev discipline the deques already
+// use — publish with a CAS, fall back to heavier synchronization only
+// when a race is actually in progress), so the ceilinged primitives the
+// paper's discipline pushes every app onto cost about what the plain Go
+// primitives they replaced did. Only a contended acquire or a handoff
+// touches the slow path's internal lock.
 
 // Ref is an atomic cell of type T carrying a priority ceiling: the
 // highest declared task priority allowed to access it. Accessing a Ref
 // from above its ceiling panics with a PriorityInversionError when the
 // runtime's inversion checking is enabled — the dynamic analogue of
 // dereferencing a ref the λ4i state typing forbids at the current
-// priority. Ref operations never block or park (Update's function runs
-// under a short internal lock), so Ref is the primitive for counters,
-// flags, and small shared values; state with real critical sections
-// belongs behind a Mutex.
+// priority. Ref operations never block, park, or lock: Load is an atomic
+// pointer load, Store an atomic swap, and Update a CAS retry loop — so
+// Ref is the primitive for counters, flags, and small shared values;
+// state with real critical sections belongs behind a Mutex.
 type Ref[T any] struct {
 	rt      *Runtime
 	ceiling Priority
-	mu      sync.Mutex
-	v       T
+	p       atomic.Pointer[T]
 }
 
 // NewRef creates a Ref with the given ceiling and initial value.
 func NewRef[T any](rt *Runtime, ceiling Priority, v T) *Ref[T] {
-	return &Ref[T]{rt: rt, ceiling: ceiling, v: v}
+	r := &Ref[T]{rt: rt, ceiling: ceiling}
+	r.p.Store(&v)
+	return r
 }
 
 // Ceiling returns the Ref's priority ceiling.
@@ -52,34 +64,85 @@ func (r *Ref[T]) check(c *Ctx) {
 	}
 }
 
-// Load returns the current value.
+// Load returns the current value: a ceiling check plus one atomic load.
 func (r *Ref[T]) Load(c *Ctx) T {
 	r.check(c)
-	r.mu.Lock()
-	v := r.v
-	r.mu.Unlock()
-	return v
+	return *r.p.Load()
 }
 
-// Store replaces the value.
+// Store replaces the value with one atomic swap.
 func (r *Ref[T]) Store(c *Ctx, v T) {
 	r.check(c)
-	r.mu.Lock()
-	r.v = v
-	r.mu.Unlock()
+	r.p.Store(&v)
 }
 
 // Update atomically applies fn to the value and returns the new value.
-// fn runs under the Ref's internal lock and must not block, spawn, or
-// touch.
+// The update is a CAS retry loop, so fn may run more than once under
+// contention: it must be pure (no side effects, no blocking, no spawns,
+// no touches).
 func (r *Ref[T]) Update(c *Ctx, fn func(T) T) T {
 	r.check(c)
-	r.mu.Lock()
-	r.v = fn(r.v)
-	v := r.v
-	r.mu.Unlock()
-	return v
+	for {
+		old := r.p.Load()
+		v := fn(*old)
+		if r.p.CompareAndSwap(old, &v) {
+			return v
+		}
+	}
 }
+
+// Counter is the allocation-free specialization of Ref for the hot
+// counters: a ceilinged atomic int64. Ref's generic Store/Update box a
+// new value per call (the price of atomic.Pointer genericity); serving
+// paths that bump a counter per request (proxy hits/misses, response-
+// cache hits) shouldn't pay a heap allocation per bump. Like Ref, a
+// Counter never blocks or parks, and a nil Ctx marks external access.
+type Counter struct {
+	rt      *Runtime
+	ceiling Priority
+	v       atomic.Int64
+}
+
+// NewCounter creates a zeroed Counter with the given ceiling.
+func NewCounter(rt *Runtime, ceiling Priority) *Counter {
+	return &Counter{rt: rt, ceiling: ceiling}
+}
+
+// Ceiling returns the Counter's priority ceiling.
+func (k *Counter) Ceiling() Priority { return k.ceiling }
+
+func (k *Counter) check(c *Ctx) {
+	if c == nil {
+		return
+	}
+	if k.rt.cfg.CheckInversions && c.t.prio > k.ceiling {
+		k.rt.stats.ceilings.Add(1)
+		panic(&PriorityInversionError{Toucher: c.t.prio, Touched: k.ceiling, Primitive: "counter"})
+	}
+}
+
+// Load returns the current value.
+func (k *Counter) Load(c *Ctx) int64 {
+	k.check(c)
+	return k.v.Load()
+}
+
+// Add atomically adds d and returns the new value.
+func (k *Counter) Add(c *Ctx, d int64) int64 {
+	k.check(c)
+	return k.v.Add(d)
+}
+
+// Mutex state-word bits. The word carries the locked bit and the count
+// of registered waiters; because a waiter can only register its count
+// against a locked word (the increment CAS re-reads the locked bit), a
+// release atomically observes whether anyone is — or is committing to —
+// waiting, which is what lets the uncontended Unlock be a single CAS
+// with no waiter-list lock.
+const (
+	mutexLocked    int32 = 1 << 0
+	mutexWaiterInc int32 = 1 << 1
+)
 
 // Mutex is a scheduler-aware mutual-exclusion lock with a priority
 // ceiling and priority inheritance.
@@ -102,6 +165,13 @@ func (r *Ref[T]) Update(c *Ctx, fn func(T) T) T {
 // recomputes the boost from the locks the holder still holds, hands the
 // Mutex to the highest-priority waiter, and requeues it.
 //
+// Fast path: the lock word is a CAS-published state machine. An
+// uncontended Lock is one CAS on the state word (plus an owner-pointer
+// store); an uncontended Unlock is the mirror image; TryLock is a single
+// CAS. The slow path — waiter registration, inheritance, handoff —
+// still serializes on an internal sync.Mutex, but that lock is never
+// touched while the Mutex is free or held without waiters.
+//
 // Lock and Unlock must be called from task context (a non-nil Ctx): a
 // blocked Lock parks the task exactly like an unresolved Touch, freeing
 // its worker. External goroutines coordinate with the runtime through
@@ -111,8 +181,19 @@ type Mutex struct {
 	ceiling Priority
 	name    string
 
-	mu      sync.Mutex // guards holder and waiters
-	holder  *task
+	// state is the fast-path lock word: mutexLocked plus a registered-
+	// waiter count. owner identifies the holding task (for inheritance,
+	// reentrancy detection, and handoff); it is stored after the state
+	// CAS acquires and cleared before the state CAS releases, so a
+	// reader of owner may transiently see nil while the lock changes
+	// hands — every owner reader tolerates that.
+	state atomic.Int32
+	owner atomic.Pointer[task]
+
+	// mu guards the waiter list — the slow path only. waiters is kept
+	// ordered by waitPrio (highest first, FIFO among equals), so handoff
+	// pops the head instead of scanning.
+	mu      sync.Mutex
 	waiters []*task
 }
 
@@ -139,43 +220,123 @@ func (m *Mutex) Lock(c *Ctx) {
 		rt.stats.ceilings.Add(1)
 		panic(&PriorityInversionError{Toucher: t.prio, Touched: m.ceiling, Primitive: "mutex", Name: m.name})
 	}
-
-	m.mu.Lock()
-	if m.holder == nil {
-		m.holder = t
-		m.mu.Unlock()
+	// Fast path: free, no registered waiters — one CAS.
+	if m.state.CompareAndSwap(0, mutexLocked) {
+		m.owner.Store(t)
 		t.held = append(t.held, m)
 		return
 	}
-	if m.holder == t {
-		m.mu.Unlock()
-		panic("icilk: Mutex is not reentrant: Lock by current holder")
+	m.lockSlow(c, t, rt)
+}
+
+// lockSlow is the contended acquire: register a waiter count against the
+// locked word, then inherit, enqueue, and park under the internal lock.
+func (m *Mutex) lockSlow(c *Ctx, t *task, rt *Runtime) {
+	for {
+		s := m.state.Load()
+		if s&mutexLocked == 0 {
+			// Released since the fast path failed: take it. The waiter
+			// count (other registrants) rides along unchanged.
+			if m.state.CompareAndSwap(s, s|mutexLocked) {
+				m.owner.Store(t)
+				t.held = append(t.held, m)
+				return
+			}
+			continue
+		}
+		if m.owner.Load() == t {
+			panic("icilk: Mutex is not reentrant: Lock by current holder")
+		}
+		// Register intent to wait. The CAS only succeeds against a word
+		// that is still locked, so a concurrent Unlock either sees the
+		// new count (and takes the slow handoff path, which serializes
+		// on m.mu below) or already released (and the next iteration of
+		// this loop acquires).
+		if m.state.CompareAndSwap(s, s+mutexWaiterInc) {
+			break
+		}
 	}
 
-	// Contended: inherit, register, park. prepare must precede waiter
-	// registration so that an Unlock racing with us can already resume
-	// the task (the same protocol as future.touch).
+	// prepare must precede waiter-list insertion so that an Unlock
+	// racing with us can already resume the task (the same protocol as
+	// future.touch).
 	g := c.g
 	g.prepare(t)
 	w := g.w // capture before t becomes resumable; see gctx.park
-	holder := m.holder
-	if rt.cfg.Inherit && holder.raiseBoost(t.effPrio()) {
-		rt.stats.inherits.Add(1)
-		// Kick: if the holder is sitting in a run queue at its old level,
-		// make it visible at the waiter's level by injecting a duplicate
-		// entry there. The dispatch claim arbitrates: whichever entry is
-		// popped first runs the holder, the other is dropped. If the
-		// holder is running or parked the duplicate dies harmlessly (its
-		// claim fails), and the boost takes effect at the next requeue.
-		rt.levels[rt.effLevel(holder.effPrio())].inject.push(holder)
-		rt.wake()
+	m.mu.Lock()
+	// Re-check under m.mu: the holder may have released between our
+	// registration and here (its slow-path Unlock found the list empty
+	// and dropped the locked bit, leaving our count in place). While the
+	// word stays locked, our count pins every Unlock to the slow path,
+	// which serializes on m.mu — so the holder cannot complete a release
+	// until we are enqueued, and the inherited boost below cannot be
+	// applied to a stale holder. A locked word with a nil owner is a
+	// holder whose owner store is still in flight (the acquiring CAS and
+	// the publish are two instructions, and a failed fast Unlock briefly
+	// nils the owner before restoring it); no owner-publishing path ever
+	// waits on m.mu, so spinning the scheduler resolves it promptly —
+	// skipping the boost instead would let that holder run its whole
+	// critical section unboosted.
+	var holder *task
+	for {
+		s := m.state.Load()
+		if s&mutexLocked == 0 {
+			if m.state.CompareAndSwap(s, (s-mutexWaiterInc)|mutexLocked) {
+				m.owner.Store(t)
+				m.mu.Unlock()
+				t.held = append(t.held, m)
+				return
+			}
+			continue
+		}
+		if holder = m.owner.Load(); holder != nil {
+			break
+		}
+		runtime.Gosched()
 	}
-	m.waiters = append(m.waiters, t)
+	inheritInto(rt, holder, t)
+	t.waitPrio = t.effPrio()
+	m.waiters = insertByPrio(m.waiters, t)
 	m.mu.Unlock()
 	rt.stats.mutexParks.Add(1)
 	g.park(rt, w)
-	// Resumed: Unlock handed us the Mutex (m.holder == t already).
+	// Resumed: Unlock handed us the Mutex (m.owner == t already).
 	t.held = append(t.held, m)
+}
+
+// inheritInto is the priority-inheritance event, shared by the Mutex
+// and RWMutex slow paths: raise the holder's effective priority to the
+// blocked waiter's and, if it actually rose, kick the holder — if it is
+// sitting in a run queue at its old level, make it visible at the
+// waiter's level by injecting a duplicate entry there. The dispatch
+// claim arbitrates: whichever entry is popped first runs the holder,
+// the other is dropped. If the holder is running or parked the
+// duplicate dies harmlessly (its claim fails), and the boost takes
+// effect at the next requeue.
+func inheritInto(rt *Runtime, holder, waiter *task) {
+	if holder == nil || !rt.cfg.Inherit || !holder.raiseBoost(waiter.effPrio()) {
+		return
+	}
+	rt.stats.inherits.Add(1)
+	rt.levels[rt.effLevel(holder.effPrio())].inject.push(holder)
+	rt.wake()
+}
+
+// insertByPrio inserts t into a waiter list kept ordered by waitPrio,
+// highest first, FIFO among equals: binary-search the first strictly
+// lower slot, shift, place. Handoff then pops the head in O(1) instead
+// of scanning the whole list per Unlock.
+//
+// waitPrio is the waiter's effective priority at enqueue time. A boost
+// arriving while the task is already queued does not reorder the list —
+// the same one-edge-at-blocking-time propagation limit the inheritance
+// machinery has (see ARCHITECTURE.md).
+func insertByPrio(ws []*task, t *task) []*task {
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].waitPrio < t.waitPrio })
+	ws = append(ws, nil)
+	copy(ws[i+1:], ws[i:])
+	ws[i] = t
+	return ws
 }
 
 // Unlock releases the Mutex: the holder's inherited boost is recomputed
@@ -187,56 +348,85 @@ func (m *Mutex) Unlock(c *Ctx) {
 		panic("icilk: Mutex.Unlock outside task context")
 	}
 	t := c.t
-	m.mu.Lock()
-	if m.holder != t {
-		m.mu.Unlock()
+	if m.owner.Load() != t {
 		panic("icilk: Mutex.Unlock by a task that does not hold it")
 	}
+	// Fast path: no registered waiters — clear the owner, then one CAS.
+	// The owner must go nil before the release CAS (an acquirer stores
+	// its own owner only after winning that CAS, so the stores cannot
+	// cross); on CAS failure we still hold the lock — restore the owner
+	// and hand off.
+	m.owner.Store(nil)
+	if m.state.CompareAndSwap(mutexLocked, 0) {
+		t.unheld(m)
+		t.dropBoost()
+		return
+	}
+	m.owner.Store(t)
+	m.unlockSlow(t)
+}
+
+// unlockSlow hands the Mutex to the head of the waiter list, or — when
+// the registered waiters are still en route to the list — releases the
+// locked bit and lets their under-mu re-check self-acquire.
+func (m *Mutex) unlockSlow(t *task) {
+	m.mu.Lock()
 	var next *task
 	if len(m.waiters) > 0 {
-		best := 0
-		for i, wt := range m.waiters {
-			if wt.effPrio() > m.waiters[best].effPrio() {
-				best = i
+		next = m.waiters[0]
+		copy(m.waiters, m.waiters[1:])
+		m.waiters[len(m.waiters)-1] = nil
+		m.waiters = m.waiters[:len(m.waiters)-1]
+		// Ownership transfers: the locked bit stays set, the popped
+		// waiter's count comes off, and the owner moves directly to the
+		// successor.
+		m.state.Add(-mutexWaiterInc)
+		m.owner.Store(next)
+	} else {
+		m.owner.Store(nil)
+		for {
+			s := m.state.Load()
+			if m.state.CompareAndSwap(s, s&^mutexLocked) {
+				break
 			}
 		}
-		next = m.waiters[best]
-		m.waiters = append(m.waiters[:best], m.waiters[best+1:]...)
-		m.holder = next
-	} else {
-		m.holder = nil
 	}
 	m.mu.Unlock()
-
-	// Drop this lock from the held list (task-private) and shed its
-	// boost contribution before waking the successor.
-	for i, h := range t.held {
-		if h == m {
-			t.held = append(t.held[:i], t.held[i+1:]...)
-			break
-		}
-	}
+	t.unheld(m)
 	t.dropBoost()
 	if next != nil {
 		t.rt.requeue(next)
 	}
 }
 
+// maxWaiterPrio reports the highest effective priority among tasks
+// blocked on the Mutex, or -1 when none — dropBoost's input when the
+// holder recomputes its inherited floor. The scan reads live effPrio
+// (a queued waiter's boost may have risen since it was enqueued).
+func (m *Mutex) maxWaiterPrio() Priority {
+	best := Priority(-1)
+	m.mu.Lock()
+	for _, wt := range m.waiters {
+		if p := wt.effPrio(); p > best {
+			best = p
+		}
+	}
+	m.mu.Unlock()
+	return best
+}
+
 // TryLock acquires the Mutex if it is free, without blocking and without
 // ceiling checking (like TryTouch, a non-blocking attempt cannot make a
-// higher-priority task wait on lower-priority work).
+// higher-priority task wait on lower-priority work). It is a single CAS.
 func (m *Mutex) TryLock(c *Ctx) bool {
 	if c == nil {
 		panic("icilk: Mutex.TryLock outside task context")
 	}
 	t := c.t
-	m.mu.Lock()
-	if m.holder != nil {
-		m.mu.Unlock()
+	if !m.state.CompareAndSwap(0, mutexLocked) {
 		return false
 	}
-	m.holder = t
-	m.mu.Unlock()
+	m.owner.Store(t)
 	t.held = append(t.held, m)
 	return true
 }

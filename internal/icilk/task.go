@@ -58,12 +58,35 @@ type task struct {
 	// and is dropped.
 	claimed atomic.Bool
 
-	// held lists the Mutexes this task currently holds, newest last. It
-	// is task-private (only read and written from the task's own
-	// execution context), and is what Unlock scans to recompute boost
-	// when inheritance from one critical section ends while another is
-	// still in progress.
-	held []*Mutex
+	// held lists the boostable locks (Mutex, RWMutex write side) this
+	// task currently holds, newest last. It is task-private (only read
+	// and written from the task's own execution context), and is what
+	// Unlock scans to recompute boost when inheritance from one critical
+	// section ends while another is still in progress.
+	held []heldLock
+
+	// waitPrio is the task's effective priority at the moment it was
+	// enqueued on a lock's waiter list — the (stable) sort key of the
+	// priority-ordered list. Written under the owning lock's internal
+	// mutex; a task waits on at most one lock at a time.
+	waitPrio Priority
+}
+
+// heldLock is a lock a task can hold and be boosted through: Mutex and
+// the write side of RWMutex. maxWaiterPrio reports the highest effective
+// priority among tasks currently blocked on the lock, or -1 when none.
+type heldLock interface {
+	maxWaiterPrio() Priority
+}
+
+// unheld drops one lock from the task's held list (task-private).
+func (t *task) unheld(l heldLock) {
+	for i, h := range t.held {
+		if h == l {
+			t.held = append(t.held[:i], t.held[i+1:]...)
+			break
+		}
+	}
 }
 
 // effPrio is the task's effective priority: its declared priority, or
@@ -94,9 +117,9 @@ func (t *task) raiseBoost(p Priority) bool {
 	}
 }
 
-// dropBoost recomputes the task's boost from the waiters of the Mutexes
+// dropBoost recomputes the task's boost from the waiters of the locks
 // it still holds — called by Unlock from the task's own context. A
-// concurrent raiseBoost (a new waiter arriving on another held Mutex)
+// concurrent raiseBoost (a new waiter arriving on another held lock)
 // makes the CAS fail; the loop then rescans and finds the newcomer.
 func (t *task) dropBoost() {
 	for {
@@ -105,14 +128,10 @@ func (t *task) dropBoost() {
 			return
 		}
 		target := int32(t.prio)
-		for _, m := range t.held {
-			m.mu.Lock()
-			for _, wt := range m.waiters {
-				if p := int32(wt.effPrio()); p > target {
-					target = p
-				}
+		for _, l := range t.held {
+			if p := int32(l.maxWaiterPrio()); p > target {
+				target = p
 			}
-			m.mu.Unlock()
 		}
 		if cur <= target {
 			return

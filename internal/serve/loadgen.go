@@ -157,16 +157,14 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	}
 
 	res := &LoadResult{PerClass: map[string]*ClassSample{}}
-	var mu sync.Mutex
-	record := func(class string, prio int, d time.Duration) {
-		mu.Lock()
-		cs := res.PerClass[class]
-		if cs == nil {
-			cs = &ClassSample{Class: class, Prio: prio}
-			res.PerClass[class] = cs
-		}
-		cs.Latencies = append(cs.Latencies, d)
-		mu.Unlock()
+	// Result recording is sharded per connection goroutine: each worker
+	// appends to its own buffers with no synchronization and the shards
+	// are merged once after the pool drains — at high -rate a single
+	// mutex around the latency slices would make the loadgen itself the
+	// contention bottleneck it is trying to measure.
+	shards := make([]map[string]*ClassSample, cfg.Conns)
+	for i := range shards {
+		shards[i] = map[string]*ClassSample{}
 	}
 
 	var sent, done, errs atomic.Int64
@@ -199,8 +197,16 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Conns; i++ {
 		wg.Add(1)
-		go func() {
+		go func(shard map[string]*ClassSample) {
 			defer wg.Done()
+			record := func(class string, prio int, d time.Duration) {
+				cs := shard[class]
+				if cs == nil {
+					cs = &ClassSample{Class: class, Prio: prio}
+					shard[class] = cs
+				}
+				cs.Latencies = append(cs.Latencies, d)
+			}
 			var (
 				conn net.Conn
 				br   *bufio.Reader
@@ -254,9 +260,21 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				done.Add(1)
 				record(resp.class, resp.prio, time.Since(a.at))
 			}
-		}()
+		}(shards[i])
 	}
 	wg.Wait()
+
+	// Merge the per-worker shards (single-threaded now).
+	for _, shard := range shards {
+		for class, cs := range shard {
+			agg := res.PerClass[class]
+			if agg == nil {
+				agg = &ClassSample{Class: cs.Class, Prio: cs.Prio}
+				res.PerClass[class] = agg
+			}
+			agg.Latencies = append(agg.Latencies, cs.Latencies...)
+		}
+	}
 
 	res.Sent = sent.Load()
 	res.Done = done.Load()

@@ -98,20 +98,23 @@ type Server struct {
 	writeErrs atomic.Int64
 	shutdown  atomic.Bool
 
-	// Scheduler-visible shared state (ceiling PrioInteractive: the
-	// event-loop and handler tasks are the only accessors). admitted is
-	// the per-class admission table; sessions tracks client sessions
-	// (keyed by the sid query parameter, falling back to the remote
-	// host); rcache caches whole response bodies for idempotent
-	// endpoints, with its hit count in a Ref. All three surface in
-	// /stats.
-	admitMu    *icilk.Mutex
+	// Scheduler-visible shared state (both RWMutex ceilings at
+	// PrioInteractive: the event-loop and handler tasks are the only
+	// accessors, in both modes). admitted is the per-class admission
+	// table; sessions tracks client sessions (keyed by the sid query
+	// parameter, falling back to the remote host); rcache caches whole
+	// response bodies for idempotent endpoints, with its hit count in a
+	// Counter. All three are read-mostly from the serving path's point of
+	// view (every /proxy hit is an rcache read, every /stats a scan), so
+	// reader/writer locks keep concurrent lookups from serializing. All
+	// three surface in /stats.
+	admitMu    *icilk.RWMutex
 	admitted   map[string]int64
-	sessMu     *icilk.Mutex
+	sessMu     *icilk.RWMutex
 	sessions   map[string]*session
-	rcacheMu   *icilk.Mutex
+	rcacheMu   *icilk.RWMutex
 	rcache     map[string]string
-	rcacheHits *icilk.Ref[int64]
+	rcacheHits *icilk.Counter
 }
 
 // session is one tracked client session.
@@ -184,13 +187,13 @@ func Start(cfg Config) (*Server, error) {
 		email:      email.NewServer(rt, email.Config{Users: cfg.Users, Seed: cfg.Seed}),
 		start:      time.Now(),
 		conns:      map[*sconn]struct{}{},
-		admitMu:    icilk.NewMutex(rt, PrioInteractive, "serve.admitted"),
+		admitMu:    icilk.NewRWMutex(rt, PrioInteractive, PrioInteractive, "serve.admitted"),
 		admitted:   map[string]int64{},
-		sessMu:     icilk.NewMutex(rt, PrioInteractive, "serve.sessions"),
+		sessMu:     icilk.NewRWMutex(rt, PrioInteractive, PrioInteractive, "serve.sessions"),
 		sessions:   map[string]*session{},
-		rcacheMu:   icilk.NewMutex(rt, PrioInteractive, "serve.rcache"),
+		rcacheMu:   icilk.NewRWMutex(rt, PrioInteractive, PrioInteractive, "serve.rcache"),
 		rcache:     map[string]string{},
-		rcacheHits: icilk.NewRef[int64](rt, PrioInteractive, 0),
+		rcacheHits: icilk.NewCounter(rt, PrioInteractive),
 	}
 	s.connWG.Add(1)
 	go s.acceptor()
@@ -381,10 +384,10 @@ func (s *Server) countAdmit(c *icilk.Ctx, class string) {
 }
 
 // Admitted returns a copy of the per-class admission counters, read
-// under the table's lock from the calling task.
+// under the table's read lock from the calling task.
 func (s *Server) Admitted(c *icilk.Ctx) map[string]int64 {
-	s.admitMu.Lock(c)
-	defer s.admitMu.Unlock(c)
+	s.admitMu.RLock(c)
+	defer s.admitMu.RUnlock(c)
 	out := make(map[string]int64, len(s.admitted))
 	for k, v := range s.admitted {
 		out[k] = v
@@ -427,13 +430,14 @@ func (s *Server) trackSession(c *icilk.Ctx, cn *sconn, req *request) {
 	s.sessMu.Unlock(c)
 }
 
-// cachedResponse consults the shared response cache.
+// cachedResponse consults the shared response cache — a read lock, so
+// concurrent handlers replaying cached bodies never serialize.
 func (s *Server) cachedResponse(c *icilk.Ctx, key string) (string, bool) {
-	s.rcacheMu.Lock(c)
+	s.rcacheMu.RLock(c)
 	body, ok := s.rcache[key]
-	s.rcacheMu.Unlock(c)
+	s.rcacheMu.RUnlock(c)
 	if ok {
-		s.rcacheHits.Update(c, func(v int64) int64 { return v + 1 })
+		s.rcacheHits.Add(c, 1)
 	}
 	return body, ok
 }
