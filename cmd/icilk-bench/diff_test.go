@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnap(t *testing.T, dir, name, body string) {
+	t.Helper()
+	if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const snapBody = `{
+  "experiment": "lock",
+  "gomaxprocs": 1,
+  "result": {
+    "fast_path": { "mutex_lock_unlock_ns": 40.0, "ref_load_ns": 1.0 },
+    "read_scaling": [ { "workers": 1, "rw_ops_per_sec": 500000 } ],
+    "points": [ { "probe_latency": { "Count": 10, "P99": 1000000 } } ],
+    "p99_ratio_off_over_on": 7.0,
+    "connections": 90
+  }
+}`
+
+func TestDiffIdenticalPasses(t *testing.T) {
+	old, new := t.TempDir(), t.TempDir()
+	writeSnap(t, old, "BENCH_lock.json", snapBody)
+	writeSnap(t, new, "BENCH_lock.json", snapBody)
+	var b strings.Builder
+	if code := runDiff(&b, old, new, 1.5); code != 0 {
+		t.Fatalf("identical snapshots should pass, got exit %d:\n%s", code, b.String())
+	}
+	// Exactly the two *_ns leaves and the one P99 leaf count as metrics;
+	// ratios, ops/sec, counts, and "connections" must not.
+	if !strings.Contains(b.String(), "compared 3 metrics") {
+		t.Errorf("expected 3 compared metrics, got:\n%s", b.String())
+	}
+}
+
+func TestDiffFlagsRegression(t *testing.T) {
+	old, new := t.TempDir(), t.TempDir()
+	writeSnap(t, old, "BENCH_lock.json", snapBody)
+	regressed := strings.ReplaceAll(snapBody, `"mutex_lock_unlock_ns": 40.0`, `"mutex_lock_unlock_ns": 4000.0`)
+	writeSnap(t, new, "BENCH_lock.json", regressed)
+	var b strings.Builder
+	if code := runDiff(&b, old, new, 1.5); code != 1 {
+		t.Fatalf("100x regression should fail, got exit %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "mutex_lock_unlock_ns") {
+		t.Errorf("regression report should name the metric:\n%s", b.String())
+	}
+}
+
+func TestDiffFlagsP99Regression(t *testing.T) {
+	old, new := t.TempDir(), t.TempDir()
+	writeSnap(t, old, "BENCH_state.json", snapBody)
+	regressed := strings.ReplaceAll(snapBody, `"P99": 1000000`, `"P99": 90000000`)
+	writeSnap(t, new, "BENCH_state.json", regressed)
+	var b strings.Builder
+	if code := runDiff(&b, old, new, 1.5); code != 1 {
+		t.Fatalf("p99 regression should fail, got exit %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "P99") {
+		t.Errorf("regression report should name P99:\n%s", b.String())
+	}
+}
+
+func TestDiffImprovementAndRatioDropPass(t *testing.T) {
+	old, new := t.TempDir(), t.TempDir()
+	writeSnap(t, old, "BENCH_lock.json", snapBody)
+	// Faster timings and a worse (smaller) higher-is-better ratio: the
+	// gate only guards lower-is-better timings, so this passes.
+	improved := strings.ReplaceAll(snapBody, `"mutex_lock_unlock_ns": 40.0`, `"mutex_lock_unlock_ns": 2.0`)
+	improved = strings.ReplaceAll(improved, `"p99_ratio_off_over_on": 7.0`, `"p99_ratio_off_over_on": 0.1`)
+	writeSnap(t, new, "BENCH_lock.json", improved)
+	var b strings.Builder
+	if code := runDiff(&b, old, new, 1.5); code != 0 {
+		t.Fatalf("improvement should pass, got exit %d:\n%s", code, b.String())
+	}
+}
+
+func TestDiffMissingNewSkips(t *testing.T) {
+	old, new := t.TempDir(), t.TempDir()
+	writeSnap(t, old, "BENCH_lock.json", snapBody)
+	writeSnap(t, old, "BENCH_state.json", snapBody)
+	writeSnap(t, new, "BENCH_lock.json", snapBody)
+	var b strings.Builder
+	if code := runDiff(&b, old, new, 1.5); code != 0 {
+		t.Fatalf("missing new snapshot should be skipped, got exit %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "BENCH_state.json not present") {
+		t.Errorf("skip should be noted:\n%s", b.String())
+	}
+}
+
+func TestDiffUsageErrors(t *testing.T) {
+	var b strings.Builder
+	if code := runDiff(&b, t.TempDir(), t.TempDir(), 1.5); code != 2 {
+		t.Errorf("empty old dir should exit 2, got %d", code)
+	}
+	old := t.TempDir()
+	writeSnap(t, old, "BENCH_lock.json", snapBody)
+	if code := runDiff(&b, old, t.TempDir(), 1.5); code != 2 {
+		t.Errorf("no comparable snapshots should exit 2, got %d", code)
+	}
+	if code := runDiff(&b, old, old, 0.5); code != 2 {
+		t.Errorf("threshold <= 1 should exit 2, got %d", code)
+	}
+}
+
+// TestDiffMatchesRowsByLabel: labeled arrays (per-program points) align
+// by label, so inserting a new program cannot shift the comparison of
+// the rows both snapshots share.
+func TestDiffMatchesRowsByLabel(t *testing.T) {
+	old, new := t.TempDir(), t.TempDir()
+	writeSnap(t, old, "BENCH_l4i.json", `{"result": [
+	  {"program": "counter.l4i", "machine_ns": 100},
+	  {"program": "fib.l4i", "machine_ns": 500}
+	]}`)
+	// A new program lands first in sorted order AND counter regresses:
+	// index-wise matching would compare aaa against counter and mask
+	// counter's regression against fib's larger baseline.
+	writeSnap(t, new, "BENCH_l4i.json", `{"result": [
+	  {"program": "aaa.l4i", "machine_ns": 400},
+	  {"program": "counter.l4i", "machine_ns": 9000},
+	  {"program": "fib.l4i", "machine_ns": 500}
+	]}`)
+	var b strings.Builder
+	if code := runDiff(&b, old, new, 1.5); code != 1 {
+		t.Fatalf("counter regression should be flagged, got exit %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "program=counter.l4i") {
+		t.Errorf("report should attribute the regression to counter.l4i:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "aaa.l4i") {
+		t.Errorf("the new program has no baseline and must not be flagged:\n%s", b.String())
+	}
+}

@@ -65,6 +65,8 @@ var experimentList = []experimentInfo{
 		func(cfg experiments.EvalConfig, _ int) any { return state(cfg) }},
 	{"lock", "lock-free fast paths: uncontended ns/op vs raw baselines + RWMutex read scaling", "-workers -duration",
 		func(cfg experiments.EvalConfig, _ int) any { return lock(cfg) }},
+	{"l4i", "λ4i corpus: simulator vs compiled-onto-icilk wall time per program", "-workers -iters -l4i-dir",
+		func(cfg experiments.EvalConfig, iters int) any { return l4i(cfg, iters) }},
 	{"all", "every experiment above, in order", "", nil},
 }
 
@@ -127,9 +129,15 @@ func main() {
 		duration = flag.Duration("duration", 400*time.Millisecond, "request window per data point")
 		conns    = flag.String("connections", "90,120,150,180", "comma-separated client counts")
 		seed     = flag.Int64("seed", 20200406, "random seed")
-		iters    = flag.Int("iters", 50, "iterations for Table 1 timing")
+		iters    = flag.Int("iters", 50, "iterations for Table 1 timing and the l4i experiment")
 		jsonOut  = flag.Bool("json", false, "also write each experiment's result to BENCH_<experiment>.json")
+
+		diffMode  = flag.Bool("diff", false, "compare BENCH_*.json in -new against the snapshots in -old and exit nonzero on regressions (no experiments run)")
+		diffOld   = flag.String("old", "bench", "committed snapshot directory for -diff")
+		diffNew   = flag.String("new", ".", "freshly produced snapshot directory for -diff")
+		threshold = flag.Float64("threshold", 2.0, "regression threshold for -diff: flag metrics where new > old * threshold")
 	)
+	flag.StringVar(&l4iDir, "l4i-dir", "examples/l4i", "λ4i program directory for the l4i experiment")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: icilk-bench [flags]")
 		flag.PrintDefaults()
@@ -137,6 +145,10 @@ func main() {
 		experimentUsage(os.Stderr)
 	}
 	flag.Parse()
+
+	if *diffMode {
+		os.Exit(runDiff(os.Stdout, *diffOld, *diffNew, *threshold))
+	}
 
 	cfg := experiments.EvalConfig{
 		Workers:  *workers,
@@ -320,6 +332,30 @@ func state(cfg experiments.EvalConfig) any {
 	}
 	fmt.Println()
 	return out
+}
+
+// l4iDir is bound to -l4i-dir; a package var because the experiment
+// table's runners share one signature.
+var l4iDir string
+
+func l4i(cfg experiments.EvalConfig, iters int) any {
+	fmt.Println("=== λ4i corpus: simulator vs compiled-onto-icilk wall time ===")
+	pts, err := experiments.L4iBench(cfg, l4iDir, iters)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "icilk-bench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-20s %10s %12s %12s %8s %8s %6s\n",
+		"program", "value", "machine", "icilk", "ratio", "threads", "ceils")
+	for _, pt := range pts {
+		fmt.Printf("%-20s %10s %12v %12v %7.2fx %8d %6d\n",
+			pt.Program, pt.Value,
+			time.Duration(pt.MachineNs).Round(time.Microsecond),
+			time.Duration(pt.CompiledNs).Round(time.Microsecond),
+			pt.Ratio(), pt.Threads, pt.CeilingViolations)
+	}
+	fmt.Println()
+	return pts
 }
 
 func lock(cfg experiments.EvalConfig) any {

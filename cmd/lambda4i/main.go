@@ -2,6 +2,18 @@
 // analyzes λ4i programs, and can emit their cost graphs in Graphviz DOT
 // format with the weak edges dashed.
 //
+// Two backends execute typechecked programs:
+//
+//   - machine (default): the abstract-machine simulator of Section 3.2,
+//     which also constructs the cost graph and can verify the
+//     metatheory (Theorems 3.7/3.8) on the run.
+//   - icilk: the compiled backend (internal/compile), which linearizes
+//     the program's priority order onto the real event-driven
+//     scheduler's levels and runs spawn/sync/ref as icilk tasks,
+//     futures, and ceilinged Ref cells. It reports the scheduler's
+//     event counters after the run; CeilingViolations is always 0 for a
+//     checker-accepted program.
+//
 // Usage:
 //
 //	lambda4i [flags] program.l4i
@@ -10,6 +22,7 @@
 //
 //	lambda4i -check prog.l4i                 # typecheck only
 //	lambda4i -run -policy prompt -P 4 x.l4i  # run under a prompt policy
+//	lambda4i -backend icilk x.l4i            # run on the real scheduler
 //	lambda4i -run -dag out.dot x.l4i         # also dump the cost graph
 //	lambda4i -run -verify -bounds x.l4i      # check Theorems 3.7 / 3.8
 package main
@@ -18,40 +31,60 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"time"
 
+	"repro/internal/compile"
 	"repro/internal/machine"
 	"repro/internal/parser"
 	"repro/internal/types"
 )
 
+// options collects the CLI configuration; realMain takes it whole so
+// the tests can drive every combination without a ten-argument call.
+type options struct {
+	path      string
+	checkOnly bool
+	noPrio    bool
+	run       bool
+	backend   string // "machine" or "icilk"
+	policy    string
+	p         int
+	dagOut    string
+	verify    bool
+	bounds    bool
+	maxSteps  int
+	timeout   time.Duration
+}
+
 func main() {
-	var (
-		checkOnly = flag.Bool("check", false, "typecheck and exit")
-		noPrio    = flag.Bool("noprio", false, "disable priority-inversion checking (Table 1 ablation mode)")
-		run       = flag.Bool("run", true, "run the program")
-		policy    = flag.String("policy", "prompt", "scheduling policy: runall, seq, child, prompt")
-		pFlag     = flag.Int("P", 2, "cores for the prompt policy")
-		dagOut    = flag.String("dag", "", "write the cost graph as DOT to this file")
-		verify    = flag.Bool("verify", true, "verify strong well-formedness and admissibility of the run")
-		bounds    = flag.Bool("bounds", false, "verify the Theorem 2.3 response-time bound for every thread")
-		maxSteps  = flag.Int("max-steps", 10_000_000, "step limit for the run")
-	)
+	var o options
+	flag.BoolVar(&o.checkOnly, "check", false, "typecheck and exit")
+	flag.BoolVar(&o.noPrio, "noprio", false, "disable static priority-inversion checking (Table 1 ablation mode; the icilk backend's dynamic check stays on)")
+	flag.BoolVar(&o.run, "run", true, "run the program")
+	flag.StringVar(&o.backend, "backend", "machine", "execution backend: machine (simulator) or icilk (real scheduler)")
+	flag.StringVar(&o.policy, "policy", "prompt", "machine backend scheduling policy: runall, seq, child, prompt")
+	flag.IntVar(&o.p, "P", 2, "cores: the prompt policy's P, and the icilk backend's worker count")
+	flag.StringVar(&o.dagOut, "dag", "", "write the cost graph as DOT to this file (machine backend)")
+	flag.BoolVar(&o.verify, "verify", true, "verify strong well-formedness and admissibility of the run (machine backend)")
+	flag.BoolVar(&o.bounds, "bounds", false, "verify the Theorem 2.3 response-time bound for every thread (machine backend)")
+	flag.IntVar(&o.maxSteps, "max-steps", 10_000_000, "step limit for the run")
+	flag.DurationVar(&o.timeout, "timeout", 30*time.Second, "wall-clock limit for the icilk backend")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: lambda4i [flags] program.l4i")
 		flag.Usage()
 		os.Exit(2)
 	}
-	if err := realMain(flag.Arg(0), *checkOnly, *noPrio, *run, *policy, *pFlag, *dagOut, *verify, *bounds, *maxSteps); err != nil {
+	o.path = flag.Arg(0)
+	if err := realMain(o); err != nil {
 		fmt.Fprintln(os.Stderr, "lambda4i:", err)
 		os.Exit(1)
 	}
 }
 
-func realMain(path string, checkOnly, noPrio, run bool, policyName string, p int,
-	dagOut string, verify, bounds bool, maxSteps int) error {
-
-	src, err := os.ReadFile(path)
+func realMain(o options) error {
+	src, err := os.ReadFile(o.path)
 	if err != nil {
 		return err
 	}
@@ -60,18 +93,82 @@ func realMain(path string, checkOnly, noPrio, run bool, policyName string, p int
 		return fmt.Errorf("parse: %w", err)
 	}
 	checker := types.New(prog.Order)
-	checker.CheckPriorities = !noPrio
+	checker.CheckPriorities = !o.noPrio
 	got, err := checker.Cmd(types.NewEnv(prog.Order), types.Signature{}, prog.Main, prog.MainPrio)
 	if err != nil {
 		return fmt.Errorf("typecheck: %w", err)
 	}
 	fmt.Printf("typechecked: main : %s @ %s\n", got, prog.MainPrio)
-	if checkOnly || !run {
+	if o.checkOnly || !o.run {
 		return nil
 	}
 
+	switch o.backend {
+	case "machine":
+		return runMachine(o, prog)
+	case "icilk":
+		// Fail rather than silently skip output the user asked for: the
+		// cost graph and the response bounds are simulator artifacts.
+		if o.dagOut != "" {
+			return fmt.Errorf("-dag requires -backend machine (the icilk backend builds no cost graph)")
+		}
+		if o.bounds {
+			return fmt.Errorf("-bounds requires -backend machine")
+		}
+		return runICilk(o, prog)
+	default:
+		return fmt.Errorf("unknown backend %q (want machine or icilk)", o.backend)
+	}
+}
+
+// runICilk executes the program on the real scheduler via the compiled
+// backend and reports the level map, derived state ceilings, and the
+// scheduler's event counters.
+func runICilk(o options, prog *parser.Program) error {
+	cp, err := compile.Compile(prog, !o.noPrio)
+	if err != nil {
+		return err
+	}
+	fmt.Print("levels:")
+	for i, name := range cp.LevelNames {
+		fmt.Printf(" %s=%d", name, i)
+	}
+	fmt.Println()
+	if ceils := cp.RefCeilings(); len(ceils) > 0 {
+		locs := make([]string, 0, len(ceils))
+		for loc := range ceils {
+			locs = append(locs, loc)
+		}
+		sort.Strings(locs)
+		fmt.Print("ref ceilings:")
+		for _, loc := range locs {
+			fmt.Printf(" %s=%d", loc, ceils[loc])
+		}
+		fmt.Println()
+	}
+	res, err := cp.Run(compile.RunConfig{
+		Workers:  o.p,
+		Timeout:  o.timeout,
+		MaxSteps: int64(o.maxSteps),
+	})
+	if err != nil {
+		return fmt.Errorf("run: %w", err)
+	}
+	fmt.Printf("main = %s\n", res.Value)
+	fmt.Printf("threads: %d, elapsed: %v\n", res.Threads, res.Elapsed.Round(time.Microsecond))
+	fmt.Printf("scheduler: %v\n", res.Stats)
+	if res.Stats.CeilingViolations != 0 {
+		return fmt.Errorf("run tripped %d ceiling violations on a checker-accepted program",
+			res.Stats.CeilingViolations)
+	}
+	return nil
+}
+
+// runMachine executes the program on the abstract-machine simulator,
+// optionally verifying the metatheory on the run.
+func runMachine(o options, prog *parser.Program) error {
 	var pol machine.Policy
-	switch policyName {
+	switch o.policy {
 	case "runall":
 		pol = machine.RunAll{}
 	case "seq":
@@ -79,13 +176,13 @@ func realMain(path string, checkOnly, noPrio, run bool, policyName string, p int
 	case "child":
 		pol = machine.ChildFirst{}
 	case "prompt":
-		pol = machine.Prompt{P: p}
+		pol = machine.Prompt{P: o.p}
 	default:
-		return fmt.Errorf("unknown policy %q", policyName)
+		return fmt.Errorf("unknown policy %q", o.policy)
 	}
 
 	mc := machine.New(prog.Order, prog.MainPrio, prog.Main)
-	if err := mc.Run(pol, maxSteps); err != nil {
+	if err := mc.Run(pol, o.maxSteps); err != nil {
 		return fmt.Errorf("run: %w", err)
 	}
 	v, _ := mc.FinalValue("main")
@@ -93,15 +190,15 @@ func realMain(path string, checkOnly, noPrio, run bool, policyName string, p int
 	fmt.Printf("threads: %d, vertices: %d, parallel steps: %d\n",
 		len(mc.ThreadOrder()), mc.Graph.NumVertices(), len(mc.Steps))
 
-	if verify {
+	if o.verify {
 		if err := mc.VerifyExecution(); err != nil {
 			return fmt.Errorf("verification: %w", err)
 		}
 		fmt.Println("verified: graph strongly well-formed, schedule admissible")
 	}
-	if bounds {
+	if o.bounds {
 		for _, id := range mc.ThreadOrder() {
-			rep, err := mc.ResponseBound(id, p)
+			rep, err := mc.ResponseBound(id, o.p)
 			if err != nil {
 				return err
 			}
@@ -113,11 +210,11 @@ func realMain(path string, checkOnly, noPrio, run bool, policyName string, p int
 				id, rep.ResponseTime, rep.CompetitorWork, rep.ASpan, rep.Bound, status)
 		}
 	}
-	if dagOut != "" {
-		if err := os.WriteFile(dagOut, []byte(mc.Graph.Dot(path)), 0o644); err != nil {
+	if o.dagOut != "" {
+		if err := os.WriteFile(o.dagOut, []byte(mc.Graph.Dot(o.path)), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("cost graph written to %s\n", dagOut)
+		fmt.Printf("cost graph written to %s\n", o.dagOut)
 	}
 	return nil
 }

@@ -5,34 +5,42 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/compile"
 )
 
-// corpus returns every .l4i program in the repository.
+// corpus returns every .l4i program in the repository (the directory
+// list and minimum-size guard live in compile.Corpus).
 func corpus(t *testing.T) []string {
 	t.Helper()
-	var files []string
-	for _, dir := range []string{
-		"../../examples/l4i",
-		"../../internal/experiments/testdata",
-	} {
-		matches, err := filepath.Glob(filepath.Join(dir, "*.l4i"))
-		if err != nil {
-			t.Fatal(err)
-		}
-		files = append(files, matches...)
-	}
-	if len(files) < 8 {
-		t.Fatalf("corpus too small: %d files", len(files))
+	files, err := compile.Corpus("../..")
+	if err != nil {
+		t.Fatal(err)
 	}
 	return files
+}
+
+// runOpts returns the default run configuration for path; tests tweak
+// fields from there.
+func runOpts(path string) options {
+	return options{
+		path:     path,
+		run:      true,
+		backend:  "machine",
+		policy:   "prompt",
+		p:        2,
+		verify:   true,
+		maxSteps: 5_000_000,
+	}
 }
 
 func TestCorpusChecksRunsAndVerifies(t *testing.T) {
 	for _, f := range corpus(t) {
 		f := f
 		t.Run(filepath.Base(f), func(t *testing.T) {
-			err := realMain(f, false, false, true, "prompt", 2, "", true, true, 5_000_000)
-			if err != nil {
+			o := runOpts(f)
+			o.bounds = true
+			if err := realMain(o); err != nil {
 				t.Errorf("%s: %v", f, err)
 			}
 		})
@@ -42,15 +50,37 @@ func TestCorpusChecksRunsAndVerifies(t *testing.T) {
 func TestCorpusUnderAllPolicies(t *testing.T) {
 	for _, policy := range []string{"runall", "seq", "child", "prompt"} {
 		for _, f := range corpus(t) {
-			if err := realMain(f, false, false, true, policy, 3, "", true, false, 5_000_000); err != nil {
+			o := runOpts(f)
+			o.policy = policy
+			o.p = 3
+			if err := realMain(o); err != nil {
 				t.Errorf("%s under %s: %v", filepath.Base(f), policy, err)
 			}
 		}
 	}
 }
 
+// TestCorpusOnICilkBackend runs the whole corpus on the compiled
+// backend — the CLI face of the differential test in internal/compile.
+func TestCorpusOnICilkBackend(t *testing.T) {
+	for _, f := range corpus(t) {
+		f := f
+		t.Run(filepath.Base(f), func(t *testing.T) {
+			o := runOpts(f)
+			o.backend = "icilk"
+			if err := realMain(o); err != nil {
+				t.Errorf("%s: %v", f, err)
+			}
+		})
+	}
+}
+
 func TestCheckOnlyMode(t *testing.T) {
-	if err := realMain("../../examples/l4i/fib.l4i", true, false, false, "prompt", 1, "", false, false, 0); err != nil {
+	o := runOpts("../../examples/l4i/fib.l4i")
+	o.checkOnly = true
+	o.run = false
+	o.verify = false
+	if err := realMain(o); err != nil {
 		t.Error(err)
 	}
 }
@@ -70,23 +100,43 @@ main : nat @ high = {
 	if err := os.WriteFile(tmp, []byte(src), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	err := realMain(tmp, true, false, false, "prompt", 1, "", false, false, 0)
+	check := runOpts(tmp)
+	check.checkOnly = true
+	check.run = false
+	check.verify = false
+	err := realMain(check)
 	if err == nil || !strings.Contains(err.Error(), "priority inversion") {
 		t.Errorf("expected a priority-inversion error, got %v", err)
 	}
-	if err := realMain(tmp, true, true, false, "prompt", 1, "", false, false, 0); err != nil {
+	check.noPrio = true
+	if err := realMain(check); err != nil {
 		t.Errorf("-noprio should accept: %v", err)
 	}
 	// Running it anyway: the graph check catches the inversion.
-	err = realMain(tmp, false, true, true, "prompt", 2, "", true, false, 100000)
+	run := runOpts(tmp)
+	run.noPrio = true
+	run.maxSteps = 100000
+	err = realMain(run)
 	if err == nil || !strings.Contains(err.Error(), "ftouch") {
 		t.Errorf("graph verification should reject the inverted run, got %v", err)
+	}
+	// On the icilk backend the same program trips the runtime's dynamic
+	// inversion check instead.
+	run.backend = "icilk"
+	err = realMain(run)
+	if err == nil || !strings.Contains(err.Error(), "priority inversion") {
+		t.Errorf("icilk backend should trip the dynamic check, got %v", err)
 	}
 }
 
 func TestDagOutput(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "g.dot")
-	if err := realMain("../../examples/l4i/pipeline.l4i", false, false, true, "runall", 1, out, true, false, 100000); err != nil {
+	o := runOpts("../../examples/l4i/pipeline.l4i")
+	o.policy = "runall"
+	o.p = 1
+	o.dagOut = out
+	o.maxSteps = 100000
+	if err := realMain(o); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(out)
@@ -99,17 +149,43 @@ func TestDagOutput(t *testing.T) {
 }
 
 func TestBadInputs(t *testing.T) {
-	if err := realMain("/does/not/exist.l4i", true, false, false, "prompt", 1, "", false, false, 0); err == nil {
+	missing := runOpts("/does/not/exist.l4i")
+	missing.checkOnly = true
+	if err := realMain(missing); err == nil {
 		t.Error("missing file should error")
 	}
 	tmp := filepath.Join(t.TempDir(), "bad.l4i")
 	if err := os.WriteFile(tmp, []byte("not a program"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := realMain(tmp, true, false, false, "prompt", 1, "", false, false, 0); err == nil {
+	bad := runOpts(tmp)
+	bad.checkOnly = true
+	if err := realMain(bad); err == nil {
 		t.Error("unparsable file should error")
 	}
-	if err := realMain("../../examples/l4i/fib.l4i", false, false, true, "warp", 1, "", false, false, 0); err == nil {
+	warp := runOpts("../../examples/l4i/fib.l4i")
+	warp.policy = "warp"
+	if err := realMain(warp); err == nil {
 		t.Error("unknown policy should error")
+	}
+	backend := runOpts("../../examples/l4i/fib.l4i")
+	backend.backend = "llvm"
+	if err := realMain(backend); err == nil ||
+		!strings.Contains(err.Error(), "unknown backend") {
+		t.Errorf("unknown backend should error, got %v", err)
+	}
+	// Machine-only outputs must fail loudly on the icilk backend rather
+	// than exit 0 without the artifact the user asked for.
+	dag := runOpts("../../examples/l4i/fib.l4i")
+	dag.backend = "icilk"
+	dag.dagOut = filepath.Join(t.TempDir(), "g.dot")
+	if err := realMain(dag); err == nil || !strings.Contains(err.Error(), "-dag") {
+		t.Errorf("-dag on icilk backend should error, got %v", err)
+	}
+	bounds := runOpts("../../examples/l4i/fib.l4i")
+	bounds.backend = "icilk"
+	bounds.bounds = true
+	if err := realMain(bounds); err == nil || !strings.Contains(err.Error(), "-bounds") {
+		t.Errorf("-bounds on icilk backend should error, got %v", err)
 	}
 }

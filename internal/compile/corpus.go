@@ -1,0 +1,41 @@
+package compile
+
+import (
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// corpusDirs are the repository's λ4i program directories, relative to
+// the repo root.
+var corpusDirs = []string{
+	"examples/l4i",
+	"internal/experiments/testdata",
+}
+
+// corpusMin is the number of programs the corpus is known to hold; a
+// glob returning fewer means a test is running from the wrong
+// directory (or programs were deleted), and the callers should fail
+// loudly instead of silently testing a shrunken corpus.
+const corpusMin = 9
+
+// Corpus returns every .l4i program under the repo root, sorted — the
+// shared source of truth for the differential tests here and the CLI
+// tests in cmd/lambda4i, so the directory list and the minimum-size
+// guard live in one place.
+func Corpus(repoRoot string) ([]string, error) {
+	var files []string
+	for _, dir := range corpusDirs {
+		matches, err := filepath.Glob(filepath.Join(repoRoot, dir, "*.l4i"))
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, matches...)
+	}
+	sort.Strings(files)
+	if len(files) < corpusMin {
+		return nil, fmt.Errorf("compile: corpus under %s has %d programs, expected at least %d",
+			repoRoot, len(files), corpusMin)
+	}
+	return files, nil
+}

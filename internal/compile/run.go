@@ -1,0 +1,350 @@
+package compile
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ast"
+	"repro/internal/icilk"
+	"repro/internal/prio"
+)
+
+// RunConfig parameterizes one execution of a compiled program on a
+// fresh icilk runtime.
+type RunConfig struct {
+	// Workers is the virtual core count P (default 4).
+	Workers int
+	// Timeout bounds the whole run — main's completion plus the drain of
+	// any straggling spawned threads (default 30s).
+	Timeout time.Duration
+	// MaxSteps bounds the interpreter's total evaluation steps across
+	// all threads, the compiled analogue of the simulator's -max-steps
+	// (default 10M; 0 takes the default).
+	MaxSteps int64
+	// Baseline disables the prioritized scheduler, running every level
+	// in one work-stealing pool (the Cilk-F configuration). Results must
+	// not change — only responsiveness does.
+	Baseline bool
+	// DetectDeadlocks enables the runtime's blocked-on cycle walk for
+	// the program's state locks (λ4i programs cannot deadlock through
+	// refs, which never block, but the flag is plumbed for parity with
+	// the rest of the runtime surface).
+	DetectDeadlocks bool
+}
+
+func (c RunConfig) withDefaults() RunConfig {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	if c.MaxSteps <= 0 {
+		c.MaxSteps = 10_000_000
+	}
+	return c
+}
+
+// Result is one compiled execution's outcome.
+type Result struct {
+	// Value is main's final value.
+	Value ast.Expr
+	// Stats is the scheduler-counter snapshot after the run drained;
+	// Stats.CeilingViolations == 0 is the invariant every
+	// checker-accepted program must satisfy.
+	Stats icilk.SchedStats
+	// Threads is the number of λ4i threads the run created (main
+	// included).
+	Threads int64
+	// Elapsed is the wall time from first spawn to drained runtime.
+	Elapsed time.Duration
+}
+
+// stuckError marks an evaluation state the Progress theorem rules out
+// for well-typed programs — reaching one means the term escaped the
+// checker (or the backend has a bug).
+type stuckError struct{ msg string }
+
+func (e *stuckError) Error() string { return "compile: stuck: " + e.msg }
+
+func stuckf(format string, args ...any) error {
+	return &stuckError{msg: fmt.Sprintf(format, args...)}
+}
+
+// exec is the shared execution state of one run: the fresh-name
+// counters and the tables backing the program's first-class handles —
+// tid[a] values index threads, ref[s] values index cells. Entries are
+// published (Store) strictly before the value naming them can reach any
+// other thread, so lookups never miss.
+type exec struct {
+	p  *Prog
+	rt *icilk.Runtime
+
+	nextThread atomic.Int64
+	nextLoc    atomic.Int64
+	steps      atomic.Int64
+	maxSteps   int64
+
+	threads sync.Map // thread name -> *icilk.Future[ast.Expr]
+	refs    sync.Map // loc name    -> *icilk.Ref[ast.Expr]
+}
+
+// Run executes the program on a fresh icilk runtime and tears it down.
+func (p *Prog) Run(cfg RunConfig) (*Result, error) {
+	cfg = cfg.withDefaults()
+	rt := icilk.New(icilk.Config{
+		Workers:         cfg.Workers,
+		Levels:          p.Levels(),
+		Prioritize:      !cfg.Baseline,
+		DetectDeadlocks: cfg.DetectDeadlocks,
+	})
+	defer rt.Shutdown()
+
+	x := &exec{p: p, rt: rt, maxSteps: cfg.MaxSteps}
+	mainLvl, err := p.LevelOf(p.MainPrio)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	fut := icilk.Go(rt, nil, mainLvl, "main", func(c *icilk.Ctx) ast.Expr {
+		return x.command(c, p.Main)
+	})
+	v, err := icilk.Await(fut, cfg.Timeout)
+	if err != nil {
+		return nil, fmt.Errorf("compile: run: %w", err)
+	}
+	// Main joined every thread whose value it needed; stragglers (fire-
+	// and-forget spawns) still count toward the drain so the stats
+	// snapshot below is of a finished program.
+	if err := rt.WaitIdle(cfg.Timeout); err != nil {
+		return nil, fmt.Errorf("compile: drain: %w", err)
+	}
+	res := &Result{
+		Value:   v,
+		Stats:   rt.Stats(),
+		Threads: x.nextThread.Load() + 1,
+		Elapsed: time.Since(start),
+	}
+	return res, nil
+}
+
+// IsPriorityInversion reports whether a Run error was caused by the
+// runtime's dynamic priority-inversion check (a Touch below the task's
+// priority or a Ref access above its ceiling), unwrapping the task-
+// failure chain.
+func IsPriorityInversion(err error) bool {
+	var pie *icilk.PriorityInversionError
+	return errors.As(err, &pie)
+}
+
+func (x *exec) freshThread() string {
+	return fmt.Sprintf("t%d", x.nextThread.Add(1))
+}
+
+func (x *exec) freshLoc() string {
+	return fmt.Sprintf("s%d", x.nextLoc.Add(1))
+}
+
+// step burns one unit of interpreter fuel; exhausting it panics (the
+// panic fails the task's future and surfaces from Run), bounding
+// divergent programs the way the simulator's step limit does.
+func (x *exec) step() {
+	if x.steps.Add(1) > x.maxSteps {
+		panic(fmt.Errorf("compile: exceeded %d evaluation steps", x.maxSteps))
+	}
+}
+
+func (x *exec) level(pr prio.Prio) icilk.Priority {
+	l, err := x.p.LevelOf(pr)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+func (x *exec) future(name string) *icilk.Future[ast.Expr] {
+	f, ok := x.threads.Load(name)
+	if !ok {
+		panic(stuckf("ftouch of unknown thread %s", name))
+	}
+	return f.(*icilk.Future[ast.Expr])
+}
+
+func (x *exec) ref(loc string) *icilk.Ref[ast.Expr] {
+	r, ok := x.refs.Load(loc)
+	if !ok {
+		panic(stuckf("access to unallocated location %s", loc))
+	}
+	return r.(*icilk.Ref[ast.Expr])
+}
+
+// command executes a λ4i command to its final value on the calling
+// icilk task — the task's declared priority is the command's λ4i
+// priority, which is what makes the runtime's dynamic checks see
+// exactly the priorities the typing judgment reasoned about. Sequencing
+// (Bind, Dcl) iterates rather than recurses so long command chains do
+// not grow the task's stack.
+func (x *exec) command(c *icilk.Ctx, m ast.Cmd) ast.Expr {
+	for {
+		x.step()
+		switch mm := m.(type) {
+		case ast.Ret: // D-Ret
+			return x.eval(mm.E)
+
+		case ast.Bind: // D-Bind: run the encapsulated command, substitute.
+			cv, ok := x.eval(mm.E).(ast.CmdVal)
+			if !ok {
+				panic(stuckf("bind of non-command value %s", mm.E))
+			}
+			v := x.command(c, cv.M)
+			m = ast.SubstCmd(v, mm.X, mm.M)
+
+		case ast.Fcreate: // D-Create → icilk.Go at level(ρ)
+			name := x.freshThread()
+			body := mm.M
+			fut := icilk.Go(x.rt, c, x.level(mm.P), "l4i:"+name, func(c2 *icilk.Ctx) ast.Expr {
+				return x.command(c2, body)
+			})
+			// Publish before returning the handle: the tid value can
+			// only flow onward from our return.
+			x.threads.Store(name, fut)
+			return ast.Tid{Thread: name}
+
+		case ast.Ftouch: // D-Touch → Future.Touch (dynamic ρ ⪯ ρ′ check)
+			tid, ok := x.eval(mm.E).(ast.Tid)
+			if !ok {
+				panic(stuckf("ftouch of non-thread value %s", mm.E))
+			}
+			return x.future(tid.Thread).Touch(c)
+
+		case ast.Dcl: // D-Dcl → icilk.Ref with the derived ceiling
+			v := x.eval(mm.E)
+			loc := x.freshLoc()
+			x.refs.Store(loc, icilk.NewRef(x.rt, x.p.ceiling(mm.S), v))
+			m = ast.SubstLocCmd(loc, mm.S, mm.M)
+
+		case ast.Get: // D-Get → Ref.Load
+			ref, ok := x.eval(mm.E).(ast.Ref)
+			if !ok {
+				panic(stuckf("dereference of non-reference value %s", mm.E))
+			}
+			return x.ref(ref.Loc).Load(c)
+
+		case ast.Set: // D-Set → Ref.Store
+			ref, ok := x.eval(mm.L).(ast.Ref)
+			if !ok {
+				panic(stuckf("assignment to non-reference value %s", mm.L))
+			}
+			v := x.eval(mm.R)
+			x.ref(ref.Loc).Store(c, v)
+			return v
+
+		case ast.CAS: // D-CAS1/D-CAS2 → one Ref.Update CAS
+			ref, ok := x.eval(mm.Ref).(ast.Ref)
+			if !ok {
+				panic(stuckf("cas on non-reference value %s", mm.Ref))
+			}
+			old := x.eval(mm.Old)
+			nw := x.eval(mm.New)
+			var succ bool
+			x.ref(ref.Loc).Update(c, func(cur ast.Expr) ast.Expr {
+				if ast.ValueEqual(cur, old) {
+					succ = true
+					return nw
+				}
+				succ = false
+				return cur
+			})
+			if succ {
+				return ast.Nat{N: 1}
+			}
+			return ast.Nat{N: 0}
+
+		default:
+			panic(stuckf("unknown command form %T", m))
+		}
+	}
+}
+
+// eval evaluates a pure λ4i expression to a value, big-step, with the
+// same substitution semantics as Figure 11 (and internal/machine's
+// exprStep): App substitutes into the lambda body, Fix unrolls once,
+// PApp substitutes the priority. Commands under cmd[ρ]{...} are values
+// here; they only run when bound.
+func (x *exec) eval(e ast.Expr) ast.Expr {
+	x.step()
+	switch ee := e.(type) {
+	case ast.Unit, ast.Nat, ast.Ref, ast.Tid, ast.Lam, ast.CmdVal, ast.PLam:
+		return e
+
+	case ast.Var:
+		panic(stuckf("unbound variable %s", ee.Name))
+
+	case ast.Pair:
+		return ast.Pair{L: x.eval(ee.L), R: x.eval(ee.R)}
+	case ast.Inl:
+		return ast.Inl{V: x.eval(ee.V), T: ee.T}
+	case ast.Inr:
+		return ast.Inr{V: x.eval(ee.V), T: ee.T}
+
+	case ast.Let:
+		v := x.eval(ee.E1)
+		return x.eval(ast.Subst(v, ee.X, ee.E2))
+
+	case ast.Ifz:
+		n, ok := x.eval(ee.V).(ast.Nat)
+		if !ok {
+			panic(stuckf("ifz of non-numeral %s", ee.V))
+		}
+		if n.N == 0 {
+			return x.eval(ee.Zero)
+		}
+		return x.eval(ast.Subst(ast.Nat{N: n.N - 1}, ee.X, ee.Succ))
+
+	case ast.App:
+		f := x.eval(ee.F)
+		lam, ok := f.(ast.Lam)
+		if !ok {
+			panic(stuckf("application of non-lambda %s", f))
+		}
+		a := x.eval(ee.A)
+		return x.eval(ast.Subst(a, lam.X, lam.Body))
+
+	case ast.Fst:
+		p, ok := x.eval(ee.V).(ast.Pair)
+		if !ok {
+			panic(stuckf("fst of non-pair %s", ee.V))
+		}
+		return p.L
+	case ast.Snd:
+		p, ok := x.eval(ee.V).(ast.Pair)
+		if !ok {
+			panic(stuckf("snd of non-pair %s", ee.V))
+		}
+		return p.R
+
+	case ast.Case:
+		switch v := x.eval(ee.V).(type) {
+		case ast.Inl:
+			return x.eval(ast.Subst(v.V, ee.X, ee.L))
+		case ast.Inr:
+			return x.eval(ast.Subst(v.V, ee.Y, ee.R))
+		default:
+			panic(stuckf("case of non-sum %s", ee.V))
+		}
+
+	case ast.Fix: // unroll once: [fix x is e / x]e
+		return x.eval(ast.Subst(ee, ee.X, ee.E))
+
+	case ast.PApp:
+		plam, ok := x.eval(ee.V).(ast.PLam)
+		if !ok {
+			panic(stuckf("priority application of non-abstraction %s", ee.V))
+		}
+		return x.eval(ast.SubstPrio(ee.P, prio.Var(plam.Pi), plam.Body))
+	}
+	panic(stuckf("unknown expression form %T", e))
+}

@@ -199,3 +199,34 @@ func TestLockFast(t *testing.T) {
 		}
 	}
 }
+
+func TestL4iBench(t *testing.T) {
+	// Embedded-corpus fallback (dir empty): the six case-study models
+	// run under both backends and agree, with zero ceiling violations.
+	pts, err := L4iBench(EvalConfig{Workers: 2}, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 6 {
+		t.Fatalf("points = %d, want 6 embedded models", len(pts))
+	}
+	for _, pt := range pts {
+		if pt.MachineNs <= 0 || pt.CompiledNs <= 0 {
+			t.Errorf("%s: missing timing: machine=%v compiled=%v", pt.Program, pt.MachineNs, pt.CompiledNs)
+		}
+		if pt.CeilingViolations != 0 {
+			t.Errorf("%s: %d ceiling violations", pt.Program, pt.CeilingViolations)
+		}
+		if pt.Value == "" {
+			t.Errorf("%s: no value recorded", pt.Program)
+		}
+	}
+	// Directory mode picks up the runnable examples.
+	pts, err = L4iBench(EvalConfig{Workers: 2}, "../../examples/l4i", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 3 {
+		t.Fatalf("examples corpus points = %d, want >= 3", len(pts))
+	}
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/compile"
+	"repro/internal/machine"
+	"repro/internal/parser"
+)
+
+// L4iPoint is one corpus program measured under both backends: the
+// abstract-machine simulator (parse/typecheck excluded; pure run time)
+// against the compiled icilk execution of the same typechecked program.
+// The comparison is the end-to-end sanity check of the compile layer's
+// claim — same values, zero ceiling violations — with the wall-time
+// ratio recording how much the real scheduler beats (or pays over) the
+// sequential-stepping simulator per program.
+type L4iPoint struct {
+	Program string `json:"program"`
+	// Value is main's printed value — identical under both backends by
+	// the differential tests; recorded so a snapshot diff would notice a
+	// semantic regression too.
+	Value string `json:"value"`
+	// MachineNs and CompiledNs are the per-run wall times (best of
+	// iters), diffable as ns metrics by icilk-bench -diff.
+	MachineNs  float64 `json:"machine_ns"`
+	CompiledNs float64 `json:"compiled_ns"`
+	// Threads is the λ4i thread count; CeilingViolations must be 0.
+	Threads           int64 `json:"threads"`
+	CeilingViolations int64 `json:"ceiling_violations"`
+}
+
+// Ratio returns simulator time over compiled time (higher = compiled
+// backend wins).
+func (p L4iPoint) Ratio() float64 {
+	if p.CompiledNs == 0 {
+		return 0
+	}
+	return p.MachineNs / p.CompiledNs
+}
+
+// L4iBench runs every λ4i program in dir (falling back to the embedded
+// case-study models when dir has none) on both backends, timing each.
+// Each program runs iters times per backend and keeps the fastest run —
+// the usual microbenchmark discipline, since a single interpreter run
+// sits well under scheduler-noise scale.
+func L4iBench(cfg EvalConfig, dir string, iters int) ([]L4iPoint, error) {
+	cfg = cfg.withDefaults()
+	if iters <= 0 {
+		iters = 5
+	}
+	progs, err := l4iSources(dir)
+	if err != nil {
+		return nil, err
+	}
+	var out []L4iPoint
+	for _, p := range progs {
+		prog, err := parser.Parse(p.src)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.name, err)
+		}
+		cp, err := compile.Compile(prog, true)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", p.name, err)
+		}
+
+		pt := L4iPoint{Program: p.name}
+		for i := 0; i < iters; i++ {
+			mc := machine.New(prog.Order, prog.MainPrio, prog.Main)
+			start := time.Now()
+			if err := mc.Run(machine.Prompt{P: cfg.Workers}, 10_000_000); err != nil {
+				return nil, fmt.Errorf("%s: machine: %w", p.name, err)
+			}
+			ns := float64(time.Since(start).Nanoseconds())
+			if pt.MachineNs == 0 || ns < pt.MachineNs {
+				pt.MachineNs = ns
+			}
+			if v, ok := mc.FinalValue("main"); ok {
+				pt.Value = v.String()
+			}
+		}
+		for i := 0; i < iters; i++ {
+			res, err := cp.Run(compile.RunConfig{Workers: cfg.Workers})
+			if err != nil {
+				return nil, fmt.Errorf("%s: compiled: %w", p.name, err)
+			}
+			ns := float64(res.Elapsed.Nanoseconds())
+			if pt.CompiledNs == 0 || ns < pt.CompiledNs {
+				pt.CompiledNs = ns
+			}
+			pt.Threads = res.Threads
+			pt.CeilingViolations = res.Stats.CeilingViolations
+			if res.Value.String() != pt.Value {
+				return nil, fmt.Errorf("%s: backends disagree: machine %s, icilk %s",
+					p.name, pt.Value, res.Value)
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+type l4iSource struct{ name, src string }
+
+// l4iSources loads *.l4i files from dir; when dir yields nothing (the
+// binary runs outside the repo), it falls back to the embedded
+// case-study models so the experiment always has a corpus.
+func l4iSources(dir string) ([]l4iSource, error) {
+	var out []l4iSource
+	if dir != "" {
+		matches, _ := filepath.Glob(filepath.Join(dir, "*.l4i"))
+		sort.Strings(matches)
+		for _, m := range matches {
+			b, err := os.ReadFile(m)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, l4iSource{name: filepath.Base(m), src: string(b)})
+		}
+	}
+	if len(out) > 0 {
+		return out, nil
+	}
+	for _, app := range caseStudies {
+		for _, variant := range []string{"prio", "noprio"} {
+			src, err := loadProgram(app, variant)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, l4iSource{name: app + "_" + variant + ".l4i", src: src})
+		}
+	}
+	return out, nil
+}

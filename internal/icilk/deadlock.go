@@ -1,0 +1,113 @@
+package icilk
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Deadlock diagnostics (Config.DetectDeadlocks). A Mutex or RWMutex
+// knows its (write-side) holder, and a task about to park on one
+// publishes which lock it is blocked on. Walking those two edge kinds —
+// task —blocked-on→ lock —held-by→ task — from the holder of the lock a
+// waiter is about to park behind turns a silent circular wait into a
+// panic that prints the cycle. The walk reads only atomics (no lock
+// acquisition), so it imposes no lock ordering of its own; it is
+// best-effort under concurrent hand-offs, which is the right trade for
+// a debug flag: a cycle it reports was genuinely present at the instant
+// of the reads (every task on it was parked or about to park), and a
+// cycle it misses on one waiter is caught by the next waiter that
+// completes it, because blocked-on edges stay published for as long as
+// the task is parked.
+//
+// Read-side holds are invisible to the walk: RWMutex read holders are
+// anonymous (a count, not identities), so a chain through "writer
+// blocked behind readers" ends there undetected — the same limit the
+// inheritance machinery has.
+
+// waitableLock is a lock a task can park on and the cycle walk can
+// traverse: it exposes the (write-side) holder and a printable label.
+type waitableLock interface {
+	holderTask() *task
+	lockLabel() string
+}
+
+// lockWaitEdge is one published blocked-on edge. A fresh edge value is
+// allocated per block so a stale pointer read by a concurrent walk still
+// names the lock it meant.
+type lockWaitEdge struct{ l waitableLock }
+
+// DeadlockError reports a circular wait among tasks blocked on
+// Mutex/RWMutex write holders, detected at the moment the cycle-closing
+// task was about to park. Cycle is the printed chain.
+type DeadlockError struct{ Cycle string }
+
+func (e *DeadlockError) Error() string {
+	return "icilk: deadlock: " + e.Cycle
+}
+
+// blockEdge publishes "t is about to block on l"; clearBlockEdge retracts
+// it after the park resumes. Publication happens before the task becomes
+// visible on the lock's waiter list, so a walk that finds the task
+// waiting also finds the edge.
+func (t *task) blockEdge(l waitableLock) {
+	t.waitingOn.Store(&lockWaitEdge{l: l})
+}
+
+func (t *task) clearBlockEdge() {
+	t.waitingOn.Store(nil)
+}
+
+// maxCycleWalk bounds the walk; real cycles are short, and the bound
+// keeps a racing hand-off storm from spinning the diagnostic.
+const maxCycleWalk = 64
+
+// checkDeadlock walks blocked-on edges starting from holder (the task
+// that holds the lock t is about to park on) and panics with the printed
+// cycle if the chain leads back to t. The caller must have already
+// published t's own blocked-on edge and must not hold any internal lock
+// the panic would strand — callers unlock before panicking via the
+// returned error instead. It returns nil when no cycle closes at t.
+func checkDeadlock(t *task, l waitableLock, holder *task) *DeadlockError {
+	var b strings.Builder
+	fmt.Fprintf(&b, "task %q blocks on %s %s held by %q",
+		t.name, lockKind(l), lockName(l), holder.name)
+	cur := holder
+	for i := 0; i < maxCycleWalk; i++ {
+		edge := cur.waitingOn.Load()
+		if edge == nil {
+			return nil // chain ends at a runnable task
+		}
+		next := edge.l.holderTask()
+		if next == nil {
+			return nil // lock mid-handoff; no stable cycle
+		}
+		fmt.Fprintf(&b, ", which blocks on %s %s held by %q",
+			lockKind(edge.l), lockName(edge.l), next.name)
+		if next == t {
+			return &DeadlockError{Cycle: b.String()}
+		}
+		cur = next
+	}
+	return nil
+}
+
+func lockKind(l waitableLock) string {
+	switch l.(type) {
+	case *Mutex:
+		return "mutex"
+	case *RWMutex:
+		return "rwmutex"
+	}
+	return "lock"
+}
+
+func lockName(l waitableLock) string {
+	if n := l.lockLabel(); n != "" {
+		return fmt.Sprintf("%q", n)
+	}
+	return "(unnamed)"
+}
+
+// waitingOnPtr is a typed alias so task.go stays readable.
+type waitingOnPtr = atomic.Pointer[lockWaitEdge]

@@ -48,6 +48,13 @@ type Config struct {
 	DisableInversionCheck bool
 	DisableMetrics        bool
 	DisableInheritance    bool
+	// DetectDeadlocks is a debug flag: before a task parks on a held
+	// Mutex or RWMutex, walk the blocked-on edges from the holder and
+	// panic with the printed cycle if the chain leads back to the
+	// parking task — a circular wait becomes a DeadlockError instead of
+	// a silent hang. Off by default: the walk costs a pointer chase per
+	// contended acquire and is best-effort under concurrent hand-offs.
+	DetectDeadlocks bool
 }
 
 func (c Config) withDefaults() Config {

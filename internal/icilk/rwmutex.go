@@ -189,12 +189,25 @@ func (m *RWMutex) rlockSlow(c *Ctx, t *task, rt *Runtime) {
 		}
 		runtime.Gosched()
 	}
+	if rt.cfg.DetectDeadlocks {
+		t.blockEdge(m)
+		if holder != nil {
+			if cyc := checkDeadlock(t, m, holder); cyc != nil {
+				t.clearBlockEdge()
+				m.mu.Unlock()
+				panic(cyc)
+			}
+		}
+	}
 	inheritInto(rt, holder, t)
 	t.waitPrio = t.effPrio()
 	m.rwaiters = insertByPrio(m.rwaiters, t)
 	m.mu.Unlock()
 	rt.stats.rwReadParks.Add(1)
 	g.park(rt, w)
+	if rt.cfg.DetectDeadlocks {
+		t.clearBlockEdge()
+	}
 }
 
 // RUnlock releases a read hold: one atomic add, plus a grant pass when
@@ -307,12 +320,25 @@ func (m *RWMutex) wlockSlow(c *Ctx, t *task, rt *Runtime) {
 		}
 		runtime.Gosched()
 	}
+	if rt.cfg.DetectDeadlocks {
+		t.blockEdge(m)
+		if holder != nil {
+			if cyc := checkDeadlock(t, m, holder); cyc != nil {
+				t.clearBlockEdge()
+				m.mu.Unlock()
+				panic(cyc)
+			}
+		}
+	}
 	inheritInto(rt, holder, t)
 	t.waitPrio = t.effPrio()
 	m.wwaiters = insertByPrio(m.wwaiters, t)
 	m.mu.Unlock()
 	rt.stats.rwWriteParks.Add(1)
 	g.park(rt, w)
+	if rt.cfg.DetectDeadlocks {
+		t.clearBlockEdge()
+	}
 	t.held = append(t.held, m)
 }
 
@@ -405,6 +431,13 @@ func (m *RWMutex) grantLocked(preferWriter bool) {
 		m.mu.Unlock()
 	}
 }
+
+// holderTask and lockLabel let the deadlock cycle walk traverse and
+// print the RWMutex. Only the write side has an identifiable holder;
+// read holders are anonymous, so a chain reaching a read-held RWMutex
+// ends there.
+func (m *RWMutex) holderTask() *task { return m.wowner.Load() }
+func (m *RWMutex) lockLabel() string { return m.name }
 
 // maxWaiterPrio reports the highest effective priority among tasks
 // blocked on either mode, or -1 when none — dropBoost's input when the

@@ -294,12 +294,24 @@ func (m *Mutex) lockSlow(c *Ctx, t *task, rt *Runtime) {
 		}
 		runtime.Gosched()
 	}
+	if rt.cfg.DetectDeadlocks {
+		t.blockEdge(m)
+		if cyc := checkDeadlock(t, m, holder); cyc != nil {
+			t.clearBlockEdge()
+			m.state.Add(-mutexWaiterInc) // deregister: we will not wait
+			m.mu.Unlock()
+			panic(cyc)
+		}
+	}
 	inheritInto(rt, holder, t)
 	t.waitPrio = t.effPrio()
 	m.waiters = insertByPrio(m.waiters, t)
 	m.mu.Unlock()
 	rt.stats.mutexParks.Add(1)
 	g.park(rt, w)
+	if rt.cfg.DetectDeadlocks {
+		t.clearBlockEdge()
+	}
 	// Resumed: Unlock handed us the Mutex (m.owner == t already).
 	t.held = append(t.held, m)
 }
@@ -414,6 +426,11 @@ func (m *Mutex) maxWaiterPrio() Priority {
 	m.mu.Unlock()
 	return best
 }
+
+// holderTask and lockLabel let the deadlock cycle walk traverse and
+// print the Mutex.
+func (m *Mutex) holderTask() *task { return m.owner.Load() }
+func (m *Mutex) lockLabel() string { return m.name }
 
 // TryLock acquires the Mutex if it is free, without blocking and without
 // ceiling checking (like TryTouch, a non-blocking attempt cannot make a

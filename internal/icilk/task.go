@@ -43,6 +43,13 @@ type task struct {
 	// blockedOn is set while parked on a future (diagnostics only).
 	blockedOn *future
 
+	// waitingOn publishes the Mutex/RWMutex this task is blocked on
+	// while parked in a lock's slow path — the blocked-on edge the
+	// deadlock cycle walk traverses (Config.DetectDeadlocks). Written by
+	// the task itself before it becomes visible on the waiter list,
+	// cleared after the park resumes; concurrent walkers only read.
+	waitingOn waitingOnPtr
+
 	// boost is the priority-inheritance floor: while a higher-priority
 	// task waits on a Mutex this task holds, boost carries the waiter's
 	// priority and every queue-placement decision uses effPrio instead of

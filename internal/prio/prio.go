@@ -154,6 +154,50 @@ func (o *Order) le(lo, hi string) bool {
 	return false
 }
 
+// Linearize returns every declared priority in a deterministic total
+// order embedding R: whenever a ≺ b in R, a appears strictly before b.
+// Ties (incomparable priorities) break lexicographically, so the same
+// order always linearizes the same way — the property the icilk backend
+// relies on to map λ4i's partial order onto the runtime's totally
+// ordered levels reproducibly. The order is acyclic by construction
+// (DeclareLess rejects cycles), so every priority is emitted.
+func (o *Order) Linearize() []string {
+	indeg := make(map[string]int, len(o.prios))
+	for n := range o.prios {
+		indeg[n] = 0
+	}
+	for _, his := range o.less {
+		for hi := range his {
+			indeg[hi]++
+		}
+	}
+	var ready []string
+	for n, d := range indeg {
+		if d == 0 {
+			ready = append(ready, n)
+		}
+	}
+	sort.Strings(ready)
+	out := make([]string, 0, len(o.prios))
+	for len(ready) > 0 {
+		n := ready[0]
+		ready = ready[1:]
+		out = append(out, n)
+		var freed []string
+		for hi := range o.less[n] {
+			indeg[hi]--
+			if indeg[hi] == 0 {
+				freed = append(freed, hi)
+			}
+		}
+		if len(freed) > 0 {
+			ready = append(ready, freed...)
+			sort.Strings(ready)
+		}
+	}
+	return out
+}
+
 // Le reports ρ1 ⪯ ρ2 in R for constants. Variables are never related by
 // the bare order; use a Ctx for entailment under assumptions.
 func (o *Order) Le(a, b Prio) bool {

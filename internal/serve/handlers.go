@@ -88,7 +88,7 @@ func (s *Server) dispatch(c *icilk.Ctx, cn *sconn, req *request) {
 // job server uses.
 func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
 	fail := func(status int, msg string) (string, icilk.Priority, handlerFn, bool) {
-		return "error", PrioInteractive, func(*icilk.Ctx, *icilk.Future[int]) (int, string) {
+		return "error", classPrio("error"), func(*icilk.Ctx, *icilk.Future[int]) (int, string) {
 			return status, msg
 		}, false
 	}
@@ -97,12 +97,12 @@ func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
 	}
 	switch req.path {
 	case "/ping":
-		return "ping", PrioInteractive, func(*icilk.Ctx, *icilk.Future[int]) (int, string) {
+		return "ping", classPrio("ping"), func(*icilk.Ctx, *icilk.Future[int]) (int, string) {
 			return 200, "pong\n"
 		}, false
 
 	case "/stats":
-		return "stats", PrioInteractive, func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+		return "stats", classPrio("stats"), func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
 			return 200, s.statsBody(c)
 		}, false
 
@@ -125,7 +125,7 @@ func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
 		if url == "" {
 			return fail(400, "missing url parameter\n")
 		}
-		return "proxy", PrioInteractive, func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+		return "proxy", classPrio("proxy"), func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
 			// Fastest path: the serve-layer response cache (proxy content
 			// is deterministic, so whole bodies are safe to replay).
 			if body, ok := s.cachedResponse(c, "proxy:"+url); ok {
@@ -138,8 +138,9 @@ func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
 			// The event-side handler answers as soon as the fetch is
 			// dispatched (the paper's responsiveness definition); the
 			// content lands in the cache for the next request.
-			icilk.Go(s.rt, c, PrioHeavy, "proxy-fetch", func(c *icilk.Ctx) int {
-				return len(s.proxy.Fetch(s.rt, c, PrioHeavy, url))
+			fetchPrio := classPrio("proxy-fetch")
+			icilk.Go(s.rt, c, fetchPrio, "proxy-fetch", func(c *icilk.Ctx) int {
+				return len(s.proxy.Fetch(s.rt, c, fetchPrio, url))
 			})
 			return 202, "miss: fetch scheduled\n"
 		}, false
@@ -148,18 +149,18 @@ func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
 		user := atoiDefault(req.query.Get("user"), 0)
 		switch op := req.query.Get("op"); op {
 		case "send":
-			return "email-send", PrioNormal, func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+			return "email-send", classPrio("email-send"), func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
 				s.email.Send(c, user)
 				return 200, "sent\n"
 			}, false
 		case "sort":
-			return "email-sort", PrioHeavy, func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+			return "email-sort", classPrio("email-sort"), func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
 				s.email.Sort(c, user)
 				return 200, "sorted\n"
 			}, false
 		case "print":
 			eid := atoiDefault(req.query.Get("id"), 0)
-			return "email-print", PrioHeavy, func(c *icilk.Ctx, self *icilk.Future[int]) (int, string) {
+			return "email-print", classPrio("email-print"), func(c *icilk.Ctx, self *icilk.Future[int]) (int, string) {
 				s.email.Print(c, user, eid, self)
 				return 200, "printed\n"
 			}, true

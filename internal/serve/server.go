@@ -15,6 +15,7 @@ import (
 	"repro/internal/apps/proxy"
 	"repro/internal/icilk"
 	"repro/internal/simio"
+	"repro/internal/workload"
 )
 
 // Priority classes of the serving runtime (Levels levels, highest = most
@@ -35,6 +36,91 @@ const (
 
 // Levels is the number of priority levels the serving runtime uses.
 const Levels = 4
+
+// classPriorities is the authoritative admission table: every priority
+// class the server can run a task at, by name. route() and the
+// shared-store ceiling derivation both read it, so the two cannot
+// drift: a class moved to another level automatically moves the
+// ceilings of every store it touches. jserver job classes are absent —
+// they inherit jserver.PriorityOf and are validated against Levels at
+// construction.
+var classPriorities = map[string]icilk.Priority{
+	"conn-loop":   PrioInteractive, // per-connection event loops
+	"ping":        PrioInteractive,
+	"stats":       PrioInteractive,
+	"proxy":       PrioInteractive,
+	"proxy-fetch": PrioHeavy,
+	"email-send":  PrioNormal,
+	"email-sort":  PrioHeavy,
+	"email-print": PrioHeavy,
+	"error":       PrioInteractive,
+}
+
+// storeAccessors records, per shared store, the classes whose tasks
+// access it (in either lock mode): countAdmit and trackSession run in
+// the connection event loop, statsBody in the /stats handler, and the
+// response cache is consulted and filled by the /proxy handler. The
+// store's RWMutex ceilings (both modes — the same classes read and
+// write here) derive from these constants instead of hand-picked
+// literals; the derivation fails fast at construction on an unknown
+// class or an out-of-range priority.
+var storeAccessors = map[string][]string{
+	"serve.admitted": {"conn-loop", "stats"},
+	"serve.sessions": {"conn-loop", "stats"},
+	"serve.rcache":   {"proxy", "stats"},
+}
+
+// classPrio resolves a class name, panicking on a class the admission
+// table does not declare — a routing bug, caught at the first request
+// rather than silently running work at a made-up level.
+func classPrio(class string) icilk.Priority {
+	p, ok := classPriorities[class]
+	if !ok {
+		panic(fmt.Sprintf("serve: class %q missing from classPriorities", class))
+	}
+	return p
+}
+
+// checkLevelRange panics when a priority falls outside the runtime's
+// [0, Levels) — the one shared fail-fast for every admission entry.
+func checkLevelRange(label string, p icilk.Priority) {
+	if p < 0 || int(p) >= Levels {
+		panic(fmt.Sprintf("serve: %s priority %d outside [0, %d)", label, p, Levels))
+	}
+}
+
+// derivedCeiling computes a store's lock ceiling: the highest priority
+// among its declared accessor classes. It panics on a store or class
+// the tables do not declare and on any out-of-range priority — the
+// construction-time mismatch check that replaces trusting hand-picked
+// ceiling literals to stay in sync with the classes.
+func derivedCeiling(store string) icilk.Priority {
+	classes, ok := storeAccessors[store]
+	if !ok || len(classes) == 0 {
+		panic(fmt.Sprintf("serve: store %q has no declared accessors", store))
+	}
+	ceil := icilk.Priority(-1)
+	for _, cl := range classes {
+		p := classPrio(cl)
+		checkLevelRange(fmt.Sprintf("class %q", cl), p)
+		if p > ceil {
+			ceil = p
+		}
+	}
+	return ceil
+}
+
+// validateAdmission checks the whole admission surface at construction:
+// every declared class and every jserver job priority must fit the
+// runtime's levels.
+func validateAdmission() {
+	for cl, p := range classPriorities {
+		checkLevelRange(fmt.Sprintf("class %q", cl), p)
+	}
+	for _, jt := range []workload.JobType{workload.JobMatMul, workload.JobFib, workload.JobSort, workload.JobSW} {
+		checkLevelRange(fmt.Sprintf("jserver job %s", jt), jserver.PriorityOf(jt))
+	}
+}
 
 // Config parameterizes a Server.
 type Config struct {
@@ -98,16 +184,17 @@ type Server struct {
 	writeErrs atomic.Int64
 	shutdown  atomic.Bool
 
-	// Scheduler-visible shared state (both RWMutex ceilings at
-	// PrioInteractive: the event-loop and handler tasks are the only
-	// accessors, in both modes). admitted is the per-class admission
-	// table; sessions tracks client sessions (keyed by the sid query
-	// parameter, falling back to the remote host); rcache caches whole
-	// response bodies for idempotent endpoints, with its hit count in a
-	// Counter. All three are read-mostly from the serving path's point of
-	// view (every /proxy hit is an rcache read, every /stats a scan), so
-	// reader/writer locks keep concurrent lookups from serializing. All
-	// three surface in /stats.
+	// Scheduler-visible shared state, RWMutex ceilings derived from the
+	// admission table (derivedCeiling: the max priority among each
+	// store's declared accessor classes — PrioInteractive for all three
+	// today, recomputed automatically if a class moves). admitted is the
+	// per-class admission table; sessions tracks client sessions (keyed
+	// by the sid query parameter, falling back to the remote host);
+	// rcache caches whole response bodies for idempotent endpoints, with
+	// its hit count in a Counter. All three are read-mostly from the
+	// serving path's point of view (every /proxy hit is an rcache read,
+	// every /stats a scan), so reader/writer locks keep concurrent
+	// lookups from serializing. All three surface in /stats.
 	admitMu    *icilk.RWMutex
 	admitted   map[string]int64
 	sessMu     *icilk.RWMutex
@@ -173,11 +260,15 @@ func Start(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	validateAdmission()
 	rt := icilk.New(icilk.Config{
 		Workers:    cfg.Workers,
 		Levels:     Levels,
 		Prioritize: !cfg.Baseline,
 	})
+	admitCeil := derivedCeiling("serve.admitted")
+	sessCeil := derivedCeiling("serve.sessions")
+	rcacheCeil := derivedCeiling("serve.rcache")
 	s := &Server{
 		cfg:        cfg,
 		rt:         rt,
@@ -187,13 +278,13 @@ func Start(cfg Config) (*Server, error) {
 		email:      email.NewServer(rt, email.Config{Users: cfg.Users, Seed: cfg.Seed}),
 		start:      time.Now(),
 		conns:      map[*sconn]struct{}{},
-		admitMu:    icilk.NewRWMutex(rt, PrioInteractive, PrioInteractive, "serve.admitted"),
+		admitMu:    icilk.NewRWMutex(rt, admitCeil, admitCeil, "serve.admitted"),
 		admitted:   map[string]int64{},
-		sessMu:     icilk.NewRWMutex(rt, PrioInteractive, PrioInteractive, "serve.sessions"),
+		sessMu:     icilk.NewRWMutex(rt, sessCeil, sessCeil, "serve.sessions"),
 		sessions:   map[string]*session{},
-		rcacheMu:   icilk.NewRWMutex(rt, PrioInteractive, PrioInteractive, "serve.rcache"),
+		rcacheMu:   icilk.NewRWMutex(rt, rcacheCeil, rcacheCeil, "serve.rcache"),
 		rcache:     map[string]string{},
-		rcacheHits: icilk.NewCounter(rt, PrioInteractive),
+		rcacheHits: icilk.NewCounter(rt, rcacheCeil),
 	}
 	s.connWG.Add(1)
 	go s.acceptor()
@@ -321,7 +412,7 @@ func (s *Server) nextRequest(cn *sconn) *icilk.Future[*request] {
 // priority class, dispatches the handler at that class's level, and
 // loops. It is the network analogue of the case studies' event loops.
 func (s *Server) eventLoop(cn *sconn) {
-	icilk.Go(s.rt, nil, PrioInteractive, "conn-loop", func(c *icilk.Ctx) int {
+	icilk.Go(s.rt, nil, classPrio("conn-loop"), "conn-loop", func(c *icilk.Ctx) int {
 		n := 0
 		for {
 			req := s.nextRequest(cn).Touch(c)

@@ -97,6 +97,110 @@ func errf(term fmt.Stringer, format string, args ...any) error {
 	return &Error{Term: term.String(), Msg: fmt.Sprintf(format, args...)}
 }
 
+// RefSite is the state-usage summary of one dcl site extracted from a
+// typing derivation: the priorities at which the derivation types direct
+// accesses (!, :=, cas) to the declared location, plus enough counting
+// to tell whether the reference value ever escapes those direct-access
+// positions (flows into a function, a pair, another cell, ...). The
+// icilk backend turns this into the cell's runtime priority ceiling:
+// the maximum access level for non-escaping sites, the top level when
+// the ref escapes (a too-high ceiling can never fire spuriously; a
+// too-low one would reject derivation-approved accesses).
+type RefSite struct {
+	// Loc is the dcl's source-level location name.
+	Loc string
+	// Accesses are the command priorities of the direct Get/Set/CAS
+	// accesses the derivation typed against this site.
+	Accesses []prio.Prio
+	// ExprUses counts every appearance of the location as a ref[s]
+	// expression; DirectUses counts the subset that were the immediate
+	// target of a Get/Set/CAS. A surplus of ExprUses means the value
+	// escaped.
+	ExprUses   int
+	DirectUses int
+}
+
+// Escapes reports whether the reference value was used anywhere other
+// than as the direct target of a dereference, assignment, or cas.
+func (s RefSite) Escapes() bool { return s.ExprUses != s.DirectUses }
+
+// MaxAccess folds the site's access priorities with level, an
+// order-embedding map from priority to a total order (larger = more
+// urgent). It returns the highest access level, or top when the site
+// escapes or is accessed at a priority level cannot resolve (a priority
+// variable under a Λ binder).
+func (s RefSite) MaxAccess(level func(prio.Prio) (int, bool), top int) int {
+	if s.Escapes() {
+		return top
+	}
+	max := 0
+	for _, p := range s.Accesses {
+		l, ok := level(p)
+		if !ok {
+			return top
+		}
+		if l > max {
+			max = l
+		}
+	}
+	return max
+}
+
+// RefUsage accumulates RefSites while a Checker walks a derivation, one
+// site per dcl in typing order, with lexical shadowing resolved by a
+// per-name scope stack.
+type RefUsage struct {
+	scope map[string][]int
+	Sites []RefSite
+}
+
+// NewRefUsage returns an empty recorder; assign it to Checker.Usage
+// before checking to collect state usage from the derivation.
+func NewRefUsage() *RefUsage {
+	return &RefUsage{scope: map[string][]int{}}
+}
+
+func (u *RefUsage) push(loc string) {
+	u.scope[loc] = append(u.scope[loc], len(u.Sites))
+	u.Sites = append(u.Sites, RefSite{Loc: loc})
+}
+
+func (u *RefUsage) pop(loc string) {
+	st := u.scope[loc]
+	u.scope[loc] = st[:len(st)-1]
+}
+
+func (u *RefUsage) cur(loc string) int {
+	st := u.scope[loc]
+	if len(st) == 0 {
+		return -1 // a signature location not bound by any dcl in scope
+	}
+	return st[len(st)-1]
+}
+
+func (u *RefUsage) exprUse(loc string) {
+	if i := u.cur(loc); i >= 0 {
+		u.Sites[i].ExprUses++
+	}
+}
+
+func (u *RefUsage) access(loc string, at prio.Prio) {
+	if i := u.cur(loc); i >= 0 {
+		u.Sites[i].DirectUses++
+		u.Sites[i].Accesses = append(u.Sites[i].Accesses, at)
+	}
+}
+
+// directTarget records a successful direct access when the command's
+// target expression is a literal ref[s] (the shape ANF produces for
+// dcl-bound names); indirect targets were already counted as escapes by
+// the ref expression rule.
+func (u *RefUsage) directTarget(e ast.Expr, at prio.Prio) {
+	if r, ok := e.(ast.Ref); ok {
+		u.access(r.Loc, at)
+	}
+}
+
 // Checker checks λ4i programs against a priority order R.
 type Checker struct {
 	Order *prio.Order
@@ -105,6 +209,12 @@ type Checker struct {
 	// Touch rule's ρ ⪯ ρ′ premise and ∀E's constraint entailment — the
 	// "without priorities" configuration of Table 1.
 	CheckPriorities bool
+	// Usage, when non-nil, records per-dcl state usage (access
+	// priorities and escapes) from the derivation — the input to the
+	// icilk backend's ceiling derivation. Leave nil when the usage is
+	// not needed; recording is strictly additive and never changes what
+	// typechecks.
+	Usage *RefUsage
 }
 
 // New returns a Checker with priority checking enabled.
@@ -186,6 +296,9 @@ func (c *Checker) Expr(g *Env, sig Signature, e ast.Expr) (ast.Type, error) {
 		ent, ok := sig[e.Loc]
 		if !ok || !ent.Loc {
 			return nil, errf(e, "location %s not in signature", e.Loc)
+		}
+		if c.Usage != nil {
+			c.Usage.exprUse(e.Loc)
 		}
 		return ast.RefT{T: ent.T}, nil
 
@@ -463,6 +576,10 @@ func (c *Checker) Cmd(g *Env, sig Signature, m ast.Cmd, at prio.Prio) (ast.Type,
 		}
 		sig2 := sig.Clone()
 		sig2[m.S] = SigEntry{Loc: true, T: m.T}
+		if c.Usage != nil {
+			c.Usage.push(m.S)
+			defer c.Usage.pop(m.S)
+		}
 		return c.Cmd(g, sig2, m.M, at)
 
 	case ast.Get: // rule Get
@@ -473,6 +590,9 @@ func (c *Checker) Cmd(g *Env, sig Signature, m ast.Cmd, at prio.Prio) (ast.Type,
 		rt, ok := et.(ast.RefT)
 		if !ok {
 			return nil, errf(m, "dereference of non-reference type %s", et)
+		}
+		if c.Usage != nil {
+			c.Usage.directTarget(m.E, at)
 		}
 		return rt.T, nil
 
@@ -491,6 +611,9 @@ func (c *Checker) Cmd(g *Env, sig Signature, m ast.Cmd, at prio.Prio) (ast.Type,
 		}
 		if !ast.TypeEqual(vt, rt.T) {
 			return nil, errf(m, "assignment of %s to %s reference", vt, rt.T)
+		}
+		if c.Usage != nil {
+			c.Usage.directTarget(m.L, at)
 		}
 		return rt.T, nil
 
@@ -516,6 +639,9 @@ func (c *Checker) Cmd(g *Env, sig Signature, m ast.Cmd, at prio.Prio) (ast.Type,
 		}
 		if !ast.TypeEqual(newT, rt.T) {
 			return nil, errf(m, "cas new-value type %s does not match %s", newT, rt.T)
+		}
+		if c.Usage != nil {
+			c.Usage.directTarget(m.Ref, at)
 		}
 		return ast.NatT{}, nil
 	}

@@ -341,3 +341,85 @@ func TestNestedCmdPriorities(t *testing.T) {
 		t.Error("high body touching low thread must fail wherever created")
 	}
 }
+
+// TestRefUsageRecorder pins the derivation-export contract the compile
+// backend builds ceilings from: direct Get/Set/CAS accesses record the
+// command priority per dcl site, indirect uses mark the site escaped,
+// and shadowed same-name dcls get distinct sites.
+func TestRefUsageRecorder(t *testing.T) {
+	c, g := checker()
+	c.Usage = NewRefUsage()
+	// dcl a := 0 in dcl b := 0 in x <- cmd[mid]{ !a }; ret (x, ref[b])
+	// — a has one direct access at mid; b escapes into the pair.
+	inner := ast.Dcl{
+		T: ast.NatT{}, S: "b", E: ast.Nat{N: 0},
+		M: ast.Bind{
+			X: "x",
+			E: ast.CmdVal{P: mid, M: ast.Get{E: ast.Ref{Loc: "a"}}},
+			M: ast.Ret{E: ast.Pair{L: ast.Var{Name: "x"}, R: ast.Ref{Loc: "b"}}},
+		},
+	}
+	m := ast.Dcl{T: ast.NatT{}, S: "a", E: ast.Nat{N: 0}, M: inner}
+	if _, err := c.Cmd(g, Signature{}, m, mid); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	if len(c.Usage.Sites) != 2 {
+		t.Fatalf("sites = %d, want 2", len(c.Usage.Sites))
+	}
+	a, b := c.Usage.Sites[0], c.Usage.Sites[1]
+	if a.Loc != "a" || b.Loc != "b" {
+		t.Fatalf("site order %q,%q, want a,b", a.Loc, b.Loc)
+	}
+	if a.Escapes() || len(a.Accesses) != 1 || a.Accesses[0] != mid {
+		t.Errorf("a: escapes=%v accesses=%v, want direct access at mid", a.Escapes(), a.Accesses)
+	}
+	if !b.Escapes() {
+		t.Error("b flows into a pair and must be marked escaped")
+	}
+	// MaxAccess: non-escaping site resolves to its max level; escaping
+	// site widens to top.
+	level := func(p prio.Prio) (int, bool) {
+		switch p {
+		case low:
+			return 0, true
+		case mid:
+			return 1, true
+		case high:
+			return 2, true
+		}
+		return 0, false
+	}
+	if got := a.MaxAccess(level, 2); got != 1 {
+		t.Errorf("a.MaxAccess = %d, want 1", got)
+	}
+	if got := b.MaxAccess(level, 2); got != 2 {
+		t.Errorf("b.MaxAccess = %d, want top (2)", got)
+	}
+}
+
+// TestRefUsageShadowing: two dcls of one name produce two sites, each
+// with its own accesses.
+func TestRefUsageShadowing(t *testing.T) {
+	c, g := checker()
+	c.Usage = NewRefUsage()
+	m := ast.Dcl{
+		T: ast.NatT{}, S: "s", E: ast.Nat{N: 1},
+		M: ast.Dcl{
+			T: ast.NatT{}, S: "s", E: ast.Nat{N: 2},
+			M: ast.Get{E: ast.Ref{Loc: "s"}},
+		},
+	}
+	if _, err := c.Cmd(g, Signature{}, m, low); err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	if len(c.Usage.Sites) != 2 {
+		t.Fatalf("sites = %d, want 2", len(c.Usage.Sites))
+	}
+	outer, innerSite := c.Usage.Sites[0], c.Usage.Sites[1]
+	if len(outer.Accesses) != 0 {
+		t.Errorf("outer shadowed site has accesses %v, want none", outer.Accesses)
+	}
+	if len(innerSite.Accesses) != 1 || innerSite.Accesses[0] != low {
+		t.Errorf("inner site accesses %v, want one at low", innerSite.Accesses)
+	}
+}
