@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 )
 
 // The -diff mode: compare freshly produced BENCH_*.json files against
@@ -17,15 +18,18 @@ import (
 // lower-is-better timings:
 //
 //   - keys ending in "_ns" or "Ns" (nanosecond costs: fast-path ns/op,
-//     per-program wall times), and
+//     per-program wall times),
 //   - keys named exactly "p99"/"P99" (tail latencies, stats.Summary's
-//     spelling included).
+//     spelling included), and
+//   - keys ending in "_ops_per_sec" or "OpsPerSec" (throughputs, guarded
+//     in the opposite direction: higher is better).
 //
-// Derived higher-is-better numbers (ratios, ops/sec, counters) are
-// deliberately not matched. A metric regresses when new > old *
-// threshold; the threshold is generous by default because snapshots
-// come from different machines (the envelope's gomaxprocs/git_sha say
-// from where), and CI passes its own.
+// Derived ratios and counters are deliberately not matched. A
+// lower-is-better metric regresses when new > old * threshold; a
+// throughput regresses when new * threshold < old. The threshold is
+// generous by default because snapshots come from different machines
+// (the envelope's gomaxprocs/git_sha say from where), and CI passes its
+// own.
 
 // regression is one flagged metric.
 type regression struct {
@@ -119,6 +123,21 @@ func timingKey(key string) bool {
 	return false
 }
 
+// throughputKey reports whether a key names a higher-is-better
+// throughput metric (the scaling sweeps' ops/sec leaves).
+func throughputKey(key string) bool {
+	if key == "ops_per_sec" {
+		return true
+	}
+	if len(key) > 12 && key[len(key)-12:] == "_ops_per_sec" {
+		return true
+	}
+	if len(key) > 9 && key[len(key)-9:] == "OpsPerSec" {
+		return true
+	}
+	return false
+}
+
 // diffValue walks old and new in lockstep. Structure mismatches (a
 // missing key, a shorter array, a changed type) end that branch
 // silently: experiments evolve, and the gate's job is catching timing
@@ -144,12 +163,16 @@ func diffValue(file, path string, oldV, newV any, threshold float64, regs *[]reg
 			if path != "" {
 				childPath = path + "." + k
 			}
-			if timingKey(k) {
+			if timingKey(k) || throughputKey(k) {
 				oldN, okO := ov[k].(float64)
 				newN, okN := child.(float64)
 				if okO && okN && oldN > 0 && newN > 0 {
 					*n++
-					if newN > oldN*threshold {
+					worse := newN > oldN*threshold
+					if throughputKey(k) {
+						worse = newN*threshold < oldN // higher is better
+					}
+					if worse {
 						*regs = append(*regs, regression{file: file, path: childPath, old: oldN, new: newN})
 					}
 				}
@@ -187,11 +210,13 @@ func diffValue(file, path string, oldV, newV any, threshold float64, regs *[]reg
 }
 
 // labelKeys are the row-identity fields experiments use, in preference
-// order.
-var labelKeys = []string{"program", "Program", "App", "Param"}
+// order: string identities first (per-program, per-app rows), then the
+// numeric sweep dimensions (the scaling curves' workers/shards points,
+// which stay aligned even when a sweep gains intermediate points).
+var labelKeys = []string{"program", "Program", "App", "Param", "workers", "shards"}
 
 // labelIndex builds label → element for an array whose elements all
-// carry the same string label key; nil when the array has no such key.
+// carry the same label key; nil when the array has no such key.
 func labelIndex(arr []any) (map[string]any, string) {
 	for _, key := range labelKeys {
 		idx := make(map[string]any, len(arr))
@@ -216,6 +241,11 @@ func elementLabel(el any, key string) (string, bool) {
 	if !ok {
 		return "", false
 	}
-	s, ok := obj[key].(string)
-	return s, ok && s != ""
+	switch v := obj[key].(type) {
+	case string:
+		return v, v != ""
+	case float64:
+		return strconv.FormatFloat(v, 'g', -1, 64), true
+	}
+	return "", false
 }

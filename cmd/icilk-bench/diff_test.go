@@ -34,10 +34,11 @@ func TestDiffIdenticalPasses(t *testing.T) {
 	if code := runDiff(&b, old, new, 1.5); code != 0 {
 		t.Fatalf("identical snapshots should pass, got exit %d:\n%s", code, b.String())
 	}
-	// Exactly the two *_ns leaves and the one P99 leaf count as metrics;
-	// ratios, ops/sec, counts, and "connections" must not.
-	if !strings.Contains(b.String(), "compared 3 metrics") {
-		t.Errorf("expected 3 compared metrics, got:\n%s", b.String())
+	// Exactly the two *_ns leaves, the one P99 leaf, and the one
+	// *_ops_per_sec leaf count as metrics; ratios, counts, and
+	// "connections" must not.
+	if !strings.Contains(b.String(), "compared 4 metrics") {
+		t.Errorf("expected 4 compared metrics, got:\n%s", b.String())
 	}
 }
 
@@ -66,6 +67,30 @@ func TestDiffFlagsP99Regression(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "P99") {
 		t.Errorf("regression report should name P99:\n%s", b.String())
+	}
+}
+
+// TestDiffFlagsThroughputDrop: *_ops_per_sec leaves are higher-is-better
+// — a throughput collapse fails the gate even though the number got
+// smaller, the direction the timing rule calls an improvement.
+func TestDiffFlagsThroughputDrop(t *testing.T) {
+	old, new := t.TempDir(), t.TempDir()
+	writeSnap(t, old, "BENCH_lock.json", snapBody)
+	dropped := strings.ReplaceAll(snapBody, `"rw_ops_per_sec": 500000`, `"rw_ops_per_sec": 100000`)
+	writeSnap(t, new, "BENCH_lock.json", dropped)
+	var b strings.Builder
+	if code := runDiff(&b, old, new, 1.5); code != 1 {
+		t.Fatalf("5x throughput drop should fail, got exit %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "rw_ops_per_sec") {
+		t.Errorf("regression report should name the throughput metric:\n%s", b.String())
+	}
+	// The opposite direction — higher throughput — must pass.
+	raised := strings.ReplaceAll(snapBody, `"rw_ops_per_sec": 500000`, `"rw_ops_per_sec": 5000000`)
+	writeSnap(t, new, "BENCH_lock.json", raised)
+	b.Reset()
+	if code := runDiff(&b, old, new, 1.5); code != 0 {
+		t.Fatalf("throughput gain should pass, got exit %d:\n%s", code, b.String())
 	}
 }
 
@@ -138,5 +163,34 @@ func TestDiffMatchesRowsByLabel(t *testing.T) {
 	}
 	if strings.Contains(b.String(), "aaa.l4i") {
 		t.Errorf("the new program has no baseline and must not be flagged:\n%s", b.String())
+	}
+}
+
+// TestDiffMatchesRowsByNumericLabel: sweep arrays carry numeric identity
+// fields (workers, shards); rows align by that value, so a sweep gaining
+// an intermediate point cannot shift the comparison of shared points.
+func TestDiffMatchesRowsByNumericLabel(t *testing.T) {
+	old, new := t.TempDir(), t.TempDir()
+	writeSnap(t, old, "BENCH_lock.json", `{"result": {"read_scaling": [
+	  {"workers": 1, "rw_ops_per_sec": 500000},
+	  {"workers": 4, "rw_ops_per_sec": 2000000}
+	]}}`)
+	// A workers=2 point appears AND the workers=4 throughput collapses:
+	// index-wise matching would compare the new workers=2 row against the
+	// workers=4 baseline and miss the collapse.
+	writeSnap(t, new, "BENCH_lock.json", `{"result": {"read_scaling": [
+	  {"workers": 1, "rw_ops_per_sec": 500000},
+	  {"workers": 2, "rw_ops_per_sec": 900000},
+	  {"workers": 4, "rw_ops_per_sec": 200000}
+	]}}`)
+	var b strings.Builder
+	if code := runDiff(&b, old, new, 1.5); code != 1 {
+		t.Fatalf("workers=4 throughput collapse should be flagged, got exit %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "workers=4") {
+		t.Errorf("report should attribute the regression to the workers=4 row:\n%s", b.String())
+	}
+	if strings.Contains(b.String(), "workers=2") {
+		t.Errorf("the new sweep point has no baseline and must not be flagged:\n%s", b.String())
 	}
 }

@@ -294,10 +294,12 @@ func ablations(cfg experiments.EvalConfig) any {
 }
 
 // stateRatio is the headline number of the state experiment: the
-// uninherited p99 over the inherited p99 (higher = inheritance wins).
+// uninherited p99 over the inherited p99 (higher = inheritance wins),
+// plus the sharded-store throughput sweep.
 type stateRatio struct {
 	Points   []experiments.StatePoint `json:"points"`
 	P99Ratio float64                  `json:"p99_ratio_off_over_on"`
+	Sharding []experiments.ShardPoint `json:"sharding"`
 }
 
 func state(cfg experiments.EvalConfig) any {
@@ -329,6 +331,12 @@ func state(cfg experiments.EvalConfig) any {
 	if onP99 > 0 {
 		out.P99Ratio = float64(offP99) / float64(onP99)
 		fmt.Printf("p99 ratio (inheritance off / on): %.2fx\n", out.P99Ratio)
+	}
+	out.Sharding = experiments.ShardScaling(cfg)
+	fmt.Println("sharded-store scaling (3 reads per write, key-hashed shards):")
+	fmt.Printf("%8s %16s\n", "shards", "ops/s")
+	for _, sp := range out.Sharding {
+		fmt.Printf("%8d %16.0f\n", sp.Shards, sp.OpsPerSec)
 	}
 	fmt.Println()
 	return out
@@ -366,17 +374,24 @@ func lock(cfg experiments.EvalConfig) any {
 	fmt.Printf("%-28s %10.1f %14.1f %7.2fx  (vs sync.Mutex)\n",
 		"Mutex.Lock+Unlock", f.MutexLockUnlockNs, f.SyncMutexLockUnlockNs, f.MutexOverhead())
 	fmt.Printf("%-28s %10.1f %14s %8s\n", "Mutex.TryLock+Unlock", f.TryLockUnlockNs, "-", "-")
-	fmt.Printf("%-28s %10.1f %14s %8s\n", "RWMutex.RLock+RUnlock", f.RWMutexRLockRUnlockNs, "-", "-")
+	central := "-"
+	if f.RWMutexCentralRLockNs > 0 {
+		central = fmt.Sprintf("%7.2fx", f.RWMutexRLockRUnlockNs/f.RWMutexCentralRLockNs)
+	}
+	fmt.Printf("%-28s %10.1f %14.1f %8s  (vs centralized readers)\n",
+		"RWMutex.RLock+RUnlock", f.RWMutexRLockRUnlockNs, f.RWMutexCentralRLockNs, central)
 	fmt.Printf("%-28s %10.1f %14.1f %7.2fx  (vs atomic load)\n",
 		"Ref.Load", f.RefLoadNs, f.AtomicLoadNs, f.RefOverhead())
 	fmt.Printf("%-28s %10.1f %14.1f %7s  (vs atomic add)\n",
 		"Ref.Update", f.RefUpdateNs, f.AtomicAddNs, "-")
 	fmt.Println()
 	fmt.Printf("read-mostly scaling (1 write per 1024 reads, ~2µs read sections):\n")
-	fmt.Printf("%8s %16s %16s %9s\n", "workers", "rwmutex ops/s", "mutex ops/s", "speedup")
+	fmt.Printf("%8s %16s %16s %16s %9s %9s\n",
+		"workers", "rw slotted op/s", "rw central op/s", "mutex ops/s", "speedup", "slotgain")
 	for _, pt := range res.ReadScaling {
-		fmt.Printf("%8d %16.0f %16.0f %8.2fx\n",
-			pt.Workers, pt.RWOpsPerSec, pt.MutexOpsPerSec, pt.Speedup())
+		fmt.Printf("%8d %16.0f %16.0f %16.0f %8.2fx %8.2fx\n",
+			pt.Workers, pt.RWOpsPerSec, pt.RWCentralOpsPerSec, pt.MutexOpsPerSec,
+			pt.Speedup(), pt.SlotGain())
 	}
 	fmt.Println()
 	return res

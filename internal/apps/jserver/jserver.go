@@ -7,6 +7,7 @@
 package jserver
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/icilk"
@@ -122,48 +123,74 @@ func (r Result) Summary(t workload.JobType) stats.Summary {
 }
 
 // Table is the server's shared job table: every finishing job, at any of
-// the four levels, records its response time here. The table is guarded
-// by a ceilinged icilk.RWMutex (both ceilings at the matmul level — the
-// table's highest-priority writer and reader), so the scheduler sees the
-// contention: a matmul job blocking behind an sw job mid-record boosts
-// the sw job to the matmul level instead of letting the record stall the
-// urgent class, and snapshots read concurrently with each other.
+// the four levels, records its response time here. The table is an
+// accumulator — write-hot from every job, read only by snapshots — so it
+// is striped by worker: each stripe is guarded by its own ceilinged
+// icilk.RWMutex (both ceilings at the matmul level — the table's
+// highest-priority writer and reader), so the scheduler still sees any
+// contention (a matmul job blocking behind an sw job mid-record boosts
+// the sw job to the matmul level), but two jobs finishing on different
+// workers record without meeting on a lock at all. Snapshots merge the
+// stripes under their read locks.
 type Table struct {
+	shards   []tableShard
+	mask     uint32
+	readCeil icilk.Priority
+}
+
+// tableShard is one worker stripe of the job table.
+type tableShard struct {
 	mu      *icilk.RWMutex
 	perType map[workload.JobType][]time.Duration
 	jobs    int
 }
 
-// NewTable creates an empty job table on rt.
+// NewTable creates an empty job table on rt, one stripe per worker.
 func NewTable(rt *icilk.Runtime) *Table {
 	top := PriorityOf(workload.JobMatMul)
-	return &Table{
-		mu:      icilk.NewRWMutex(rt, top, top, "jserver.table"),
-		perType: map[workload.JobType][]time.Duration{},
+	nshards := 1
+	for nshards < rt.Workers() && nshards < 32 {
+		nshards <<= 1
 	}
+	tb := &Table{shards: make([]tableShard, nshards), mask: uint32(nshards - 1), readCeil: top}
+	for i := range tb.shards {
+		tb.shards[i] = tableShard{
+			mu:      icilk.NewRWMutex(rt, top, top, fmt.Sprintf("jserver.table/%d", i)),
+			perType: map[workload.JobType][]time.Duration{},
+		}
+	}
+	return tb
 }
 
-// Record logs one completed job from the job's own task context.
+// Record logs one completed job from the job's own task context, on the
+// calling worker's stripe.
 func (tb *Table) Record(c *icilk.Ctx, jt workload.JobType, d time.Duration) {
-	tb.mu.Lock(c)
-	tb.perType[jt] = append(tb.perType[jt], d)
-	tb.jobs++
-	tb.mu.Unlock(c)
+	sh := &tb.shards[uint32(c.WorkerID())&tb.mask]
+	sh.mu.Lock(c)
+	sh.perType[jt] = append(sh.perType[jt], d)
+	sh.jobs++
+	sh.mu.Unlock(c)
 }
 
-// Snapshot copies the table out under a read lock (snapshots never
-// mutate, so they only exclude in-flight Records, not each other). It
-// is called from harness goroutines (no task context), so the read runs
-// as a task at the table's read ceiling — external code never takes an
-// icilk lock directly. A non-nil error means the snapshot task could
-// not run (wedged or shutting-down runtime) and the Result is empty.
+// Snapshot merges the stripes out under their read locks (snapshots
+// never mutate, so they only exclude in-flight Records, not each
+// other; the merge is stripe-by-stripe, not one atomic cut across
+// stripes). It is called from harness goroutines (no task context), so
+// the read runs as a task at the table's read ceiling — external code
+// never takes an icilk lock directly. A non-nil error means the
+// snapshot task could not run (wedged or shutting-down runtime) and the
+// Result is empty.
 func (tb *Table) Snapshot(rt *icilk.Runtime) (Result, error) {
-	fut := icilk.Go(rt, nil, tb.mu.ReadCeiling(), "table-snapshot", func(c *icilk.Ctx) Result {
-		tb.mu.RLock(c)
-		defer tb.mu.RUnlock(c)
-		out := Result{PerType: map[workload.JobType][]time.Duration{}, Jobs: tb.jobs}
-		for t, ds := range tb.perType {
-			out.PerType[t] = append([]time.Duration(nil), ds...)
+	fut := icilk.Go(rt, nil, tb.readCeil, "table-snapshot", func(c *icilk.Ctx) Result {
+		out := Result{PerType: map[workload.JobType][]time.Duration{}}
+		for i := range tb.shards {
+			sh := &tb.shards[i]
+			sh.mu.RLock(c)
+			out.Jobs += sh.jobs
+			for t, ds := range sh.perType {
+				out.PerType[t] = append(out.PerType[t], ds...)
+			}
+			sh.mu.RUnlock(c)
 		}
 		return out
 	})

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -153,6 +155,103 @@ func stateRun(cfg EvalConfig, inherit bool) StatePoint {
 		Probe:   stats.Summarize(latencies),
 		Stats:   rt.Stats(),
 	}
+}
+
+// ShardPoint is one shard count of the sharded-store sweep: total
+// mixed read/write throughput over a key-addressed table split into
+// Shards key-hash shards, each behind its own ceilinged RWMutex — the
+// layout internal/serve's session store and response cache use. The
+// 1-shard point is the unsharded baseline; the curve rising with shard
+// count (on a multi-core host) is what key hashing buys once writers
+// stop meeting on one lock.
+type ShardPoint struct {
+	Shards    int     `json:"shards"`
+	OpsPerSec float64 `json:"ops_per_sec"`
+}
+
+// ShardScaling sweeps shard counts 1, 2, 4, ... on cfg.Workers workers
+// (capped by the machine's cores).
+func ShardScaling(cfg EvalConfig) []ShardPoint {
+	cfg = cfg.withDefaults()
+	workers := cfg.Workers
+	if n := runtime.NumCPU(); workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	maxShards := 4
+	for maxShards < workers {
+		maxShards <<= 1
+	}
+	var out []ShardPoint
+	for ns := 1; ns <= maxShards; ns *= 2 {
+		out = append(out, ShardPoint{Shards: ns, OpsPerSec: shardedThroughput(workers, ns, cfg.Duration)})
+	}
+	return out
+}
+
+// shardedThroughput drives a write-heavy key-addressed workload (3
+// reads per write, short critical sections over a 1024-key space) from
+// one task per worker against an nshards-way sharded table.
+func shardedThroughput(workers, nshards int, dur time.Duration) float64 {
+	if dur > 150*time.Millisecond {
+		dur = 150 * time.Millisecond // per shard-count cell
+	}
+	rt := icilk.New(icilk.Config{Workers: workers, Levels: 1, DisableMetrics: true})
+	defer rt.Shutdown()
+
+	type shard struct {
+		mu *icilk.RWMutex
+		m  map[int]int
+	}
+	shards := make([]shard, nshards)
+	for i := range shards {
+		shards[i] = shard{mu: icilk.NewRWMutex(rt, 0, 0, fmt.Sprintf("shard.bench/%d", i)), m: map[int]int{}}
+	}
+	mask := uint32(nshards - 1)
+
+	var stop atomic.Bool
+	var ops atomic.Int64
+	var futs []*icilk.Future[int]
+	for t := 0; t < workers; t++ {
+		t := t
+		futs = append(futs, icilk.Go(rt, nil, 0, "shard-worker", func(c *icilk.Ctx) int {
+			n := 0
+			state := uint64(t)*2654435761 + 7
+			for !stop.Load() {
+				state = state*6364136223846793005 + 1442695040888963407
+				key := int(state>>33) % 1024
+				sh := &shards[uint32(key*0x9e3779b1)&mask]
+				if state%4 == 0 {
+					sh.mu.Lock(c)
+					sh.m[key]++
+					sh.mu.Unlock(c)
+				} else {
+					sh.mu.RLock(c)
+					_ = sh.m[key]
+					sh.mu.RUnlock(c)
+				}
+				n++
+				if n%256 == 0 {
+					c.Checkpoint()
+				}
+			}
+			ops.Add(int64(n))
+			return n
+		}))
+	}
+	start := time.Now()
+	time.Sleep(dur)
+	stop.Store(true)
+	for _, f := range futs {
+		_, _ = icilk.Await(f, 30*time.Second)
+	}
+	elapsed := time.Since(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(ops.Load()) / elapsed
 }
 
 // stateSpin burns roughly d of CPU.

@@ -1,0 +1,459 @@
+package icilk
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Tests for the BRAVO distributed reader slots and the mid-wait
+// reposition machinery. These are in-package so they can observe the
+// bias flag directly; everything else goes through the public API.
+
+// TestRWMutexSlotFastPathUncontended churns an uncontended read pair
+// from a single task: the slot fast path must hold the whole time — no
+// read parks, no revocations, and the bias still set at the end.
+func TestRWMutexSlotFastPathUncontended(t *testing.T) {
+	rt := testRuntime(t, Config{Workers: 1, Levels: 1})
+	m := NewRWMutex(rt, 0, 0, "slotfast")
+	fut := Go(rt, nil, 0, "churn", func(c *Ctx) int {
+		for i := 0; i < 20000; i++ {
+			m.RLock(c)
+			m.RUnlock(c)
+		}
+		return 1
+	})
+	if v, err := Await(fut, 10*time.Second); err != nil || v != 1 {
+		t.Fatalf("churn: v=%d err=%v", v, err)
+	}
+	if p := rt.Stats().RWReadParks; p != 0 {
+		t.Errorf("uncontended read churn parked %d times", p)
+	}
+	if r := rt.Stats().RWRevokes; r != 0 {
+		t.Errorf("uncontended read churn revoked the bias %d times", r)
+	}
+	if !m.rbias.Load() {
+		t.Error("bias should survive uncontended read churn")
+	}
+}
+
+// TestRWMutexWriterRevokesSlotReaders parks a reader inside a
+// slot-published read section and sends a writer through: the writer
+// must revoke the bias (counted in RWRevokes), wait out the slot
+// reader, and only then mutate — the revocation-sweep ordering that
+// keeps distributed read holds exclusive against writers.
+func TestRWMutexWriterRevokesSlotReaders(t *testing.T) {
+	rt := testRuntime(t, Config{Workers: 2, Levels: 2, Prioritize: true})
+	m := NewRWMutex(rt, 1, 1, "revoke")
+	gate := NewPromise[int](rt, 1)
+	reading := make(chan struct{})
+	x := 0
+	reader := Go(rt, nil, 1, "slot-reader", func(c *Ctx) int {
+		m.RLock(c) // bias on, no writer: slot path
+		close(reading)
+		v := x
+		gate.Future().Touch(c) // park holding the slot
+		v2 := x
+		m.RUnlock(c)
+		if v != v2 {
+			return -1 // writer mutated under our read hold
+		}
+		return 1
+	})
+	<-reading
+	if got := m.slotSum(); got != 1 {
+		t.Fatalf("reader should hold via a slot, slotSum = %d", got)
+	}
+	writer := Go(rt, nil, 1, "writer", func(c *Ctx) int {
+		m.Lock(c)
+		x = 7
+		m.Unlock(c)
+		return 1
+	})
+	// The writer must revoke the bias and then wait for the slot drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Stats().RWRevokes == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("writer never revoked the read bias")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m.rbias.Load() {
+		t.Error("bias should be off after revocation")
+	}
+	if x != 0 {
+		t.Fatal("writer mutated while the slot reader held the lock")
+	}
+	gate.Complete(0)
+	if v, err := Await(reader, 10*time.Second); err != nil || v != 1 {
+		t.Fatalf("reader: v=%d err=%v (v=-1 means a torn read under a slot hold)", v, err)
+	}
+	if v, err := Await(writer, 10*time.Second); err != nil || v != 1 {
+		t.Fatalf("writer: v=%d err=%v", v, err)
+	}
+	if x != 7 {
+		t.Errorf("x = %d, want 7", x)
+	}
+}
+
+// TestRWMutexBiasRearms drives the lock through revocation and then
+// rwRearmAfter centralized reads: the cooldown must re-enable the slot
+// path, and the next writer must pay a fresh revocation.
+func TestRWMutexBiasRearms(t *testing.T) {
+	rt := testRuntime(t, Config{Workers: 1, Levels: 1})
+	m := NewRWMutex(rt, 0, 0, "rearm")
+	fut := Go(rt, nil, 0, "driver", func(c *Ctx) int {
+		m.Lock(c) // revokes the initial bias
+		m.Unlock(c)
+		if m.rbias.Load() {
+			return -1 // bias survived a revocation
+		}
+		for i := 0; i < rwRearmAfter+4; i++ {
+			m.RLock(c) // centralized reads, counting down the cooldown
+			m.RUnlock(c)
+		}
+		if !m.rbias.Load() {
+			return -2 // cooldown elapsed but the bias never rearmed
+		}
+		m.Lock(c) // must revoke again
+		m.Unlock(c)
+		return 1
+	})
+	if v, err := Await(fut, 10*time.Second); err != nil || v != 1 {
+		t.Fatalf("driver: v=%d err=%v", v, err)
+	}
+	if r := rt.Stats().RWRevokes; r != 2 {
+		t.Errorf("RWRevokes = %d, want 2 (initial revoke + post-rearm revoke)", r)
+	}
+}
+
+// TestRWMutexCeilingsWithSlots re-runs the per-mode ceiling checks with
+// the slot path engaged: a read above the read ceiling must panic
+// before publishing into any slot (no stranded slot increments), and
+// the write ceiling is checked before the revocation machinery runs.
+func TestRWMutexCeilingsWithSlots(t *testing.T) {
+	rt := testRuntime(t, Config{Workers: 2, Levels: 3, Prioritize: true})
+	m := NewRWMutex(rt, 1, 0, "slotceil")
+	badRead := Go(rt, nil, 2, "read-above", func(c *Ctx) int {
+		m.RLock(c)
+		m.RUnlock(c)
+		return 0
+	})
+	if _, err := Await(badRead, 5*time.Second); err == nil {
+		t.Fatal("read above the read ceiling should fail on the slot path")
+	}
+	if got := m.slotSum(); got != 0 {
+		t.Errorf("ceiling violation left %d stranded slot holds", got)
+	}
+	badWrite := Go(rt, nil, 1, "write-above", func(c *Ctx) int {
+		m.Lock(c)
+		m.Unlock(c)
+		return 0
+	})
+	if _, err := Await(badWrite, 5*time.Second); err == nil {
+		t.Fatal("write above the write ceiling should fail while read-biased")
+	}
+	if !m.rbias.Load() {
+		t.Error("a rejected writer must not revoke the bias")
+	}
+	if rt.Stats().CeilingViolations < 2 {
+		t.Error("CeilingViolations should count both per-mode violations")
+	}
+	// The lock still works for admissible tasks afterwards.
+	ok := Go(rt, nil, 1, "read-at-ceiling", func(c *Ctx) int {
+		m.RLock(c)
+		m.RUnlock(c)
+		return 3
+	})
+	if v, err := Await(ok, 5*time.Second); err != nil || v != 3 {
+		t.Fatalf("read at ceiling after violations: v=%d err=%v", v, err)
+	}
+}
+
+// TestRWMutexWriteInheritanceAfterRevocation is the inheritance unit
+// for the BRAVO path: the write holder acquired through a revocation
+// (bias was on), and a higher-priority reader blocking on it must still
+// boost it — the slot machinery must not hide the holder from the
+// inheritance walk.
+func TestRWMutexWriteInheritanceAfterRevocation(t *testing.T) {
+	rt := testRuntime(t, Config{
+		Workers: 1, Levels: 2, Prioritize: true, Quantum: 200 * time.Microsecond,
+	})
+	m := NewRWMutex(rt, 1, 0, "slotinherit")
+	gate := NewPromise[int](rt, 0)
+	locked := make(chan struct{})
+	Go(rt, nil, 0, "holder", func(c *Ctx) int {
+		m.Lock(c) // revokes the initial bias on the way in
+		close(locked)
+		gate.Future().Touch(c)
+		m.Unlock(c)
+		return 0
+	})
+	select {
+	case <-locked:
+	case <-time.After(5 * time.Second):
+		t.Fatal("holder never acquired the write lock")
+	}
+	if rt.Stats().RWRevokes == 0 {
+		t.Fatal("holder should have revoked the initial bias")
+	}
+	var stopSpin atomic.Bool
+	Go(rt, nil, 0, "spinner", func(c *Ctx) int {
+		for !stopSpin.Load() {
+			busyFor(100 * time.Microsecond)
+			c.Yield()
+		}
+		return 0
+	})
+	time.Sleep(10 * time.Millisecond)
+	high := Go(rt, nil, 1, "high-reader", func(c *Ctx) int {
+		m.RLock(c)
+		m.RUnlock(c)
+		return 42
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Stats().RWReadParks == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("reader never blocked on the write lock")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	gate.Complete(0)
+	v, err := Await(high, 10*time.Second)
+	stopSpin.Store(true)
+	if err != nil || v != 42 {
+		t.Fatalf("high reader: v=%d err=%v", v, err)
+	}
+	if rt.Stats().Inherits == 0 {
+		t.Error("Inherits should record the reader-into-revoking-writer boost")
+	}
+	if err := rt.WaitIdle(10 * time.Second); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRWMutexSlotStressRace hammers slot readers against revoking
+// writers from every admissible level (run it with -race): torn reads,
+// lost updates, or a stranded slot hold all fail, and the run must
+// actually exercise revocation.
+func TestRWMutexSlotStressRace(t *testing.T) {
+	for _, slots := range []bool{true, false} {
+		rt := testRuntime(t, Config{Workers: 4, Levels: 4, Prioritize: true})
+		m := NewRWMutex(rt, 3, 2, "slotstress")
+		m.SetReaderSlots(slots)
+		table := map[int]int{}
+		const writers, readers, rounds = 24, 48, 8
+		var futs []*Future[int]
+		for i := 0; i < writers; i++ {
+			p := Priority(i % 3)
+			key := i % 8
+			futs = append(futs, Go(rt, nil, p, "w", func(c *Ctx) int {
+				for n := 0; n < rounds; n++ {
+					m.Lock(c)
+					table[key]++
+					if n%4 == 0 {
+						IO(rt, p, 30*time.Microsecond, func() int { return 0 }).Touch(c)
+					}
+					m.Unlock(c)
+					c.Checkpoint()
+				}
+				return 0
+			}))
+		}
+		for i := 0; i < readers; i++ {
+			p := Priority(i % 4)
+			park := i%5 == 0
+			futs = append(futs, Go(rt, nil, p, "r", func(c *Ctx) int {
+				for n := 0; n < rounds; n++ {
+					m.RLock(c)
+					sum := 0
+					for _, v := range table {
+						sum += v
+					}
+					if park {
+						IO(rt, p, 20*time.Microsecond, func() int { return 0 }).Touch(c)
+					}
+					m.RUnlock(c)
+					c.Checkpoint()
+					_ = sum
+				}
+				return 0
+			}))
+		}
+		for _, f := range futs {
+			if _, err := Await(f, 30*time.Second); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total := 0
+		for _, v := range table {
+			total += v
+		}
+		if total != writers*rounds {
+			t.Errorf("slots=%v: table total = %d, want %d", slots, total, writers*rounds)
+		}
+		if got := m.slotSum(); got != 0 {
+			t.Errorf("slots=%v: %d stranded slot holds after the run", slots, got)
+		}
+		if slots && rt.Stats().RWRevokes == 0 {
+			t.Errorf("slotted stress run never revoked the bias")
+		}
+	}
+}
+
+// TestMutexMidWaitBoostReorders is the reposition regression test: a
+// waiter already enqueued on one Mutex is boosted (through a second
+// lock it holds) while parked, and the grant must respect its raised
+// priority — previously the waiter list kept the stale insertion-time
+// position, so a boost mid-wait could not overtake a higher-priority
+// waiter queued before it.
+func TestMutexMidWaitBoostReorders(t *testing.T) {
+	rt := testRuntime(t, Config{Workers: 2, Levels: 3, Prioritize: true})
+	m := NewMutex(rt, 1, "contended")
+	m2 := NewMutex(rt, 2, "boost-carrier")
+	gate := NewPromise[int](rt, 0)
+	locked := make(chan struct{})
+	holder := Go(rt, nil, 0, "holder", func(c *Ctx) int {
+		m.Lock(c)
+		close(locked)
+		gate.Future().Touch(c)
+		m.Unlock(c)
+		return 0
+	})
+	<-locked
+
+	var order []string
+	aHolds := make(chan struct{})
+	parksAtA := rt.Stats().MutexParks + 1
+	a := Go(rt, nil, 0, "waiter-a", func(c *Ctx) int {
+		m2.Lock(c) // uncontended: the lock the booster will arrive through
+		close(aHolds)
+		m.Lock(c) // parks at waitPrio 0
+		order = append(order, "a")
+		m.Unlock(c)
+		m2.Unlock(c)
+		return 0
+	})
+	<-aHolds
+	waitParks := func(want int64, who string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for rt.Stats().MutexParks < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never parked", who)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitParks(parksAtA, "waiter-a")
+
+	parksAtB := rt.Stats().MutexParks + 1
+	b := Go(rt, nil, 1, "waiter-b", func(c *Ctx) int {
+		m.Lock(c) // parks at waitPrio 1, ahead of a
+		order = append(order, "b")
+		m.Unlock(c)
+		return 0
+	})
+	waitParks(parksAtB, "waiter-b")
+
+	// The booster blocks on m2, boosting a to level 2 while a is parked
+	// on m — the mid-wait boost that must re-sort a ahead of b.
+	parksAtBoost := rt.Stats().MutexParks + 1
+	booster := Go(rt, nil, 2, "booster", func(c *Ctx) int {
+		m2.Lock(c)
+		m2.Unlock(c)
+		return 0
+	})
+	waitParks(parksAtBoost, "booster")
+	if rt.Stats().Inherits == 0 {
+		t.Fatal("booster should have boosted waiter-a through m2")
+	}
+
+	gate.Complete(0)
+	for _, f := range []*Future[int]{holder, a, b, booster} {
+		if _, err := Await(f, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("grant order = %v, want [a b]: the mid-wait boost must reposition waiter-a ahead of waiter-b", order)
+	}
+}
+
+// TestRWMutexMidWaitBoostReorders is the RW twin: two write waiters
+// queued behind a write holder, the lower-priority one boosted mid-wait
+// through a Mutex it holds; the write release must grant the boosted
+// waiter first.
+func TestRWMutexMidWaitBoostReorders(t *testing.T) {
+	rt := testRuntime(t, Config{Workers: 2, Levels: 3, Prioritize: true})
+	m := NewRWMutex(rt, 1, 1, "contended-rw")
+	m2 := NewMutex(rt, 2, "boost-carrier")
+	gate := NewPromise[int](rt, 0)
+	locked := make(chan struct{})
+	holder := Go(rt, nil, 0, "holder", func(c *Ctx) int {
+		m.Lock(c)
+		close(locked)
+		gate.Future().Touch(c)
+		m.Unlock(c)
+		return 0
+	})
+	<-locked
+
+	var order []string
+	aHolds := make(chan struct{})
+	wparksAtA := rt.Stats().RWWriteParks + 1
+	a := Go(rt, nil, 0, "writer-a", func(c *Ctx) int {
+		m2.Lock(c)
+		close(aHolds)
+		m.Lock(c) // write-waits at waitPrio 0
+		order = append(order, "a")
+		m.Unlock(c)
+		m2.Unlock(c)
+		return 0
+	})
+	<-aHolds
+	waitWParks := func(want int64, who string) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for rt.Stats().RWWriteParks < want {
+			if time.Now().After(deadline) {
+				t.Fatalf("%s never parked", who)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitWParks(wparksAtA, "writer-a")
+
+	wparksAtB := rt.Stats().RWWriteParks + 1
+	b := Go(rt, nil, 1, "writer-b", func(c *Ctx) int {
+		m.Lock(c) // write-waits at waitPrio 1, ahead of a
+		order = append(order, "b")
+		m.Unlock(c)
+		return 0
+	})
+	waitWParks(wparksAtB, "writer-b")
+
+	mparks := rt.Stats().MutexParks + 1
+	booster := Go(rt, nil, 2, "booster", func(c *Ctx) int {
+		m2.Lock(c)
+		m2.Unlock(c)
+		return 0
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for rt.Stats().MutexParks < mparks {
+		if time.Now().After(deadline) {
+			t.Fatal("booster never parked on m2")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	gate.Complete(0)
+	for _, f := range []*Future[int]{holder, a, b, booster} {
+		if _, err := Await(f, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Errorf("grant order = %v, want [a b]: the mid-wait boost must reposition writer-a ahead of writer-b", order)
+	}
+}

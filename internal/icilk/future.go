@@ -30,12 +30,16 @@ type future struct {
 }
 
 // complete stores the value and wakes every waiter.
-func (f *future) complete(v any) { f.finish(v, nil) }
+func (f *future) complete(v any) { f.finish(v, nil, false) }
 
 // fail completes the future with an error; touchers re-panic it.
-func (f *future) fail(err error) { f.finish(nil, err) }
+func (f *future) fail(err error) { f.finish(nil, err, false) }
 
-func (f *future) finish(v any, err error) {
+// finish resolves the future. Waiters are requeued in one batch with a
+// single trailing wake — completing a future with N waiters costs one
+// broadcast, not N. With quiet set, even that wake is deferred to a
+// caller-side Kick (the Promise.CompleteQuiet contract).
+func (f *future) finish(v any, err error, quiet bool) {
 	f.mu.Lock()
 	if f.done {
 		f.mu.Unlock()
@@ -57,7 +61,10 @@ func (f *future) finish(v any, err error) {
 	}
 	for _, t := range waiters {
 		t.blockedOn = nil
-		t.rt.requeue(t)
+		t.rt.requeueQuiet(t)
+	}
+	if len(waiters) > 0 && !quiet {
+		waiters[0].rt.wake()
 	}
 }
 

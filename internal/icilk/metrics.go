@@ -89,6 +89,7 @@ type schedCounters struct {
 	mutexParks   counter
 	rwReadParks  counter
 	rwWriteParks counter
+	rwRevokes    counter
 	inherits     counter
 	ceilings     counter
 }
@@ -130,6 +131,11 @@ type SchedStats struct {
 	// contention observables of the reader/writer primitive.
 	RWReadParks  int64
 	RWWriteParks int64
+	// RWRevokes counts BRAVO bias revocations: a writer found an RWMutex
+	// read-biased and swept the distributed reader slots before (or
+	// while) acquiring. High values relative to write acquires mean the
+	// lock is write-heavy and spends its time re-arming.
+	RWRevokes int64
 	// Inherits counts priority-inheritance events: a Mutex or RWMutex
 	// write holder's effective priority raised because a higher-priority
 	// task blocked behind it.
@@ -156,6 +162,7 @@ func (rt *Runtime) Stats() SchedStats {
 		MutexParks:        rt.stats.mutexParks.Load(),
 		RWReadParks:       rt.stats.rwReadParks.Load(),
 		RWWriteParks:      rt.stats.rwWriteParks.Load(),
+		RWRevokes:         rt.stats.rwRevokes.Load(),
 		Inherits:          rt.stats.inherits.Load(),
 		CeilingViolations: rt.stats.ceilings.Load(),
 	}
@@ -163,7 +170,7 @@ func (rt *Runtime) Stats() SchedStats {
 
 func (s SchedStats) String() string {
 	return fmt.Sprintf(
-		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d mutexparks=%d rwrparks=%d rwwparks=%d inherits=%d ceilings=%d",
+		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d mutexparks=%d rwrparks=%d rwwparks=%d rwrevokes=%d inherits=%d ceilings=%d",
 		s.Spawns, s.InlineRuns, s.Promotions, s.Parks, s.Resumes, s.Helps, s.Steals, s.Wakes,
-		s.MutexParks, s.RWReadParks, s.RWWriteParks, s.Inherits, s.CeilingViolations)
+		s.MutexParks, s.RWReadParks, s.RWWriteParks, s.RWRevokes, s.Inherits, s.CeilingViolations)
 }

@@ -45,6 +45,21 @@ func (p *Promise[T]) Complete(v T) {
 	p.f.complete(v)
 }
 
+// CompleteQuiet resolves the promise like Complete but defers the
+// worker wake: waiters are requeued (and any worker between its queue
+// scan and its park decision will rescan), but no park-condition
+// broadcast is issued, so a completer draining a batch of ready IO
+// events pays one broadcast per batch instead of one per promise.
+// Every CompleteQuiet batch MUST be followed by a Runtime.Kick — an
+// already-parked worker learns about quiet completions only from it.
+func (p *Promise[T]) CompleteQuiet(v T) {
+	if p.resolved.Swap(true) {
+		panic("icilk: promise resolved twice")
+	}
+	defer p.rt.taskDone()
+	p.f.finish(v, nil, true)
+}
+
 // Fail resolves the promise with an error; touchers re-panic it, so an
 // IO failure propagates along join edges like a task panic. It panics if
 // the promise was already resolved.

@@ -245,6 +245,10 @@ func (rt *Runtime) Outstanding() int64 { return rt.outstanding.Load() }
 // Levels returns the number of priority levels.
 func (rt *Runtime) Levels() int { return rt.cfg.Levels }
 
+// Workers returns the virtual core count P — what sharded stores and
+// striped counters size their shard/stripe arrays from.
+func (rt *Runtime) Workers() int { return rt.cfg.Workers }
+
 // effLevel maps a task priority to a scheduler level: the identity when
 // prioritizing, level 0 in baseline mode.
 func (rt *Runtime) effLevel(p Priority) int {
@@ -373,10 +377,27 @@ func GoSelf[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx, *
 // which can be any goroutine (a worker, a fiber, or an IO timer). A
 // holder that was boosted while parked re-enters at the waiter's level.
 func (rt *Runtime) requeue(t *task) {
-	t.claimed.Store(false)
-	rt.levels[rt.effLevel(t.effPrio())].inject.push(t)
+	rt.requeueQuiet(t)
 	rt.wake()
 }
+
+// requeueQuiet recirculates t like requeue but defers the park-cond
+// broadcast: the wakeSeq bump still cancels any park decision made
+// before the push (the publish/park race stays closed), but a worker
+// that was ALREADY parked is not prodded. A requeueQuiet batch MUST be
+// followed by one wake/Kick, or already-parked workers sleep through
+// the new work — this is the one-broadcast-per-batch half of batched
+// IO completion.
+func (rt *Runtime) requeueQuiet(t *task) {
+	t.claimed.Store(false)
+	rt.levels[rt.effLevel(t.effPrio())].inject.push(t)
+	rt.wakeSeq.Add(1)
+}
+
+// Kick broadcasts to parked workers that work published quietly (e.g.
+// a Promise.CompleteQuiet batch) is ready. Completers call it once per
+// drained batch instead of paying one broadcast per completion.
+func (rt *Runtime) Kick() { rt.wake() }
 
 // run is a worker runner's scheduling loop. The goroutine executes tasks
 // inline on its own stack; when a task first parks, the goroutine hands

@@ -22,6 +22,23 @@ const (
 
 func rwReaders(s int64) int64 { return s >> rwReaderShift }
 
+// BRAVO slot parameters: at most rwSlotMax reader slots per lock (one
+// cache line each), and rwRearmAfter centralized reads after a
+// revocation before the slot fast path is re-enabled — the cooldown
+// that keeps a write-heavy phase from paying a revocation sweep per
+// write.
+const (
+	rwSlotMax    = 32
+	rwRearmAfter = 64
+)
+
+// rwslot is one distributed reader-count slot, padded to a cache line
+// so readers hashed to different slots never contend on one word.
+type rwslot struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
 // RWMutex is a scheduler-aware reader/writer lock with per-mode priority
 // ceilings and priority inheritance into the writer. It is the
 // primitive for read-mostly shared state — caches, session tables,
@@ -48,11 +65,18 @@ func rwReaders(s int64) int64 { return s >> rwReaderShift }
 // the read ceiling, and granting the writer happens the moment the last
 // reader leaves.
 //
-// Fast paths: an uncontended RLock is one CAS on the state word (no
-// writer active or waiting); RUnlock is one atomic add; an uncontended
-// Lock/Unlock is one CAS each, as for Mutex. Blocked acquires of either
-// mode park the task like an unresolved Touch (SchedStats.RWReadParks /
-// RWWriteParks), freeing its worker.
+// Fast paths: while the lock is read-biased (the default), an
+// uncontended RLock publishes into a per-worker slot array (hashed by
+// worker id) instead of CASing the shared state word — BRAVO-style
+// distributed reader counting, so readers on different cores touch
+// different cache lines and the read path scales with cores instead of
+// serializing on one word. A writer revokes the bias (set the wait bit,
+// clear the bias flag, sweep the slots) and readers fall back to the
+// centralized word — one CAS — until rwRearmAfter centralized reads
+// re-enable the bias. RUnlock is one atomic add (or slot decrement); an
+// uncontended Lock/Unlock is one CAS each, as for Mutex. Blocked
+// acquires of either mode park the task like an unresolved Touch
+// (SchedStats.RWReadParks / RWWriteParks), freeing its worker.
 //
 // Grant policy: while a writer waits, newly arriving readers queue
 // instead of joining the running read era, and the drain of a read era
@@ -84,6 +108,22 @@ type RWMutex struct {
 	state  atomic.Int64
 	wowner atomic.Pointer[task]
 
+	// BRAVO distributed reader counting. While rbias is set, RLock
+	// publishes a read hold by incrementing slots[workerID&slotMask] and
+	// re-checking the state word and the bias; the centralized CAS is the
+	// fallback. A writer that needs exclusivity sets rwWait FIRST, then
+	// clears rbias, then sweeps the slots — the ordering that makes a
+	// racing slot reader either visible to the sweep or bounced by its
+	// own post-increment recheck. rearm counts down centralized reads
+	// until the bias is re-enabled. noSlots disables the whole slot path
+	// (the lock experiment's ablation knob); it must be set before the
+	// lock is shared.
+	slots    []rwslot
+	slotMask uint32
+	rbias    atomic.Bool
+	rearm    atomic.Int32
+	noSlots  bool
+
 	// mu guards the waiter lists — slow path only. Both lists are kept
 	// ordered by waitPrio (highest first, FIFO among equals). Whenever
 	// rwWait is set, every acquire and release serializes on mu, so the
@@ -91,6 +131,15 @@ type RWMutex struct {
 	mu       sync.Mutex
 	rwaiters []*task
 	wwaiters []*task
+
+	// drainW (under mu) is a writer that won the acquiring CAS during a
+	// bias-enable race and is parked waiting for the slot readers it
+	// raced with to drain; the last slot reader out requeues it.
+	drainW *task
+
+	// wlRef is the preallocated waitList target waiters publish while
+	// enqueued, so a mid-wait boost can re-sort them (repositionBoosted).
+	wlRef waitListRef
 }
 
 // NewRWMutex creates an RWMutex with the given per-mode ceilings. The
@@ -102,7 +151,24 @@ func NewRWMutex(rt *Runtime, readCeiling, writeCeiling Priority, name string) *R
 		panic(fmt.Sprintf("icilk: NewRWMutex %q: read ceiling %d below write ceiling %d",
 			name, readCeiling, writeCeiling))
 	}
-	return &RWMutex{rt: rt, rceil: readCeiling, wceil: writeCeiling, name: name}
+	n := 1
+	for n < rt.cfg.Workers && n < rwSlotMax {
+		n <<= 1
+	}
+	m := &RWMutex{rt: rt, rceil: readCeiling, wceil: writeCeiling, name: name,
+		slots: make([]rwslot, n), slotMask: uint32(n - 1)}
+	m.wlRef.l = m
+	m.rbias.Store(true)
+	return m
+}
+
+// SetReaderSlots enables or disables the BRAVO slot fast path. With it
+// off, every reader uses the centralized CAS on the state word — the
+// pre-BRAVO behavior the lock experiment compares against. Must be
+// called before the lock is shared between tasks.
+func (m *RWMutex) SetReaderSlots(on bool) {
+	m.noSlots = !on
+	m.rbias.Store(on)
 }
 
 // ReadCeiling returns the ceiling checked against readers.
@@ -126,6 +192,26 @@ func (m *RWMutex) RLock(c *Ctx) {
 		rt.stats.ceilings.Add(1)
 		panic(&PriorityInversionError{Toucher: t.prio, Touched: m.rceil, Primitive: "rwmutex(read)", Name: m.name})
 	}
+	// BRAVO fast path: publish into this worker's slot, then re-check.
+	// Entry is only valid if the state word is still clean AND the bias
+	// is still set after the increment — the state check orders us
+	// against a writer mid-revocation (it dirties the word before
+	// sweeping, so either our increment is visible to its sweep or we
+	// see the dirty word here and undo), and the bias check closes the
+	// window where a completed revocation-plus-release left a clean word
+	// with the bias off (a writer's fast path trusts bias-off to mean
+	// the slots are empty).
+	if m.rbias.Load() {
+		if w := c.g.w; w != nil {
+			sl := &m.slots[uint32(w.id)&m.slotMask]
+			sl.n.Add(1)
+			if m.state.Load()&(rwWriter|rwWait) == 0 && m.rbias.Load() {
+				t.rslots = append(t.rslots, rslotHold{m: m, sl: sl})
+				return
+			}
+			m.slotRelease(sl) // undo; wakes a drain-waiting writer if we were last
+		}
+	}
 	for {
 		s := m.state.Load()
 		if s&(rwWriter|rwWait) != 0 {
@@ -133,9 +219,74 @@ func (m *RWMutex) RLock(c *Ctx) {
 			return
 		}
 		if m.state.CompareAndSwap(s, s+rwReaderInc) {
+			m.maybeRearm()
 			return
 		}
 	}
+}
+
+// maybeRearm re-enables the slot fast path after rwRearmAfter
+// centralized reads found the word write-free — BRAVO's cooldown, by
+// count rather than clock. Called only after a successful centralized
+// read CAS (so the word was clean a moment ago); turning the bias on
+// while a writer is active or arriving is harmless, because slot entry
+// re-checks the state word and the writer fast path re-checks the bias.
+func (m *RWMutex) maybeRearm() {
+	if m.noSlots || m.rbias.Load() {
+		return
+	}
+	if m.rearm.Add(-1) <= 0 {
+		m.rearm.Store(rwRearmAfter)
+		m.rbias.Store(true)
+	}
+}
+
+// slotSum is the distributed reader count. Transient entries from
+// readers about to undo can be included — callers treat a nonzero sum
+// as "readers may hold" and rely on the undo path running slotRelease,
+// which re-triggers the drain check.
+func (m *RWMutex) slotSum() int64 {
+	var n int64
+	for i := range m.slots {
+		n += m.slots[i].n.Load()
+	}
+	return n
+}
+
+// slotRelease drops one slot hold (or undoes a bounced slot entry) and,
+// under writer pressure, runs the drain check that grants or wakes the
+// writer the moment the distributed count reaches zero.
+func (m *RWMutex) slotRelease(sl *rwslot) {
+	if sl.n.Add(-1) < 0 {
+		panic("icilk: RWMutex.RUnlock of an unlocked RWMutex")
+	}
+	if m.state.Load()&(rwWriter|rwWait) != 0 {
+		m.slotDrainCheck()
+	}
+}
+
+// slotDrainCheck re-reads everything under the internal lock after a
+// slot release observed writer pressure: if the distributed count has
+// drained, either wake the drain-parked writer (which already holds the
+// writer bit) or run the ordinary grant pass.
+func (m *RWMutex) slotDrainCheck() {
+	m.mu.Lock()
+	if m.slotSum() != 0 {
+		m.mu.Unlock()
+		return
+	}
+	if dw := m.drainW; dw != nil {
+		m.drainW = nil
+		m.mu.Unlock()
+		m.rt.requeue(dw)
+		return
+	}
+	s := m.state.Load()
+	if s&rwWriter == 0 && rwReaders(s) == 0 && s&rwWait != 0 {
+		m.grantLocked(true) // releases mu
+		return
+	}
+	m.mu.Unlock()
 }
 
 // rlockSlow re-checks under the internal lock (the writer may have just
@@ -199,22 +350,42 @@ func (m *RWMutex) rlockSlow(c *Ctx, t *task, rt *Runtime) {
 			}
 		}
 	}
-	inheritInto(rt, holder, t)
+	boosted := inheritInto(rt, holder, t)
+	t.waitList.Store(&m.wlRef)
 	t.waitPrio = t.effPrio()
 	m.rwaiters = insertByPrio(m.rwaiters, t)
 	m.mu.Unlock()
+	if boosted {
+		repositionBoosted(holder)
+	}
 	rt.stats.rwReadParks.Add(1)
 	g.park(rt, w)
+	t.waitList.Store(nil)
 	if rt.cfg.DetectDeadlocks {
 		t.clearBlockEdge()
 	}
 }
 
-// RUnlock releases a read hold: one atomic add, plus a grant pass when
-// this was the last reader out and waiters are queued.
+// RUnlock releases a read hold: a slot decrement when the hold was
+// published through the BRAVO slot array (the task-private rslots
+// record says which slot, so a task that migrated workers mid-hold
+// still releases the slot it incremented), or one atomic add on the
+// centralized word — plus a grant pass when this was the last reader
+// out and waiters are queued.
 func (m *RWMutex) RUnlock(c *Ctx) {
 	if c == nil {
 		panic("icilk: RWMutex.RUnlock outside task context")
+	}
+	t := c.t
+	for i := len(t.rslots) - 1; i >= 0; i-- {
+		if t.rslots[i].m == m {
+			sl := t.rslots[i].sl
+			copy(t.rslots[i:], t.rslots[i+1:])
+			t.rslots[len(t.rslots)-1] = rslotHold{}
+			t.rslots = t.rslots[:len(t.rslots)-1]
+			m.slotRelease(sl)
+			return
+		}
 	}
 	s := m.state.Add(-rwReaderInc)
 	if rwReaders(s) < 0 {
@@ -232,7 +403,9 @@ func (m *RWMutex) RUnlock(c *Ctx) {
 func (m *RWMutex) runlockSlow() {
 	m.mu.Lock()
 	s := m.state.Load()
-	if s&rwWriter != 0 || rwReaders(s) > 0 || s&rwWait == 0 {
+	if s&rwWriter != 0 || rwReaders(s) > 0 || s&rwWait == 0 || m.slotSum() != 0 {
+		// Slot readers still hold: the last of them re-runs this check
+		// from slotRelease, so bailing here cannot strand the grant.
 		m.mu.Unlock()
 		return
 	}
@@ -258,13 +431,67 @@ func (m *RWMutex) Lock(c *Ctx) {
 		rt.stats.ceilings.Add(1)
 		panic(&PriorityInversionError{Toucher: t.prio, Touched: m.wceil, Primitive: "rwmutex(write)", Name: m.name})
 	}
-	// Fast path: completely free — one CAS.
-	if m.state.CompareAndSwap(0, rwWriter) {
+	// Fast path: completely free and not read-biased — one CAS. With the
+	// bias set, slot readers may hold invisibly to the state word, so the
+	// write acquire must go through the revocation sweep instead. The
+	// post-CAS bias re-check closes the enable race: a concurrent
+	// maybeRearm can set the bias between our load and our CAS, letting a
+	// slot reader in; seeing the bias after winning the CAS means slot
+	// holds are possible and must be revoked and drained before entering.
+	// Seeing it clear means any revocation completed before our CAS (an
+	// in-progress one holds rwWait, which would have failed the CAS) and
+	// drained the slots to zero, and no new slot reader can have entered
+	// against a bias-off lock.
+	if !m.rbias.Load() && m.state.CompareAndSwap(0, rwWriter) {
 		m.wowner.Store(t)
 		t.held = append(t.held, m)
+		if m.rbias.Load() {
+			m.revokeAndDrain(c, t, rt)
+		}
 		return
 	}
 	m.wlockSlow(c, t, rt)
+}
+
+// revokeAndDrain runs bias revocation for a writer that already holds
+// the writer bit (the fast-path enable race): pin releases to the slow
+// path, clear the bias, and if slot readers are still out, park as the
+// drain waiter until the last of them requeues us. The rwWait-then-
+// bias-clear order is what makes a racing slot reader either bounce on
+// its recheck or be counted by our sweep.
+func (m *RWMutex) revokeAndDrain(c *Ctx, t *task, rt *Runtime) {
+	g := c.g
+	g.prepare(t)
+	w := g.w // capture before t becomes resumable; see gctx.park
+	m.mu.Lock()
+	for {
+		s := m.state.Load()
+		if s&rwWait != 0 || m.state.CompareAndSwap(s, s|rwWait) {
+			break
+		}
+	}
+	m.rbias.Store(false)
+	m.rearm.Store(rwRearmAfter)
+	rt.stats.rwRevokes.Add(1)
+	if m.slotSum() == 0 {
+		// Nothing to drain. Clear the wait bit if it is ours alone, so
+		// the release fast path stays a single CAS; with waiters queued
+		// it must stay set for the grant machinery.
+		if len(m.rwaiters) == 0 && len(m.wwaiters) == 0 {
+			for {
+				s := m.state.Load()
+				if m.state.CompareAndSwap(s, s&^rwWait) {
+					break
+				}
+			}
+		}
+		m.mu.Unlock()
+		return
+	}
+	m.drainW = t
+	m.mu.Unlock()
+	rt.stats.rwWriteParks.Add(1)
+	g.park(rt, w)
 }
 
 // wlockSlow re-checks under the internal lock, then enqueues, boosts any
@@ -285,17 +512,28 @@ func (m *RWMutex) wlockSlow(c *Ctx, t *task, rt *Runtime) {
 			break
 		}
 	}
+	// Revoke the reader bias under writer pressure — the standard BRAVO
+	// fallback. rwWait is already set (above), so a slot reader that
+	// raced past the bias check bounces on its state recheck, and one
+	// that made it in is visible to the slotSum reads below; the last
+	// slot reader out re-runs the grant check from slotRelease.
+	if m.rbias.Load() {
+		m.rbias.Store(false)
+		m.rearm.Store(rwRearmAfter)
+		rt.stats.rwRevokes.Add(1)
+	}
 	// Self-grant when fully free. Readers can still drain concurrently
-	// (their RUnlock is a plain add), so CAS until the picture is stable:
-	// the last reader out will find rwWait set and serialize on mu.
-	// When another writer holds, resolve its identity before parking
-	// (same publish-in-flight spin as rlockSlow); when readers hold,
-	// there is no one to boost — read holders are anonymous.
+	// (their RUnlock is a plain add or slot decrement), so CAS until the
+	// picture is stable: the last reader out will find rwWait set and
+	// serialize on mu. When another writer holds, resolve its identity
+	// before parking (same publish-in-flight spin as rlockSlow); when
+	// readers hold, there is no one to boost — read holders are
+	// anonymous.
 	var holder *task
 	for {
 		s := m.state.Load()
 		if s&rwWriter == 0 {
-			if rwReaders(s) > 0 {
+			if rwReaders(s) > 0 || m.slotSum() > 0 {
 				break
 			}
 			if len(m.rwaiters) > 0 || len(m.wwaiters) > 0 {
@@ -330,12 +568,17 @@ func (m *RWMutex) wlockSlow(c *Ctx, t *task, rt *Runtime) {
 			}
 		}
 	}
-	inheritInto(rt, holder, t)
+	boosted := inheritInto(rt, holder, t)
+	t.waitList.Store(&m.wlRef)
 	t.waitPrio = t.effPrio()
 	m.wwaiters = insertByPrio(m.wwaiters, t)
 	m.mu.Unlock()
+	if boosted {
+		repositionBoosted(holder)
+	}
 	rt.stats.rwWriteParks.Add(1)
 	g.park(rt, w)
+	t.waitList.Store(nil)
 	if rt.cfg.DetectDeadlocks {
 		t.clearBlockEdge()
 	}
@@ -438,6 +681,16 @@ func (m *RWMutex) grantLocked(preferWriter bool) {
 // ends there.
 func (m *RWMutex) holderTask() *task { return m.wowner.Load() }
 func (m *RWMutex) lockLabel() string { return m.name }
+
+// repositionWaiter re-sorts t in whichever waiter list holds it after a
+// mid-wait priority boost (see repositionBoosted). A no-op if t was
+// granted concurrently and is on neither list.
+func (m *RWMutex) repositionWaiter(t *task) {
+	m.mu.Lock()
+	m.rwaiters = repositionInList(m.rwaiters, t)
+	m.wwaiters = repositionInList(m.wwaiters, t)
+	m.mu.Unlock()
+}
 
 // maxWaiterPrio reports the highest effective priority among tasks
 // blocked on either mode, or -1 when none — dropBoost's input when the

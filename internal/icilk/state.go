@@ -133,6 +133,69 @@ func (k *Counter) Add(c *Ctx, d int64) int64 {
 	return k.v.Add(d)
 }
 
+// StripedCounter is the accumulator-pattern specialization of Counter
+// for write-hot, read-rare counters (request tallies, hit/miss counts):
+// Add lands on a per-worker, cache-line-padded stripe indexed by the
+// caller's worker id, so concurrent bumpers on different cores never
+// contend on one line; Load sums the stripes. The tradeoff is
+// deliberate — Load costs a short scan and is not a linearizable
+// snapshot (stripes are read one by one), which is exactly the contract
+// stats-page counters need and a sequenced counter does not get to
+// relax. Like Counter, it never blocks or parks, and a nil Ctx marks
+// external access (stripe 0).
+type StripedCounter struct {
+	rt      *Runtime
+	ceiling Priority
+	stripes []rwslot // reuse the padded-counter layout
+	mask    uint32
+}
+
+// NewStripedCounter creates a zeroed StripedCounter with the given
+// ceiling, one stripe per worker (rounded up to a power of two, capped
+// like the RWMutex slot array).
+func NewStripedCounter(rt *Runtime, ceiling Priority) *StripedCounter {
+	n := 1
+	for n < rt.cfg.Workers && n < rwSlotMax {
+		n <<= 1
+	}
+	return &StripedCounter{rt: rt, ceiling: ceiling,
+		stripes: make([]rwslot, n), mask: uint32(n - 1)}
+}
+
+// Ceiling returns the StripedCounter's priority ceiling.
+func (k *StripedCounter) Ceiling() Priority { return k.ceiling }
+
+func (k *StripedCounter) check(c *Ctx) {
+	if c == nil {
+		return
+	}
+	if k.rt.cfg.CheckInversions && c.t.prio > k.ceiling {
+		k.rt.stats.ceilings.Add(1)
+		panic(&PriorityInversionError{Toucher: c.t.prio, Touched: k.ceiling, Primitive: "counter"})
+	}
+}
+
+// Add adds d on the calling worker's stripe.
+func (k *StripedCounter) Add(c *Ctx, d int64) {
+	k.check(c)
+	i := uint32(0)
+	if c != nil {
+		i = uint32(c.WorkerID()) & k.mask
+	}
+	k.stripes[i].n.Add(d)
+}
+
+// Load sums the stripes. Concurrent Adds may or may not be included;
+// the value is exact once bumpers quiesce.
+func (k *StripedCounter) Load(c *Ctx) int64 {
+	k.check(c)
+	var n int64
+	for i := range k.stripes {
+		n += k.stripes[i].n.Load()
+	}
+	return n
+}
+
 // Mutex state-word bits. The word carries the locked bit and the count
 // of registered waiters; because a waiter can only register its count
 // against a locked word (the increment CAS re-reads the locked bit), a
@@ -195,12 +258,27 @@ type Mutex struct {
 	// pops the head instead of scanning.
 	mu      sync.Mutex
 	waiters []*task
+
+	// wlRef is the preallocated waitList target waiters publish while
+	// enqueued, so a mid-wait boost can re-sort them (repositionBoosted).
+	wlRef waitListRef
 }
 
 // NewMutex creates a Mutex with the given ceiling. The name identifies
 // the lock in ceiling-violation errors and diagnostics.
 func NewMutex(rt *Runtime, ceiling Priority, name string) *Mutex {
-	return &Mutex{rt: rt, ceiling: ceiling, name: name}
+	m := &Mutex{rt: rt, ceiling: ceiling, name: name}
+	m.wlRef.l = m
+	return m
+}
+
+// repositionWaiter re-sorts t in the waiter list after a mid-wait
+// priority boost (see repositionBoosted). A no-op if t was granted
+// concurrently and is no longer queued.
+func (m *Mutex) repositionWaiter(t *task) {
+	m.mu.Lock()
+	m.waiters = repositionInList(m.waiters, t)
+	m.mu.Unlock()
 }
 
 // Ceiling returns the Mutex's priority ceiling.
@@ -303,12 +381,17 @@ func (m *Mutex) lockSlow(c *Ctx, t *task, rt *Runtime) {
 			panic(cyc)
 		}
 	}
-	inheritInto(rt, holder, t)
+	boosted := inheritInto(rt, holder, t)
+	t.waitList.Store(&m.wlRef)
 	t.waitPrio = t.effPrio()
 	m.waiters = insertByPrio(m.waiters, t)
 	m.mu.Unlock()
+	if boosted {
+		repositionBoosted(holder)
+	}
 	rt.stats.mutexParks.Add(1)
 	g.park(rt, w)
+	t.waitList.Store(nil)
 	if rt.cfg.DetectDeadlocks {
 		t.clearBlockEdge()
 	}
@@ -324,14 +407,67 @@ func (m *Mutex) lockSlow(c *Ctx, t *task, rt *Runtime) {
 // claim arbitrates: whichever entry is popped first runs the holder,
 // the other is dropped. If the holder is running or parked the
 // duplicate dies harmlessly (its claim fails), and the boost takes
-// effect at the next requeue.
-func inheritInto(rt *Runtime, holder, waiter *task) {
+// effect at the next requeue. Returns whether the boost actually rose;
+// the caller then runs repositionBoosted AFTER releasing its own
+// internal lock (taking another lock's mu from under this one could
+// deadlock against a crossed inheritance in the other direction).
+func inheritInto(rt *Runtime, holder, waiter *task) bool {
 	if holder == nil || !rt.cfg.Inherit || !holder.raiseBoost(waiter.effPrio()) {
-		return
+		return false
 	}
 	rt.stats.inherits.Add(1)
 	rt.levels[rt.effLevel(holder.effPrio())].inject.push(holder)
 	rt.wake()
+	return true
+}
+
+// prioWaitList is a lock that keeps a priority-ordered waiter list and
+// can re-sort one entry after a mid-wait boost.
+type prioWaitList interface {
+	repositionWaiter(t *task)
+}
+
+// waitListRef wraps a prioWaitList so tasks can publish it through an
+// atomic.Pointer (which needs a concrete type). Each lock preallocates
+// one, so the publish never allocates.
+type waitListRef struct{ l prioWaitList }
+
+// repositionBoosted re-sorts a just-boosted holder in the waiter list
+// it is itself enqueued on, if any — the nested-blocking shape where H
+// holds lock A, waits on lock B, and a high-priority waiter arrives on
+// A: without the re-sort, H would stay queued on B at its stale
+// enqueue-time priority and the boost would not shorten the chain.
+// Callers must hold no lock-internal mutex. Benign races: if H was
+// granted concurrently the scan finds nothing; if H re-enqueued
+// elsewhere it did so with its boosted priority already applied, and
+// the re-sort is a no-op.
+func repositionBoosted(holder *task) {
+	if holder == nil {
+		return
+	}
+	if ref := holder.waitList.Load(); ref != nil {
+		ref.l.repositionWaiter(holder)
+	}
+}
+
+// repositionInList re-sorts t within one waiter list if its effective
+// priority rose past its enqueue-time sort key. Caller holds the list's
+// internal mutex (which is also what makes the waitPrio write safe).
+func repositionInList(ws []*task, t *task) []*task {
+	for i, wt := range ws {
+		if wt != t {
+			continue
+		}
+		np := t.effPrio()
+		if np <= t.waitPrio {
+			return ws
+		}
+		copy(ws[i:], ws[i+1:])
+		ws = ws[:len(ws)-1]
+		t.waitPrio = np
+		return insertByPrio(ws, t)
+	}
+	return ws
 }
 
 // insertByPrio inserts t into a waiter list kept ordered by waitPrio,
@@ -339,10 +475,9 @@ func inheritInto(rt *Runtime, holder, waiter *task) {
 // lower slot, shift, place. Handoff then pops the head in O(1) instead
 // of scanning the whole list per Unlock.
 //
-// waitPrio is the waiter's effective priority at enqueue time. A boost
-// arriving while the task is already queued does not reorder the list —
-// the same one-edge-at-blocking-time propagation limit the inheritance
-// machinery has (see ARCHITECTURE.md).
+// waitPrio is the waiter's effective priority at enqueue time; a boost
+// arriving while the task is already queued re-sorts the entry through
+// repositionBoosted.
 func insertByPrio(ws []*task, t *task) []*task {
 	i := sort.Search(len(ws), func(i int) bool { return ws[i].waitPrio < t.waitPrio })
 	ws = append(ws, nil)

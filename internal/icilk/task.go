@@ -73,10 +73,30 @@ type task struct {
 	held []heldLock
 
 	// waitPrio is the task's effective priority at the moment it was
-	// enqueued on a lock's waiter list — the (stable) sort key of the
+	// enqueued on a lock's waiter list — the sort key of the
 	// priority-ordered list. Written under the owning lock's internal
-	// mutex; a task waits on at most one lock at a time.
+	// mutex (at enqueue and by repositionWaiter when a mid-wait boost
+	// re-sorts the entry); a task waits on at most one lock at a time.
 	waitPrio Priority
+
+	// waitList publishes the lock whose waiter list this task is
+	// currently enqueued on. It is stored (before waitPrio is computed)
+	// ahead of the insert and cleared after the park resumes, so a
+	// booster that raised this task's priority mid-wait can re-sort the
+	// entry under that lock's own internal mutex (see repositionBoosted).
+	waitList atomic.Pointer[waitListRef]
+
+	// rslots records BRAVO slot read holds (RWMutex) so RUnlock can
+	// release the exact slot the acquire published into, even if the
+	// task migrated workers while holding. Task-private, like held.
+	rslots []rslotHold
+}
+
+// rslotHold is one slot-path read hold: the lock and the slot counter
+// the acquire incremented.
+type rslotHold struct {
+	m  *RWMutex
+	sl *rwslot
 }
 
 // heldLock is a lock a task can hold and be boosted through: Mutex and
@@ -245,6 +265,19 @@ func (c *Ctx) Priority() Priority { return c.t.prio }
 
 // Runtime returns the runtime executing this task.
 func (c *Ctx) Runtime() *Runtime { return c.t.rt }
+
+// WorkerID returns the id of the worker slot currently executing this
+// task, in [0, Config.Workers). It is a placement hint — the task can
+// be on a different worker after its next park — which is exactly what
+// striped counters and sharded stores need: any stable-ish index that
+// spreads concurrent writers across cache lines. Returns 0 when the
+// worker identity is momentarily unavailable.
+func (c *Ctx) WorkerID() int {
+	if w := c.g.w; w != nil {
+		return w.id
+	}
+	return 0
+}
 
 // Yield returns the slot to the scheduler unconditionally; the task is
 // requeued at its level and resumes when scheduled again. Long-running

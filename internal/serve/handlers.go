@@ -204,17 +204,9 @@ func (s *Server) statsBody(c *icilk.Ctx) string {
 	fmt.Fprintf(&b, "write errors: %d\n", s.writeErrs.Load())
 	fmt.Fprintf(&b, "proxy cache: %d hits, %d misses\n",
 		s.proxy.Hits.Load(c), s.proxy.Misses.Load(c))
-	s.rcacheMu.RLock(c)
-	rcacheLen := len(s.rcache)
-	s.rcacheMu.RUnlock(c)
 	fmt.Fprintf(&b, "response cache: %d entries, %d hits\n",
-		rcacheLen, s.rcacheHits.Load(c))
-	s.sessMu.RLock(c)
-	sessN, sessReqs := len(s.sessions), int64(0)
-	for _, sess := range s.sessions {
-		sessReqs += sess.requests
-	}
-	s.sessMu.RUnlock(c)
+		s.rcache.entries(c), s.rcacheHits.Load(c))
+	sessN, sessReqs := s.sess.counts(c)
 	fmt.Fprintf(&b, "sessions: %d tracked, %d requests\n", sessN, sessReqs)
 	admitted := s.Admitted(c)
 	classes := make([]string, 0, len(admitted))

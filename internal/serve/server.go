@@ -184,24 +184,35 @@ type Server struct {
 	writeErrs atomic.Int64
 	shutdown  atomic.Bool
 
-	// Scheduler-visible shared state, RWMutex ceilings derived from the
-	// admission table (derivedCeiling: the max priority among each
-	// store's declared accessor classes — PrioInteractive for all three
-	// today, recomputed automatically if a class moves). admitted is the
-	// per-class admission table; sessions tracks client sessions (keyed
-	// by the sid query parameter, falling back to the remote host);
-	// rcache caches whole response bodies for idempotent endpoints, with
-	// its hit count in a Counter. All three are read-mostly from the
-	// serving path's point of view (every /proxy hit is an rcache read,
-	// every /stats a scan), so reader/writer locks keep concurrent
-	// lookups from serializing. All three surface in /stats.
-	admitMu    *icilk.RWMutex
-	admitted   map[string]int64
-	sessMu     *icilk.RWMutex
-	sessions   map[string]*session
-	rcacheMu   *icilk.RWMutex
-	rcache     map[string]string
-	rcacheHits *icilk.Counter
+	// Scheduler-visible shared state, sharded per shards.go: admits is
+	// the worker-striped per-class admission table; sess tracks client
+	// sessions (keyed by the sid query parameter, falling back to the
+	// remote host) in key-hash shards; rcache caches whole response
+	// bodies for idempotent endpoints in key-hash shards, with its hit
+	// count in a worker-striped counter. Each shard sits behind its own
+	// RWMutex whose ceilings derive from the admission table
+	// (derivedCeiling: the max priority among each store's declared
+	// accessor classes — PrioInteractive for all three today, recomputed
+	// automatically if a class moves). All three surface in /stats,
+	// merged across shards at read time.
+	admits     *admitTable
+	sess       *sessionStore
+	rcache     *responseCache
+	rcacheHits *icilk.StripedCounter
+
+	// writeDone is the completed-write feed: writer goroutines report
+	// finished socket writes here, and the completer goroutine drains it
+	// in batches, resolving each write promise quietly and issuing one
+	// scheduler kick per batch instead of one broadcast per response.
+	writeDone chan written
+	compWG    sync.WaitGroup
+}
+
+// written is one finished socket write: the promise its handler parks
+// on, and the byte count to complete it with (-1 on error).
+type written struct {
+	pr *icilk.Promise[int]
+	n  int
 }
 
 // session is one tracked client session.
@@ -211,15 +222,15 @@ type session struct {
 	lastSeen time.Time
 }
 
-// maxResponseCache bounds the response cache; on overflow the whole
-// cache is dropped (the workloads' key spaces are small, so anything
-// smarter would never trigger).
+// maxResponseCache bounds the response cache across all shards; a shard
+// at its share of the cap drops itself on overflow (the workloads' key
+// spaces are small, so anything smarter would never trigger).
 const maxResponseCache = 4096
 
-// maxSessions bounds the session store; at the cap, inserting a new
-// session evicts the least-recently-seen one, so connection churn
-// (every sid-less connection is its own session) cannot grow the map
-// without bound.
+// maxSessions bounds the session store across all shards; a shard at
+// its share of the cap evicts its least-recently-seen session on
+// insert, so connection churn (every sid-less connection is its own
+// session) cannot grow the maps without bound.
 const maxSessions = 4096
 
 // writeOp is one response write, executed on its own writer goroutine;
@@ -266,9 +277,7 @@ func Start(cfg Config) (*Server, error) {
 		Levels:     Levels,
 		Prioritize: !cfg.Baseline,
 	})
-	admitCeil := derivedCeiling("serve.admitted")
-	sessCeil := derivedCeiling("serve.sessions")
-	rcacheCeil := derivedCeiling("serve.rcache")
+	nshards := shardCount(cfg.Workers)
 	s := &Server{
 		cfg:        cfg,
 		rt:         rt,
@@ -278,14 +287,14 @@ func Start(cfg Config) (*Server, error) {
 		email:      email.NewServer(rt, email.Config{Users: cfg.Users, Seed: cfg.Seed}),
 		start:      time.Now(),
 		conns:      map[*sconn]struct{}{},
-		admitMu:    icilk.NewRWMutex(rt, admitCeil, admitCeil, "serve.admitted"),
-		admitted:   map[string]int64{},
-		sessMu:     icilk.NewRWMutex(rt, sessCeil, sessCeil, "serve.sessions"),
-		sessions:   map[string]*session{},
-		rcacheMu:   icilk.NewRWMutex(rt, rcacheCeil, rcacheCeil, "serve.rcache"),
-		rcache:     map[string]string{},
-		rcacheHits: icilk.NewCounter(rt, rcacheCeil),
+		admits:     newAdmitTable(rt, nshards),
+		sess:       newSessionStore(rt, nshards),
+		rcache:     newResponseCache(rt, nshards),
+		rcacheHits: icilk.NewStripedCounter(rt, derivedCeiling("serve.rcache")),
+		writeDone:  make(chan written, 256),
 	}
+	s.compWG.Add(1)
+	go s.completer()
 	s.connWG.Add(1)
 	go s.acceptor()
 	return s, nil
@@ -382,46 +391,80 @@ func (s *Server) dropConn(cn *sconn) {
 	s.connMu.Unlock()
 }
 
-// nextRequest returns a future for cn's next request: already-buffered
-// requests resolve immediately; otherwise the reader completes the
-// promise when bytes arrive, and the event loop parks in between —
-// freeing its worker for exactly as long as the client takes.
-func (s *Server) nextRequest(cn *sconn) *icilk.Future[*request] {
+// nextBatch drains every already-buffered request on cn into buf —
+// batched admission: the event loop admits a pipelined burst in one
+// wakeup instead of one park/resume round-trip per request. With
+// nothing buffered it registers a promise and returns a future for the
+// reader to complete; the event loop parks on it, freeing its worker
+// for exactly as long as the client takes. A closed connection returns
+// an empty batch and a nil future.
+func (s *Server) nextBatch(cn *sconn, buf []*request) ([]*request, *icilk.Future[*request]) {
 	cn.mu.Lock()
 	// Closed beats buffered: no one can read the responses, so buffered
 	// requests on a dead connection are dropped, not executed.
 	if cn.closed {
 		cn.queue = nil
 		cn.mu.Unlock()
-		return icilk.Completed[*request](PrioInteractive, nil)
+		return buf, nil
 	}
 	if len(cn.queue) > 0 {
-		req := cn.queue[0]
-		cn.queue = cn.queue[1:]
+		buf = append(buf, cn.queue...)
+		cn.queue = cn.queue[:0]
 		cn.mu.Unlock()
-		return icilk.Completed(PrioInteractive, req)
+		return buf, nil
 	}
 	pr := icilk.NewPromise[*request](s.rt, PrioInteractive)
 	cn.pending = pr
 	cn.mu.Unlock()
-	return pr.Future()
+	return buf, pr.Future()
+}
+
+// drainQueued appends cn's buffered requests to buf without registering
+// a promise — the post-wakeup sweep that turns a pipelined burst into
+// one batch.
+func (s *Server) drainQueued(cn *sconn, buf []*request) []*request {
+	cn.mu.Lock()
+	if cn.closed {
+		cn.queue = nil
+	} else if len(cn.queue) > 0 {
+		buf = append(buf, cn.queue...)
+		cn.queue = cn.queue[:0]
+	}
+	cn.mu.Unlock()
+	return buf
 }
 
 // eventLoop spawns cn's per-connection event loop: a top-priority task
-// that touches the next-request IO future, admits the request to a
-// priority class, dispatches the handler at that class's level, and
-// loops. It is the network analogue of the case studies' event loops.
+// that drains the connection's buffered requests in one batch per
+// wakeup, admits each to a priority class, dispatches the handlers at
+// their classes' levels, and loops. It is the network analogue of the
+// case studies' event loops. Dispatch order within a batch is queue
+// order, so the response-order token chain sees the same sequence a
+// one-at-a-time loop would.
 func (s *Server) eventLoop(cn *sconn) {
 	icilk.Go(s.rt, nil, classPrio("conn-loop"), "conn-loop", func(c *icilk.Ctx) int {
 		n := 0
+		var batch []*request
 		for {
-			req := s.nextRequest(cn).Touch(c)
-			if req == nil {
-				return n
+			var fut *icilk.Future[*request]
+			batch, fut = s.nextBatch(cn, batch[:0])
+			if fut != nil {
+				req := fut.Touch(c)
+				if req == nil {
+					return n
+				}
+				batch = append(batch, req)
+				// Pick up anything that was pipelined behind the request
+				// that woke us, so the whole burst is admitted this wakeup.
+				batch = s.drainQueued(cn, batch)
+			} else if len(batch) == 0 {
+				return n // connection closed
 			}
-			n++
-			s.requests.Add(1)
-			s.dispatch(c, cn, req)
+			for _, req := range batch {
+				n++
+				s.requests.Add(1)
+				s.dispatch(c, cn, req)
+			}
 			c.Checkpoint()
 		}
 	})
@@ -446,44 +489,72 @@ func (s *Server) respond(c *icilk.Ctx, cn *sconn, prio icilk.Priority, class str
 // promise) forever.
 const writeStall = 30 * time.Second
 
-// write performs one blocking socket write, then completes the promise
-// (with the byte count, or -1 on error), resuming the parked handler.
-// It runs on its own goroutine — blocking here parks the goroutine in
-// the netpoller, never an icilk worker. A failed or stalled write means
-// the byte stream is dead or desynced, so the connection is dropped —
-// unblocking its reader, which in turn winds down the event loop and
-// any buffered requests.
+// write performs one blocking socket write, then reports the result
+// (byte count, or -1 on error) to the completer, which resolves the
+// promise and resumes the parked handler. It runs on its own goroutine
+// — blocking here parks the goroutine in the netpoller, never an icilk
+// worker. A failed or stalled write means the byte stream is dead or
+// desynced, so the connection is dropped — unblocking its reader, which
+// in turn winds down the event loop and any buffered requests.
 func (s *Server) write(op writeOp) {
 	defer s.writeWG.Done()
 	op.cn.c.SetWriteDeadline(time.Now().Add(writeStall))
 	_, err := op.cn.c.Write(op.data)
+	n := len(op.data)
 	if err != nil {
 		s.dropConn(op.cn)
-		op.pr.Complete(-1)
-		return
+		n = -1
 	}
-	op.pr.Complete(len(op.data))
+	s.writeDone <- written{pr: op.pr, n: n}
+}
+
+// completer is the batched event-completion side of the socket layer:
+// it drains every write result available at each wakeup, resolves the
+// promises quietly, and issues a single scheduler kick for the whole
+// batch — under a response burst, N handler resumes cost one
+// park-condition broadcast instead of N. It exits when Shutdown closes
+// writeDone (after the last writer has reported).
+func (s *Server) completer() {
+	defer s.compWG.Done()
+	var batch []written
+	for first := range s.writeDone {
+		batch = append(batch[:0], first)
+		open := true
+	drain:
+		for {
+			select {
+			case wd, ok := <-s.writeDone:
+				if !ok {
+					open = false
+					break drain
+				}
+				batch = append(batch, wd)
+			default:
+				break drain
+			}
+		}
+		for _, wd := range batch {
+			wd.pr.CompleteQuiet(wd.n)
+		}
+		s.rt.Kick()
+		if !open {
+			return
+		}
+	}
 }
 
 // countAdmit records one admission into class (served by /stats). It
-// runs in the event-loop task, so the admission table's Mutex sees the
-// true accessor priority.
+// runs in the event-loop task, so the admission table's stripe lock
+// sees the true accessor priority; the stripe is the calling worker's,
+// so concurrent event loops never contend here.
 func (s *Server) countAdmit(c *icilk.Ctx, class string) {
-	s.admitMu.Lock(c)
-	s.admitted[class]++
-	s.admitMu.Unlock(c)
+	s.admits.add(c, class)
 }
 
-// Admitted returns a copy of the per-class admission counters, read
-// under the table's read lock from the calling task.
+// Admitted returns the per-class admission counters, merged across the
+// worker stripes under their read locks from the calling task.
 func (s *Server) Admitted(c *icilk.Ctx) map[string]int64 {
-	s.admitMu.RLock(c)
-	defer s.admitMu.RUnlock(c)
-	out := make(map[string]int64, len(s.admitted))
-	for k, v := range s.admitted {
-		out[k] = v
-	}
-	return out
+	return s.admits.merged(c)
 }
 
 // trackSession updates the session store for one admitted request. The
@@ -498,35 +569,14 @@ func (s *Server) trackSession(c *icilk.Ctx, cn *sconn, req *request) {
 			key = host
 		}
 	}
-	s.sessMu.Lock(c)
-	sess := s.sessions[key]
-	if sess == nil {
-		if len(s.sessions) >= maxSessions {
-			// Evict the least-recently-seen session.
-			var oldKey string
-			var oldSeen time.Time
-			for k, v := range s.sessions {
-				if oldKey == "" || v.lastSeen.Before(oldSeen) {
-					oldKey, oldSeen = k, v.lastSeen
-				}
-			}
-			delete(s.sessions, oldKey)
-		}
-		sess = &session{}
-		s.sessions[key] = sess
-	}
-	sess.requests++
-	sess.lastPath = req.path
-	sess.lastSeen = time.Now()
-	s.sessMu.Unlock(c)
+	s.sess.track(c, key, req.path)
 }
 
-// cachedResponse consults the shared response cache — a read lock, so
-// concurrent handlers replaying cached bodies never serialize.
+// cachedResponse consults the shared response cache — a read lock on
+// the key's shard, so concurrent handlers replaying cached bodies never
+// serialize, even across different keys.
 func (s *Server) cachedResponse(c *icilk.Ctx, key string) (string, bool) {
-	s.rcacheMu.RLock(c)
-	body, ok := s.rcache[key]
-	s.rcacheMu.RUnlock(c)
+	body, ok := s.rcache.get(c, key)
 	if ok {
 		s.rcacheHits.Add(c, 1)
 	}
@@ -536,12 +586,7 @@ func (s *Server) cachedResponse(c *icilk.Ctx, key string) (string, bool) {
 // storeResponse fills the shared response cache. Only deterministic,
 // side-effect-free response bodies belong here.
 func (s *Server) storeResponse(c *icilk.Ctx, key, body string) {
-	s.rcacheMu.Lock(c)
-	if len(s.rcache) >= maxResponseCache {
-		s.rcache = map[string]string{}
-	}
-	s.rcache[key] = body
-	s.rcacheMu.Unlock(c)
+	s.rcache.put(c, key, body)
 }
 
 // Shutdown stops accepting, closes every connection, drains in-flight
@@ -561,8 +606,12 @@ func (s *Server) Shutdown() error {
 	if err == nil {
 		// A drained runtime guarantees no handler will start another
 		// write; on timeout any straggling writers die with the process
-		// instead of racing a late Add against this Wait.
+		// instead of racing a late Add against this Wait. Only after the
+		// last writer has reported may writeDone close, which in turn
+		// winds down the completer.
 		s.writeWG.Wait()
+		close(s.writeDone)
+		s.compWG.Wait()
 	}
 	s.rt.Shutdown()
 	if err != nil {
