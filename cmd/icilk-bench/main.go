@@ -295,11 +295,15 @@ func ablations(cfg experiments.EvalConfig) any {
 
 // stateRatio is the headline number of the state experiment: the
 // uninherited p99 over the inherited p99 (higher = inheritance wins),
+// the same ratio for the three-lock chained-contention variant (where
+// the rescue needs transitive propagation, not just a direct boost),
 // plus the sharded-store throughput sweep.
 type stateRatio struct {
-	Points   []experiments.StatePoint `json:"points"`
-	P99Ratio float64                  `json:"p99_ratio_off_over_on"`
-	Sharding []experiments.ShardPoint `json:"sharding"`
+	Points        []experiments.StatePoint `json:"points"`
+	P99Ratio      float64                  `json:"p99_ratio_off_over_on"`
+	ChainPoints   []experiments.ChainPoint `json:"chain_points"`
+	ChainP99Ratio float64                  `json:"chain_p99_ratio_off_over_on"`
+	Sharding      []experiments.ShardPoint `json:"sharding"`
 }
 
 func state(cfg experiments.EvalConfig) any {
@@ -331,6 +335,31 @@ func state(cfg experiments.EvalConfig) any {
 	if onP99 > 0 {
 		out.P99Ratio = float64(offP99) / float64(onP99)
 		fmt.Printf("p99 ratio (inheritance off / on): %.2fx\n", out.P99Ratio)
+	}
+	fmt.Println("three-lock chain (A->B->C holders, tail parked on IO; probes lock A):")
+	out.ChainPoints = experiments.ChainContention(cfg)
+	fmt.Printf("%-12s %7s %10s %10s %10s %10s %9s %11s\n",
+		"inheritance", "probes", "p50", "p95", "p99", "max", "inherits", "transboosts")
+	var chainOnP99, chainOffP99 time.Duration
+	for _, pt := range out.ChainPoints {
+		mode := "on"
+		if !pt.Inherit {
+			mode = "off"
+		}
+		if pt.Inherit {
+			chainOnP99 = pt.Probe.P99
+		} else {
+			chainOffP99 = pt.Probe.P99
+		}
+		fmt.Printf("%-12s %7d %10v %10v %10v %10v %9d %11d\n",
+			mode, pt.Probe.Count,
+			pt.Probe.P50.Round(time.Microsecond), pt.Probe.P95.Round(time.Microsecond),
+			pt.Probe.P99.Round(time.Microsecond), pt.Probe.Max.Round(time.Microsecond),
+			pt.Stats.Inherits, pt.Stats.TransitiveBoosts)
+	}
+	if chainOnP99 > 0 {
+		out.ChainP99Ratio = float64(chainOffP99) / float64(chainOnP99)
+		fmt.Printf("chain p99 ratio (inheritance off / on): %.2fx\n", out.ChainP99Ratio)
 	}
 	out.Sharding = experiments.ShardScaling(cfg)
 	fmt.Println("sharded-store scaling (3 reads per write, key-hashed shards):")

@@ -157,6 +157,179 @@ func stateRun(cfg EvalConfig, inherit bool) StatePoint {
 	}
 }
 
+// ChainPoint is one run of the chained-contention experiment: like
+// StatePoint, but the probe's lock is the head of a three-lock chain —
+// the holder of A is itself blocked on B, whose holder is blocked on C,
+// whose holder is parked on IO. Rescuing the probe requires boosting
+// the WHOLE chain: TransitiveBoosts counts the onward hops past the
+// direct holder, and is nonzero exactly when chain propagation fired.
+type ChainPoint struct {
+	Inherit bool             `json:"inherit"`
+	Probe   stats.Summary    `json:"probe_latency"`
+	Stats   icilk.SchedStats `json:"sched_stats"`
+}
+
+// ChainContention measures what TRANSITIVE priority inheritance buys
+// over direct (one-hop) inheritance. Three Mutexes A, B, C (ceiling 1)
+// are held in a chain by three self-respawning low-priority tasks:
+//
+//   - the C task locks C, parks on a short IO future while holding it,
+//     and unlocks — the tail holder, two waitingOn edges away from A;
+//   - the B task locks B then blocks acquiring C;
+//   - the A task locks A then blocks acquiring B;
+//   - background low-priority tasks keep the level-0 injection queue
+//     tens of milliseconds deep; and
+//   - high-priority probes, one every 5ms, lock A and unlock.
+//
+// When a probe blocks on A, boosting only A's holder is useless — it is
+// asleep on B's waiter list. The probe's priority must chain along the
+// published waitingOn edges (A's holder → B's holder → C's holder) so
+// that the one task that can actually make progress — C's holder, due
+// to requeue when its IO completes — lands at the probe's level instead
+// of behind the backlog. With DisableInheritance the whole chain drains
+// at level 0 and the probe's tail eats the backlog once per link.
+//
+// Single worker for the same reason as StateContention: the inversion
+// is a queueing phenomenon and one worker keeps it exact.
+func ChainContention(cfg EvalConfig) []ChainPoint {
+	cfg = cfg.withDefaults()
+	var out []ChainPoint
+	for _, inherit := range []bool{true, false} {
+		out = append(out, chainRun(cfg, inherit))
+	}
+	return out
+}
+
+func chainRun(cfg EvalConfig, inherit bool) ChainPoint {
+	rt := icilk.New(icilk.Config{
+		Workers:            1,
+		Levels:             2,
+		Prioritize:         true,
+		DisableInheritance: !inherit,
+		DisableMetrics:     true,
+	})
+	defer rt.Shutdown()
+	A := icilk.NewMutex(rt, 1, "chain.A")
+	B := icilk.NewMutex(rt, 1, "chain.B")
+	C := icilk.NewMutex(rt, 1, "chain.C")
+
+	var stop atomic.Bool
+
+	// Tail holder: the only link that holds across an IO park. Its
+	// requeue after the park is the event inheritance must re-level.
+	var cTask func(c *icilk.Ctx) int
+	cTask = func(c *icilk.Ctx) int {
+		if stop.Load() {
+			return 0
+		}
+		C.Lock(c)
+		stateSpin(20 * time.Microsecond)
+		icilk.IO(rt, 0, 200*time.Microsecond, func() int { return 0 }).Touch(c)
+		stateSpin(20 * time.Microsecond)
+		C.Unlock(c)
+		icilk.Go(rt, c, 0, "chain-c", cTask)
+		return 0
+	}
+	// Middle link: holds B while blocked on C, publishing the B→C
+	// waitingOn edge the propagation walks.
+	var bTask func(c *icilk.Ctx) int
+	bTask = func(c *icilk.Ctx) int {
+		if stop.Load() {
+			return 0
+		}
+		B.Lock(c)
+		C.Lock(c)
+		stateSpin(5 * time.Microsecond)
+		C.Unlock(c)
+		B.Unlock(c)
+		icilk.Go(rt, c, 0, "chain-b", bTask)
+		return 0
+	}
+	// Head link: holds A while blocked on B — the direct holder a
+	// probe's boost lands on first.
+	var aTask func(c *icilk.Ctx) int
+	aTask = func(c *icilk.Ctx) int {
+		if stop.Load() {
+			return 0
+		}
+		A.Lock(c)
+		B.Lock(c)
+		stateSpin(5 * time.Microsecond)
+		B.Unlock(c)
+		A.Unlock(c)
+		icilk.Go(rt, c, 0, "chain-a", aTask)
+		return 0
+	}
+	icilk.Go(rt, nil, 0, "chain-c", cTask)
+	icilk.Go(rt, nil, 0, "chain-b", bTask)
+	icilk.Go(rt, nil, 0, "chain-a", aTask)
+
+	// Background saturation (level 0): identical to stateRun — the queue
+	// each unboosted chain link must wait out, once per link.
+	const bgTarget, bgSpin = 256, 200 * time.Microsecond
+	var outstanding atomic.Int64
+	bgStop := make(chan struct{})
+	var bgWG sync.WaitGroup
+	bgWG.Add(1)
+	go func() {
+		defer bgWG.Done()
+		tick := time.NewTicker(time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-bgStop:
+				return
+			case <-tick.C:
+				for outstanding.Load() < bgTarget {
+					outstanding.Add(1)
+					icilk.Go(rt, nil, 0, "chain-bg", func(c *icilk.Ctx) int {
+						stateSpin(bgSpin)
+						outstanding.Add(-1)
+						return 0
+					})
+				}
+			}
+		}
+	}()
+
+	// Probes (level 1): lock the chain head.
+	var (
+		resMu     sync.Mutex
+		latencies []time.Duration
+	)
+	var probeWG sync.WaitGroup
+	probeEnd := time.Now().Add(cfg.Duration)
+	for time.Now().Before(probeEnd) {
+		t0 := time.Now()
+		probeWG.Add(1)
+		icilk.Go(rt, nil, 1, "chain-probe", func(c *icilk.Ctx) int {
+			defer probeWG.Done()
+			A.Lock(c)
+			stateSpin(5 * time.Microsecond)
+			A.Unlock(c)
+			resMu.Lock()
+			latencies = append(latencies, time.Since(t0))
+			resMu.Unlock()
+			return 0
+		})
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	stop.Store(true)
+	close(bgStop)
+	bgWG.Wait()
+	probeWG.Wait()
+	_ = rt.WaitIdle(60 * time.Second)
+
+	resMu.Lock()
+	defer resMu.Unlock()
+	return ChainPoint{
+		Inherit: inherit,
+		Probe:   stats.Summarize(latencies),
+		Stats:   rt.Stats(),
+	}
+}
+
 // ShardPoint is one shard count of the sharded-store sweep: total
 // mixed read/write throughput over a key-addressed table split into
 // Shards key-hash shards, each behind its own ceilinged RWMutex — the

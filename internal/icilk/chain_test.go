@@ -1,0 +1,283 @@
+package icilk
+
+import (
+	"testing"
+	"time"
+)
+
+// waitStat polls a counter until it reaches want — the deterministic
+// sequencing idiom of the inheritance tests: a park is visible in the
+// stats only after the task is fully registered on the waiter list, so
+// "counter reached N" means "the Nth waiter is enqueued and its
+// blocked-on edge is published".
+func waitStat(t *testing.T, what string, get func() int64, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for get() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("%s never reached %d (at %d)", what, want, get())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestTransitiveInheritanceMutexChain builds the deterministic 3-lock
+// chain A→B→C: tailC holds C and parks on IO (a gate promise); midB
+// holds B and blocks on C; midA holds A and blocks on B; then a
+// priority-1 task blocks on A. One-hop inheritance boosts only midA —
+// the chain's entry — while the task actually gating everything (tailC)
+// would stay at priority 0. Transitive propagation must chain the boost
+// along the published blocked-on edges to the tail, counting each
+// onward hop, and the mid-chain reposition must put the boosted midA
+// ahead of the earlier-enqueued same-priority competitor in B's waiter
+// list, so the grant order follows the boost.
+func TestTransitiveInheritanceMutexChain(t *testing.T) {
+	rt := testRuntime(t, Config{Workers: 2, Levels: 2, Prioritize: true})
+	A := NewMutex(rt, 1, "chainA")
+	B := NewMutex(rt, 1, "chainB")
+	C := NewMutex(rt, 1, "chainC")
+	gate := NewPromise[int](rt, 1)
+	parks := func() int64 { return rt.Stats().MutexParks }
+
+	// grantOrder is appended to while holding B, so B itself serializes
+	// the writers; the test goroutine reads only after every future
+	// resolved.
+	var grantOrder []string
+
+	cLocked := make(chan struct{})
+	tail := Go(rt, nil, 0, "tailC", func(c *Ctx) int {
+		C.Lock(c)
+		close(cLocked)
+		gate.Future().Touch(c) // park mid-hold: the chain's IO park
+		C.Unlock(c)
+		return 0
+	})
+	<-cLocked
+
+	bLocked := make(chan struct{})
+	mid := Go(rt, nil, 0, "midB", func(c *Ctx) int {
+		B.Lock(c)
+		close(bLocked)
+		C.Lock(c) // parks: chain link B→C
+		C.Unlock(c)
+		B.Unlock(c)
+		return 0
+	})
+	<-bLocked
+	waitStat(t, "MutexParks", parks, 1)
+
+	// Competitor: same declared priority as midA, enqueued on B FIRST.
+	// FIFO among equals would grant it before midA; the boost-driven
+	// reposition must invert that.
+	comp := Go(rt, nil, 0, "compX", func(c *Ctx) int {
+		B.Lock(c) // parks
+		grantOrder = append(grantOrder, "compX")
+		B.Unlock(c)
+		return 0
+	})
+	waitStat(t, "MutexParks", parks, 2)
+
+	aLocked := make(chan struct{})
+	entry := Go(rt, nil, 0, "midA", func(c *Ctx) int {
+		A.Lock(c)
+		close(aLocked)
+		B.Lock(c) // parks: chain link A→B
+		grantOrder = append(grantOrder, "midA")
+		B.Unlock(c)
+		A.Unlock(c)
+		return 0
+	})
+	<-aLocked
+	waitStat(t, "MutexParks", parks, 3)
+
+	high := Go(rt, nil, 1, "high", func(c *Ctx) int {
+		A.Lock(c) // parks: the inheritance event
+		A.Unlock(c)
+		return 42
+	})
+	waitStat(t, "MutexParks", parks, 4)
+
+	// The boost ran to completion before the high task's park was
+	// counted (propagateBoost precedes the counter bump), so the chain
+	// state is stable here: the TAIL holder — two hops from the lock the
+	// high task blocked on — must be at the waiter's effective priority.
+	tc := C.owner.Load()
+	if tc == nil {
+		t.Fatal("tail lock has no holder")
+	}
+	if p := tc.effPrio(); p != 1 {
+		t.Fatalf("tail holder effPrio = %d, want 1 (chain not boosted)", p)
+	}
+	if tb := rt.Stats().TransitiveBoosts; tb < 2 {
+		t.Errorf("TransitiveBoosts = %d, want >= 2 (one per onward hop)", tb)
+	}
+
+	gate.Complete(0) // unwind the chain
+	for _, f := range []*Future[int]{tail, mid, comp, entry} {
+		if _, err := Await(f, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := Await(high, 10*time.Second); err != nil || v != 42 {
+		t.Fatalf("high: v=%d err=%v", v, err)
+	}
+	if len(grantOrder) != 2 || grantOrder[0] != "midA" || grantOrder[1] != "compX" {
+		t.Errorf("B grant order = %v, want [midA compX] (boosted waiter first)", grantOrder)
+	}
+}
+
+// TestTransitiveInheritanceRWMutexChain is the RWMutex-writer twin:
+// the same 3-lock chain through write holders, which propagateBoost
+// traverses via wowner exactly as the deadlock walk does.
+func TestTransitiveInheritanceRWMutexChain(t *testing.T) {
+	rt := testRuntime(t, Config{Workers: 2, Levels: 2, Prioritize: true})
+	A := NewRWMutex(rt, 1, 1, "rwChainA")
+	B := NewRWMutex(rt, 1, 1, "rwChainB")
+	C := NewRWMutex(rt, 1, 1, "rwChainC")
+	gate := NewPromise[int](rt, 1)
+	parks := func() int64 { return rt.Stats().RWWriteParks }
+
+	var grantOrder []string
+
+	cLocked := make(chan struct{})
+	tail := Go(rt, nil, 0, "tailC", func(c *Ctx) int {
+		C.Lock(c)
+		close(cLocked)
+		gate.Future().Touch(c)
+		C.Unlock(c)
+		return 0
+	})
+	<-cLocked
+
+	bLocked := make(chan struct{})
+	mid := Go(rt, nil, 0, "midB", func(c *Ctx) int {
+		B.Lock(c)
+		close(bLocked)
+		C.Lock(c)
+		C.Unlock(c)
+		B.Unlock(c)
+		return 0
+	})
+	<-bLocked
+	waitStat(t, "RWWriteParks", parks, 1)
+
+	comp := Go(rt, nil, 0, "compX", func(c *Ctx) int {
+		B.Lock(c)
+		grantOrder = append(grantOrder, "compX")
+		B.Unlock(c)
+		return 0
+	})
+	waitStat(t, "RWWriteParks", parks, 2)
+
+	aLocked := make(chan struct{})
+	entry := Go(rt, nil, 0, "midA", func(c *Ctx) int {
+		A.Lock(c)
+		close(aLocked)
+		B.Lock(c)
+		grantOrder = append(grantOrder, "midA")
+		B.Unlock(c)
+		A.Unlock(c)
+		return 0
+	})
+	<-aLocked
+	waitStat(t, "RWWriteParks", parks, 3)
+
+	high := Go(rt, nil, 1, "high", func(c *Ctx) int {
+		A.Lock(c)
+		A.Unlock(c)
+		return 42
+	})
+	waitStat(t, "RWWriteParks", parks, 4)
+
+	tc := C.wowner.Load()
+	if tc == nil {
+		t.Fatal("tail lock has no write holder")
+	}
+	if p := tc.effPrio(); p != 1 {
+		t.Fatalf("tail write holder effPrio = %d, want 1 (chain not boosted)", p)
+	}
+	if tb := rt.Stats().TransitiveBoosts; tb < 2 {
+		t.Errorf("TransitiveBoosts = %d, want >= 2", tb)
+	}
+
+	gate.Complete(0)
+	for _, f := range []*Future[int]{tail, mid, comp, entry} {
+		if _, err := Await(f, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if v, err := Await(high, 10*time.Second); err != nil || v != 42 {
+		t.Fatalf("high: v=%d err=%v", v, err)
+	}
+	if len(grantOrder) != 2 || grantOrder[0] != "midA" || grantOrder[1] != "compX" {
+		t.Errorf("B grant order = %v, want [midA compX]", grantOrder)
+	}
+}
+
+// TestTransitiveBoostFloorSurvivesUnlock pins the dropBoost fix: a task
+// boosted TRANSITIVELY (it holds no lock on the chain's first link —
+// the boost arrived along blocked-on edges, not from a waiter on a lock
+// it holds) spawns a child inside its critical section. The child
+// inherits the boost as a spawn floor, and that floor must survive an
+// unrelated uncontended Lock/Unlock pair: before the fix, dropBoost
+// recomputed purely from held-lock waiters and wiped the floor to the
+// declared priority, re-opening the inversion one spawn edge away.
+func TestTransitiveBoostFloorSurvivesUnlock(t *testing.T) {
+	rt := testRuntime(t, Config{Workers: 2, Levels: 2, Prioritize: true})
+	B := NewMutex(rt, 1, "floorB")
+	C := NewMutex(rt, 1, "floorC")
+	M := NewMutex(rt, 1, "floorM") // unrelated, never contended
+	gate := NewPromise[int](rt, 1)
+	parks := func() int64 { return rt.Stats().MutexParks }
+
+	cLocked := make(chan struct{})
+	tail := Go(rt, nil, 0, "tailC", func(c *Ctx) int {
+		C.Lock(c)
+		close(cLocked)
+		gate.Future().Touch(c)
+		// Resumed with the transitive boost in place (the test gates on
+		// TransitiveBoosts before completing the promise). Fork work
+		// that joins before the release: it must run at the inherited
+		// level even across its own uncontended critical sections.
+		child := Go(rt, c, 0, "child", func(cc *Ctx) int {
+			M.Lock(cc)
+			M.Unlock(cc) // dropBoost must not wipe the spawn floor
+			return int(cc.t.effPrio())
+		})
+		got := child.Touch(c)
+		C.Unlock(c)
+		return got
+	})
+	<-cLocked
+
+	mid := Go(rt, nil, 0, "midB", func(c *Ctx) int {
+		B.Lock(c)
+		C.Lock(c) // parks: link B→C
+		C.Unlock(c)
+		B.Unlock(c)
+		return 0
+	})
+	waitStat(t, "MutexParks", parks, 1)
+
+	high := Go(rt, nil, 1, "high", func(c *Ctx) int {
+		B.Lock(c) // boosts midB directly, tailC transitively
+		B.Unlock(c)
+		return 0
+	})
+	waitStat(t, "MutexParks", parks, 2)
+	waitStat(t, "TransitiveBoosts", func() int64 { return rt.Stats().TransitiveBoosts }, 1)
+
+	gate.Complete(0)
+	got, err := Await(tail, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("child effPrio after uncontended Lock/Unlock = %d, want 1 (spawn floor wiped)", got)
+	}
+	for _, f := range []*Future[int]{mid, high} {
+		if _, err := Await(f, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -91,6 +91,7 @@ type schedCounters struct {
 	rwWriteParks counter
 	rwRevokes    counter
 	inherits     counter
+	transBoosts  counter
 	ceilings     counter
 }
 
@@ -140,6 +141,13 @@ type SchedStats struct {
 	// write holder's effective priority raised because a higher-priority
 	// task blocked behind it.
 	Inherits int64
+	// TransitiveBoosts counts onward hops of an inheritance event: the
+	// boosted holder was itself parked on another lock (a published
+	// blocked-on edge), so the boost was chained to that lock's holder
+	// too — one count per re-boosted task beyond the direct holder.
+	// Nonzero values mean chained blocking is actually occurring and the
+	// transitive propagation is reaching it.
+	TransitiveBoosts int64
 	// CeilingViolations counts Ref/Mutex/RWMutex accesses from tasks
 	// whose declared priority exceeded the primitive's (per-mode)
 	// ceiling — the dynamic analogue of the state-typing rule (paper
@@ -164,13 +172,14 @@ func (rt *Runtime) Stats() SchedStats {
 		RWWriteParks:      rt.stats.rwWriteParks.Load(),
 		RWRevokes:         rt.stats.rwRevokes.Load(),
 		Inherits:          rt.stats.inherits.Load(),
+		TransitiveBoosts:  rt.stats.transBoosts.Load(),
 		CeilingViolations: rt.stats.ceilings.Load(),
 	}
 }
 
 func (s SchedStats) String() string {
 	return fmt.Sprintf(
-		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d mutexparks=%d rwrparks=%d rwwparks=%d rwrevokes=%d inherits=%d ceilings=%d",
+		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d mutexparks=%d rwrparks=%d rwwparks=%d rwrevokes=%d inherits=%d transboosts=%d ceilings=%d",
 		s.Spawns, s.InlineRuns, s.Promotions, s.Parks, s.Resumes, s.Helps, s.Steals, s.Wakes,
-		s.MutexParks, s.RWReadParks, s.RWWriteParks, s.RWRevokes, s.Inherits, s.CeilingViolations)
+		s.MutexParks, s.RWReadParks, s.RWWriteParks, s.RWRevokes, s.Inherits, s.TransitiveBoosts, s.CeilingViolations)
 }

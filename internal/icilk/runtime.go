@@ -3,6 +3,7 @@ package icilk
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,6 +56,20 @@ type Config struct {
 	// a silent hang. Off by default: the walk costs a pointer chase per
 	// contended acquire and is best-effort under concurrent hand-offs.
 	DetectDeadlocks bool
+	// RecordLockOrder is a debug flag: every Lock/RLock/TryLock
+	// acquisition records the acquiring task's held-lock set into a
+	// per-runtime directed graph of hold→acquire pairs, and
+	// LockOrderViolations reports cycles — AB/BA orderings that an
+	// adversarial schedule could deadlock, flagged even on runs whose
+	// interleaving got lucky. Off by default: every acquisition pays a
+	// graph append under one internal mutex, which serializes the lock
+	// fast paths (see lockorder.go).
+	RecordLockOrder bool
+	// PanicOnLockOrderViolation makes Shutdown panic with the full
+	// violation report when the recorder captured any — so a stress test
+	// asserts order-discipline absence by merely completing. Requires
+	// RecordLockOrder.
+	PanicOnLockOrderViolation bool
 }
 
 func (c Config) withDefaults() Config {
@@ -144,8 +159,9 @@ type Runtime struct {
 	idleMu sync.Mutex
 	idleCh chan struct{}
 
-	metrics metrics
-	stats   schedCounters
+	metrics   metrics
+	stats     schedCounters
+	lockOrder lockOrderGraph
 }
 
 // New starts a runtime with the given configuration.
@@ -197,6 +213,11 @@ func (rt *Runtime) Shutdown() {
 	rt.parkCond.Broadcast()
 	rt.parkMu.Unlock()
 	rt.wg.Wait()
+	if rt.cfg.RecordLockOrder && rt.cfg.PanicOnLockOrderViolation {
+		if v := rt.LockOrderViolations(); len(v) > 0 {
+			panic("icilk: lock-order violations recorded:\n  " + strings.Join(v, "\n  "))
+		}
+	}
 }
 
 // WaitIdle blocks until no spawned tasks remain outstanding or the
@@ -332,10 +353,13 @@ func (rt *Runtime) spawn(c *Ctx, p Priority, name string, f *future, fn func(*Ct
 	// or the inversion the boost removed would reappear one edge away.
 	// The floor is transient — the child sheds it the first time it
 	// blocks without holding a lock (shedSpawnBoost), so fire-and-forget
-	// spawns cannot squat on the high level indefinitely.
+	// spawns cannot squat on the high level indefinitely. t.floor keeps
+	// the floor visible to dropBoost, which otherwise would erase it on
+	// the child's first uncontended Unlock.
 	if c != nil && c.t != nil {
 		if b := c.t.boost.Load(); b > int32(p) {
 			t.boost.Store(b)
+			t.floor = Priority(b)
 		}
 	}
 	if rt.cfg.CollectMetrics {

@@ -207,6 +207,9 @@ func (m *RWMutex) RLock(c *Ctx) {
 			sl.n.Add(1)
 			if m.state.Load()&(rwWriter|rwWait) == 0 && m.rbias.Load() {
 				t.rslots = append(t.rslots, rslotHold{m: m, sl: sl})
+				if rt.cfg.RecordLockOrder {
+					rt.recordAcquire(t, m)
+				}
 				return
 			}
 			m.slotRelease(sl) // undo; wakes a drain-waiting writer if we were last
@@ -220,6 +223,9 @@ func (m *RWMutex) RLock(c *Ctx) {
 		}
 		if m.state.CompareAndSwap(s, s+rwReaderInc) {
 			m.maybeRearm()
+			if rt.cfg.RecordLockOrder {
+				rt.recordAcquire(t, m)
+			}
 			return
 		}
 	}
@@ -331,6 +337,9 @@ func (m *RWMutex) rlockSlow(c *Ctx, t *task, rt *Runtime) {
 			}
 			if m.state.CompareAndSwap(s, ns) {
 				m.mu.Unlock()
+				if rt.cfg.RecordLockOrder {
+					rt.recordAcquire(t, m)
+				}
 				return
 			}
 			continue
@@ -340,14 +349,15 @@ func (m *RWMutex) rlockSlow(c *Ctx, t *task, rt *Runtime) {
 		}
 		runtime.Gosched()
 	}
-	if rt.cfg.DetectDeadlocks {
-		t.blockEdge(m)
-		if holder != nil {
-			if cyc := checkDeadlock(t, m, holder); cyc != nil {
-				t.clearBlockEdge()
-				m.mu.Unlock()
-				panic(cyc)
-			}
+	// Publish the blocked-on edge unconditionally: transitive
+	// inheritance (propagateBoost) traverses it even with deadlock
+	// detection off.
+	t.blockEdge(m)
+	if rt.cfg.DetectDeadlocks && holder != nil {
+		if cyc := checkDeadlock(t, m, holder); cyc != nil {
+			t.clearBlockEdge()
+			m.mu.Unlock()
+			panic(cyc)
 		}
 	}
 	boosted := inheritInto(rt, holder, t)
@@ -356,13 +366,14 @@ func (m *RWMutex) rlockSlow(c *Ctx, t *task, rt *Runtime) {
 	m.rwaiters = insertByPrio(m.rwaiters, t)
 	m.mu.Unlock()
 	if boosted {
-		repositionBoosted(holder)
+		propagateBoost(rt, holder)
 	}
 	rt.stats.rwReadParks.Add(1)
 	g.park(rt, w)
 	t.waitList.Store(nil)
-	if rt.cfg.DetectDeadlocks {
-		t.clearBlockEdge()
+	t.clearBlockEdge()
+	if rt.cfg.RecordLockOrder {
+		rt.recordAcquire(t, m)
 	}
 }
 
@@ -377,6 +388,9 @@ func (m *RWMutex) RUnlock(c *Ctx) {
 		panic("icilk: RWMutex.RUnlock outside task context")
 	}
 	t := c.t
+	if t.rt.cfg.RecordLockOrder {
+		t.rt.recordRelease(t, m)
+	}
 	for i := len(t.rslots) - 1; i >= 0; i-- {
 		if t.rslots[i].m == m {
 			sl := t.rslots[i].sl
@@ -445,6 +459,9 @@ func (m *RWMutex) Lock(c *Ctx) {
 	if !m.rbias.Load() && m.state.CompareAndSwap(0, rwWriter) {
 		m.wowner.Store(t)
 		t.held = append(t.held, m)
+		if rt.cfg.RecordLockOrder {
+			rt.recordAcquire(t, m)
+		}
 		if m.rbias.Load() {
 			m.revokeAndDrain(c, t, rt)
 		}
@@ -549,6 +566,9 @@ func (m *RWMutex) wlockSlow(c *Ctx, t *task, rt *Runtime) {
 				m.wowner.Store(t)
 				m.mu.Unlock()
 				t.held = append(t.held, m)
+				if rt.cfg.RecordLockOrder {
+					rt.recordAcquire(t, m)
+				}
 				return
 			}
 			continue
@@ -558,14 +578,15 @@ func (m *RWMutex) wlockSlow(c *Ctx, t *task, rt *Runtime) {
 		}
 		runtime.Gosched()
 	}
-	if rt.cfg.DetectDeadlocks {
-		t.blockEdge(m)
-		if holder != nil {
-			if cyc := checkDeadlock(t, m, holder); cyc != nil {
-				t.clearBlockEdge()
-				m.mu.Unlock()
-				panic(cyc)
-			}
+	// Publish the blocked-on edge unconditionally: transitive
+	// inheritance (propagateBoost) traverses it even with deadlock
+	// detection off.
+	t.blockEdge(m)
+	if rt.cfg.DetectDeadlocks && holder != nil {
+		if cyc := checkDeadlock(t, m, holder); cyc != nil {
+			t.clearBlockEdge()
+			m.mu.Unlock()
+			panic(cyc)
 		}
 	}
 	boosted := inheritInto(rt, holder, t)
@@ -574,15 +595,16 @@ func (m *RWMutex) wlockSlow(c *Ctx, t *task, rt *Runtime) {
 	m.wwaiters = insertByPrio(m.wwaiters, t)
 	m.mu.Unlock()
 	if boosted {
-		repositionBoosted(holder)
+		propagateBoost(rt, holder)
 	}
 	rt.stats.rwWriteParks.Add(1)
 	g.park(rt, w)
 	t.waitList.Store(nil)
-	if rt.cfg.DetectDeadlocks {
-		t.clearBlockEdge()
-	}
+	t.clearBlockEdge()
 	t.held = append(t.held, m)
+	if rt.cfg.RecordLockOrder {
+		rt.recordAcquire(t, m)
+	}
 }
 
 // Unlock releases the write lock, recomputes the holder's inherited
@@ -600,6 +622,9 @@ func (m *RWMutex) Unlock(c *Ctx) {
 	m.wowner.Store(nil)
 	if m.state.CompareAndSwap(rwWriter, 0) {
 		t.unheld(m)
+		if t.rt.cfg.RecordLockOrder {
+			t.rt.recordRelease(t, m)
+		}
 		t.dropBoost()
 		return
 	}
@@ -609,6 +634,9 @@ func (m *RWMutex) Unlock(c *Ctx) {
 	m.wowner.Store(nil)
 	m.grantLocked(false)
 	t.unheld(m)
+	if t.rt.cfg.RecordLockOrder {
+		t.rt.recordRelease(t, m)
+	}
 	t.dropBoost()
 }
 

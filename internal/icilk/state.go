@@ -302,6 +302,9 @@ func (m *Mutex) Lock(c *Ctx) {
 	if m.state.CompareAndSwap(0, mutexLocked) {
 		m.owner.Store(t)
 		t.held = append(t.held, m)
+		if rt.cfg.RecordLockOrder {
+			rt.recordAcquire(t, m)
+		}
 		return
 	}
 	m.lockSlow(c, t, rt)
@@ -318,6 +321,9 @@ func (m *Mutex) lockSlow(c *Ctx, t *task, rt *Runtime) {
 			if m.state.CompareAndSwap(s, s|mutexLocked) {
 				m.owner.Store(t)
 				t.held = append(t.held, m)
+				if rt.cfg.RecordLockOrder {
+					rt.recordAcquire(t, m)
+				}
 				return
 			}
 			continue
@@ -363,6 +369,9 @@ func (m *Mutex) lockSlow(c *Ctx, t *task, rt *Runtime) {
 				m.owner.Store(t)
 				m.mu.Unlock()
 				t.held = append(t.held, m)
+				if rt.cfg.RecordLockOrder {
+					rt.recordAcquire(t, m)
+				}
 				return
 			}
 			continue
@@ -372,8 +381,11 @@ func (m *Mutex) lockSlow(c *Ctx, t *task, rt *Runtime) {
 		}
 		runtime.Gosched()
 	}
+	// Publish the blocked-on edge unconditionally: transitive
+	// inheritance (propagateBoost) traverses it even with deadlock
+	// detection off.
+	t.blockEdge(m)
 	if rt.cfg.DetectDeadlocks {
-		t.blockEdge(m)
 		if cyc := checkDeadlock(t, m, holder); cyc != nil {
 			t.clearBlockEdge()
 			m.state.Add(-mutexWaiterInc) // deregister: we will not wait
@@ -387,16 +399,17 @@ func (m *Mutex) lockSlow(c *Ctx, t *task, rt *Runtime) {
 	m.waiters = insertByPrio(m.waiters, t)
 	m.mu.Unlock()
 	if boosted {
-		repositionBoosted(holder)
+		propagateBoost(rt, holder)
 	}
 	rt.stats.mutexParks.Add(1)
 	g.park(rt, w)
 	t.waitList.Store(nil)
-	if rt.cfg.DetectDeadlocks {
-		t.clearBlockEdge()
-	}
+	t.clearBlockEdge()
 	// Resumed: Unlock handed us the Mutex (m.owner == t already).
 	t.held = append(t.held, m)
+	if rt.cfg.RecordLockOrder {
+		rt.recordAcquire(t, m)
+	}
 }
 
 // inheritInto is the priority-inheritance event, shared by the Mutex
@@ -408,9 +421,9 @@ func (m *Mutex) lockSlow(c *Ctx, t *task, rt *Runtime) {
 // the other is dropped. If the holder is running or parked the
 // duplicate dies harmlessly (its claim fails), and the boost takes
 // effect at the next requeue. Returns whether the boost actually rose;
-// the caller then runs repositionBoosted AFTER releasing its own
-// internal lock (taking another lock's mu from under this one could
-// deadlock against a crossed inheritance in the other direction).
+// the caller then runs propagateBoost AFTER releasing its own internal
+// lock (taking another lock's mu from under this one could deadlock
+// against a crossed inheritance in the other direction).
 func inheritInto(rt *Runtime, holder, waiter *task) bool {
 	if holder == nil || !rt.cfg.Inherit || !holder.raiseBoost(waiter.effPrio()) {
 		return false
@@ -447,6 +460,47 @@ func repositionBoosted(holder *task) {
 	}
 	if ref := holder.waitList.Load(); ref != nil {
 		ref.l.repositionWaiter(holder)
+	}
+}
+
+// propagateBoost runs the deferred half of an inheritance event, after
+// the boosting lock's internal mu is released (the crossed-lock
+// discipline inheritInto documents): re-sort the freshly boosted holder
+// in whatever waiter list it sits on, then chain the boost along its
+// published blocked-on edge. A holder that is itself parked on another
+// lock leaves the lock a high-priority waiter just blocked on
+// transitively held up behind whatever ITS holder is doing — so that
+// next holder is raised too, repositioned, and the walk continues to
+// the chain's end. Each onward hop is counted in
+// SchedStats.TransitiveBoosts and re-injects the re-boosted task at its
+// new level (same duplicate-entry kick as the direct event; the
+// dispatch claim arbitrates).
+//
+// Termination: raiseBoost refuses a boost that does not rise, so a
+// cyclic chain (an undetected deadlock) stops the moment priorities
+// equalize around the loop, and maxCycleWalk bounds a pathological
+// racing hand-off storm. Benign races mirror repositionBoosted's: an
+// edge or holder read here can be momentarily stale, in which case a
+// task is boosted that no longer blocks the chain — a transient
+// over-boost that dropBoost/shedSpawnBoost sheds. Chains end silently
+// at anonymous read holders and at drain-parked writers (neither
+// publishes an edge), the same visibility limit the deadlock walk has.
+func propagateBoost(rt *Runtime, holder *task) {
+	cur := holder
+	for hop := 0; hop < maxCycleWalk; hop++ {
+		repositionBoosted(cur)
+		edge := cur.waitingOn.Load()
+		if edge == nil {
+			return
+		}
+		next := edge.l.holderTask()
+		if next == nil || next == cur || !next.raiseBoost(cur.effPrio()) {
+			return
+		}
+		rt.stats.transBoosts.Add(1)
+		rt.levels[rt.effLevel(next.effPrio())].inject.push(next)
+		rt.wake()
+		cur = next
 	}
 }
 
@@ -506,6 +560,9 @@ func (m *Mutex) Unlock(c *Ctx) {
 	m.owner.Store(nil)
 	if m.state.CompareAndSwap(mutexLocked, 0) {
 		t.unheld(m)
+		if t.rt.cfg.RecordLockOrder {
+			t.rt.recordRelease(t, m)
+		}
 		t.dropBoost()
 		return
 	}
@@ -540,6 +597,9 @@ func (m *Mutex) unlockSlow(t *task) {
 	}
 	m.mu.Unlock()
 	t.unheld(m)
+	if t.rt.cfg.RecordLockOrder {
+		t.rt.recordRelease(t, m)
+	}
 	t.dropBoost()
 	if next != nil {
 		t.rt.requeue(next)
@@ -580,5 +640,8 @@ func (m *Mutex) TryLock(c *Ctx) bool {
 	}
 	m.owner.Store(t)
 	t.held = append(t.held, m)
+	if t.rt.cfg.RecordLockOrder {
+		t.rt.recordAcquire(t, m)
+	}
 	return true
 }

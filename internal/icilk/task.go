@@ -44,10 +44,12 @@ type task struct {
 	blockedOn *future
 
 	// waitingOn publishes the Mutex/RWMutex this task is blocked on
-	// while parked in a lock's slow path — the blocked-on edge the
-	// deadlock cycle walk traverses (Config.DetectDeadlocks). Written by
-	// the task itself before it becomes visible on the waiter list,
-	// cleared after the park resumes; concurrent walkers only read.
+	// while parked in a lock's slow path — the blocked-on edge both the
+	// deadlock cycle walk (Config.DetectDeadlocks) and transitive
+	// priority inheritance (propagateBoost) traverse. Written by the
+	// task itself before it becomes visible on the waiter list, cleared
+	// after the park resumes; concurrent walkers only read. Always
+	// published: inheritance must see the edge regardless of debug flags.
 	waitingOn waitingOnPtr
 
 	// boost is the priority-inheritance floor: while a higher-priority
@@ -71,6 +73,21 @@ type task struct {
 	// Unlock scans to recompute boost when inheritance from one critical
 	// section ends while another is still in progress.
 	held []heldLock
+
+	// floor is the spawn-inherited boost floor: a task spawned from
+	// inside a boosted critical section starts with the parent's boost,
+	// and that boost must survive until the task first blocks holding no
+	// locks (shedSpawnBoost), even across Lock/Unlock pairs in between —
+	// dropBoost recomputes down to floor, not prio. Task-private:
+	// written at spawn before the task is published, cleared only from
+	// the task's own context.
+	floor Priority
+
+	// ordHeld is the lock-order recorder's held set (Config.
+	// RecordLockOrder): every lock this task holds in ANY mode, read
+	// holds included — unlike held, which only write-side boost
+	// recomputation needs. Task-private, like held.
+	ordHeld []waitableLock
 
 	// waitPrio is the task's effective priority at the moment it was
 	// enqueued on a lock's waiter list — the sort key of the
@@ -145,9 +162,10 @@ func (t *task) raiseBoost(p Priority) bool {
 }
 
 // dropBoost recomputes the task's boost from the waiters of the locks
-// it still holds — called by Unlock from the task's own context. A
-// concurrent raiseBoost (a new waiter arriving on another held lock)
-// makes the CAS fail; the loop then rescans and finds the newcomer.
+// it still holds, never dropping below the spawn-inherited floor —
+// called by Unlock from the task's own context. A concurrent
+// raiseBoost (a new waiter arriving on another held lock) makes the
+// CAS fail; the loop then rescans and finds the newcomer.
 func (t *task) dropBoost() {
 	for {
 		cur := t.boost.Load()
@@ -155,6 +173,9 @@ func (t *task) dropBoost() {
 			return
 		}
 		target := int32(t.prio)
+		if f := int32(t.floor); f > target {
+			target = f
+		}
 		for _, l := range t.held {
 			if p := int32(l.maxWaiterPrio()); p > target {
 				target = p
@@ -186,8 +207,11 @@ func (t *task) tryClaim() bool {
 // Mutex lists the task as holder, so no concurrent raiseBoost can race
 // the clear.
 func (t *task) shedSpawnBoost() {
-	if len(t.held) == 0 && t.boost.Load() != 0 {
-		t.boost.Store(0)
+	if len(t.held) == 0 {
+		t.floor = 0
+		if t.boost.Load() != 0 {
+			t.boost.Store(0)
+		}
 	}
 }
 

@@ -13,16 +13,26 @@ import (
 )
 
 // testServer starts a server with small job kernels on a free port.
+// Every test server runs with the deadlock walk and the lock-order
+// recorder on, and asserts at teardown that the serve layer's whole
+// lock population (shard locks, app-internal locks) was nested
+// consistently: a zero-violation report proves deadlock ABSENCE for
+// the orders this run exercised, even where the interleaving got lucky.
 func testServer(t *testing.T, cfg Config) *Server {
 	t.Helper()
 	if cfg.Jobs == (jserver.Config{}) {
 		cfg.Jobs = jserver.Config{MatMulN: 32, FibN: 18, SortN: 20_000, SWN: 192}
 	}
+	cfg.DetectDeadlocks = true
+	cfg.RecordLockOrder = true
 	s, err := Start(cfg)
 	if err != nil {
 		t.Fatalf("Start: %v", err)
 	}
 	t.Cleanup(func() {
+		if v := s.Runtime().LockOrderViolations(); len(v) != 0 {
+			t.Errorf("serve lock-order violations: %v", v)
+		}
 		if err := s.Shutdown(); err != nil {
 			t.Errorf("Shutdown: %v", err)
 		}

@@ -139,6 +139,13 @@ type Config struct {
 	// Seed makes the simulated backends (proxy origin, email devices)
 	// reproducible.
 	Seed int64
+	// DetectDeadlocks and RecordLockOrder pass the icilk debug flags
+	// through to the embedded runtime: the deadlock cycle walk on every
+	// contended acquire, and the hold→acquire lock-order recorder whose
+	// LockOrderViolations report the serve tests assert empty. Both are
+	// for tests and debug builds, not production serving.
+	DetectDeadlocks bool
+	RecordLockOrder bool
 }
 
 func (c Config) withDefaults() Config {
@@ -273,9 +280,11 @@ func Start(cfg Config) (*Server, error) {
 	}
 	validateAdmission()
 	rt := icilk.New(icilk.Config{
-		Workers:    cfg.Workers,
-		Levels:     Levels,
-		Prioritize: !cfg.Baseline,
+		Workers:         cfg.Workers,
+		Levels:          Levels,
+		Prioritize:      !cfg.Baseline,
+		DetectDeadlocks: cfg.DetectDeadlocks,
+		RecordLockOrder: cfg.RecordLockOrder,
 	})
 	nshards := shardCount(cfg.Workers)
 	s := &Server{
