@@ -22,7 +22,12 @@ import (
 //   - keys named exactly "p99"/"P99" (tail latencies, stats.Summary's
 //     spelling included), and
 //   - keys ending in "_ops_per_sec" or "OpsPerSec" (throughputs, guarded
-//     in the opposite direction: higher is better).
+//     in the opposite direction: higher is better), and
+//   - keys ending in "_allocs_per_op" (allocation counts: lower is
+//     better, and zero is a meaningful baseline — a pooled fast path
+//     that starts allocating again must trip the gate even though any
+//     ratio against 0 is undefined, so these use an absolute guard of
+//     +0.5 allocs on top of the ratio).
 //
 // Derived ratios and counters are deliberately not matched. A
 // lower-is-better metric regresses when new > old * threshold; a
@@ -38,6 +43,10 @@ type regression struct {
 }
 
 func (r regression) String() string {
+	if r.old == 0 {
+		return fmt.Sprintf("%s: %s regressed: %.2f -> %.2f",
+			r.file, r.path, r.old, r.new)
+	}
 	return fmt.Sprintf("%s: %s regressed %.4gx: %.0f -> %.0f",
 		r.file, r.path, r.new/r.old, r.old, r.new)
 }
@@ -123,6 +132,14 @@ func timingKey(key string) bool {
 	return false
 }
 
+// allocsKey reports whether a key names a lower-is-better allocation
+// count (the io experiment's allocs/op leaves). Unlike timings, a zero
+// old value is meaningful and must stay comparable.
+func allocsKey(key string) bool {
+	const suf = "_allocs_per_op"
+	return len(key) > len(suf) && key[len(key)-len(suf):] == suf
+}
+
 // throughputKey reports whether a key names a higher-is-better
 // throughput metric (the scaling sweeps' ops/sec leaves).
 func throughputKey(key string) bool {
@@ -162,6 +179,19 @@ func diffValue(file, path string, oldV, newV any, threshold float64, regs *[]reg
 			childPath := k
 			if path != "" {
 				childPath = path + "." + k
+			}
+			if allocsKey(k) {
+				oldN, okO := ov[k].(float64)
+				newN, okN := child.(float64)
+				if okO && okN && oldN >= 0 && newN >= 0 {
+					*n++
+					// Ratio plus an absolute floor: 0 → 0.2 is noise,
+					// 0 → 1 is the pooled path allocating again.
+					if newN > oldN*threshold && newN > oldN+0.5 {
+						*regs = append(*regs, regression{file: file, path: childPath, old: oldN, new: newN})
+					}
+				}
+				continue
 			}
 			if timingKey(k) || throughputKey(k) {
 				oldN, okO := ov[k].(float64)

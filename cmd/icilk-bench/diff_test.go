@@ -194,3 +194,70 @@ func TestDiffMatchesRowsByNumericLabel(t *testing.T) {
 		t.Errorf("the new sweep point has no baseline and must not be flagged:\n%s", b.String())
 	}
 }
+
+// TestDiffAllocsPerOp: *_allocs_per_op leaves are lower-is-better with a
+// zero-meaningful baseline — 0 → 1 must fail even though no ratio
+// against 0 exists, while sub-half-alloc noise above any baseline must
+// pass.
+func TestDiffAllocsPerOp(t *testing.T) {
+	const allocsBody = `{"result": {"fast_path": {
+	  "spawn_touch_pooled_allocs_per_op": 0.0,
+	  "spawn_touch_unpooled_allocs_per_op": 3.0
+	}}}`
+	old, new := t.TempDir(), t.TempDir()
+	writeSnap(t, old, "BENCH_io.json", allocsBody)
+
+	// Identical snapshots compare both leaves and pass.
+	writeSnap(t, new, "BENCH_io.json", allocsBody)
+	var b strings.Builder
+	if code := runDiff(&b, old, new, 1.5); code != 0 {
+		t.Fatalf("identical allocs should pass, got exit %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "compared 2 metrics") {
+		t.Errorf("both allocs leaves should count as metrics:\n%s", b.String())
+	}
+
+	// The pooled path allocating again: 0 → 1 fails despite the
+	// undefined ratio.
+	broken := strings.ReplaceAll(allocsBody,
+		`"spawn_touch_pooled_allocs_per_op": 0.0`,
+		`"spawn_touch_pooled_allocs_per_op": 1.0`)
+	writeSnap(t, new, "BENCH_io.json", broken)
+	b.Reset()
+	if code := runDiff(&b, old, new, 1.5); code != 1 {
+		t.Fatalf("0 -> 1 allocs/op should fail, got exit %d:\n%s", code, b.String())
+	}
+	if !strings.Contains(b.String(), "spawn_touch_pooled_allocs_per_op") {
+		t.Errorf("report should name the allocs metric:\n%s", b.String())
+	}
+
+	// Measurement noise under the absolute floor passes.
+	noisy := strings.ReplaceAll(allocsBody,
+		`"spawn_touch_pooled_allocs_per_op": 0.0`,
+		`"spawn_touch_pooled_allocs_per_op": 0.3`)
+	writeSnap(t, new, "BENCH_io.json", noisy)
+	b.Reset()
+	if code := runDiff(&b, old, new, 1.5); code != 0 {
+		t.Fatalf("0 -> 0.3 allocs/op is noise and should pass, got exit %d:\n%s", code, b.String())
+	}
+
+	// A real multiplicative regression on a nonzero baseline fails.
+	tripled := strings.ReplaceAll(allocsBody,
+		`"spawn_touch_unpooled_allocs_per_op": 3.0`,
+		`"spawn_touch_unpooled_allocs_per_op": 9.0`)
+	writeSnap(t, new, "BENCH_io.json", tripled)
+	b.Reset()
+	if code := runDiff(&b, old, new, 1.5); code != 1 {
+		t.Fatalf("3 -> 9 allocs/op should fail, got exit %d:\n%s", code, b.String())
+	}
+
+	// An improvement passes.
+	improved := strings.ReplaceAll(allocsBody,
+		`"spawn_touch_unpooled_allocs_per_op": 3.0`,
+		`"spawn_touch_unpooled_allocs_per_op": 0.0`)
+	writeSnap(t, new, "BENCH_io.json", improved)
+	b.Reset()
+	if code := runDiff(&b, old, new, 1.5); code != 0 {
+		t.Fatalf("allocs improvement should pass, got exit %d:\n%s", code, b.String())
+	}
+}

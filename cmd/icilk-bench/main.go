@@ -67,6 +67,8 @@ var experimentList = []experimentInfo{
 		func(cfg experiments.EvalConfig, _ int) any { return lock(cfg) }},
 	{"l4i", "λ4i corpus: simulator vs compiled-onto-icilk wall time per program", "-workers -iters -l4i-dir",
 		func(cfg experiments.EvalConfig, iters int) any { return l4i(cfg, iters) }},
+	{"io", "per-request future tax: pooled spawn/touch allocs, forwarding touch, batched completion wakes", "-workers",
+		func(cfg experiments.EvalConfig, _ int) any { return ioExp(cfg) }},
 	{"all", "every experiment above, in order", "", nil},
 }
 
@@ -393,6 +395,36 @@ func l4i(cfg experiments.EvalConfig, iters int) any {
 	}
 	fmt.Println()
 	return pts
+}
+
+func ioExp(cfg experiments.EvalConfig) any {
+	fmt.Println("=== Per-request future tax: pooling, forwarding touch, batched completions ===")
+	res := experiments.IOBench(cfg)
+	f := res.FastPath
+	fmt.Printf("%-28s %10s %14s\n", "fast path (single worker)", "ns/op", "allocs/op")
+	fmt.Printf("%-28s %10.1f %11.0f allocs/op  (pooling on)\n",
+		"spawn+touch (pooled)", f.SpawnTouchPooledNs, f.SpawnTouchPooledAllocs)
+	fmt.Printf("%-28s %10.1f %11.1f allocs/op  (pooling off)\n",
+		"spawn+touch (unpooled)", f.SpawnTouchUnpooledNs, f.SpawnTouchUnpooledAllocs)
+	fmt.Printf("%-28s %10.1f %11.0f allocs/op  (pooling on)\n",
+		"promise complete+touch", f.PromiseTouchPooledNs, f.PromiseTouchPooledAllocs)
+	fmt.Printf("%-28s %10.1f %11.1f allocs/op  (pooling off)\n",
+		"promise complete+touch (off)", f.PromiseTouchUnpooledNs, f.PromiseTouchUnpooledAllocs)
+	fmt.Printf("%-28s %10.1f %11.0f allocs/op  (done fast path)\n",
+		"touch of done future", f.DoneTouchNs, f.DoneTouchAllocs)
+	fmt.Printf("pool: %d hits, %d misses\n", res.PoolHits, res.PoolMisses)
+	fw := res.Forward
+	fmt.Printf("forwarding chain (%d hops): forward %.0f ns/chain (%d parks/round), "+
+		"re-park %.0f ns/chain (%d parks/round), %d forwards, speedup %.2fx\n",
+		fw.Hops, fw.ForwardChainNs, fw.ParksForward,
+		fw.ReparkChainNs, fw.ParksRepark, fw.ForwardedTouches, fw.Speedup())
+	fmt.Printf("completion absorption (%s):\n", "one parked toucher per promise")
+	fmt.Printf("%10s %16s %10s\n", "mode", "completions/s", "wakes")
+	for _, pt := range res.Completion {
+		fmt.Printf("%10s %16.0f %10d\n", pt.Mode, pt.OpsPerSec, pt.Wakes)
+	}
+	fmt.Println()
+	return res
 }
 
 func lock(cfg experiments.EvalConfig) any {

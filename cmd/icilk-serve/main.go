@@ -14,6 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -73,8 +75,10 @@ func serveFlags(fs *flag.FlagSet, defaultAddr string) func() serve.Config {
 		sortN    = fs.Int("sort-n", 0, "jserver sort size (0 = default)")
 		swN      = fs.Int("sw-n", 0, "jserver Smith-Waterman size (0 = default)")
 		seed     = fs.Int64("seed", 20200406, "random seed for the simulated backends")
+		pprof    = fs.String("pprof", "", "address for a net/http/pprof side listener (empty = off); see SERVING.md")
 	)
 	return func() serve.Config {
+		startPprof(*pprof)
 		return serve.Config{
 			Addr:     *addr,
 			Workers:  *workers,
@@ -83,6 +87,28 @@ func serveFlags(fs *flag.FlagSet, defaultAddr string) func() serve.Config {
 			Seed:     *seed,
 		}
 	}
+}
+
+// pprofStarted makes startPprof idempotent: the serve-config closure
+// runs more than once per process (banner printing re-reads it), but
+// the side listener must bind exactly once.
+var pprofStarted bool
+
+// startPprof binds the profiling side listener. It shares nothing with
+// the icilk server — a plain net/http listener on its own goroutine-per-
+// connection stack, so profiles of the runtime's workers are not
+// perturbed by the serving path being profiled.
+func startPprof(addr string) {
+	if addr == "" || pprofStarted {
+		return
+	}
+	pprofStarted = true
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "icilk-serve: pprof:", err)
+		}
+	}()
+	fmt.Printf("icilk-serve: pprof on http://%s/debug/pprof/\n", addr)
 }
 
 // loadFlags registers the load generator's flags on fs. withAddr is

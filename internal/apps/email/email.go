@@ -190,7 +190,7 @@ func (s *Server) Sort(c *icilk.Ctx, user int) {
 // Print prints email eid of user's mailbox, coordinating with any
 // in-flight compression through the slot protocol. Spawn with GoSelf at
 // PrioCompress and pass the task's own future as self.
-func (s *Server) Print(c *icilk.Ctx, user, eid int, self *icilk.Future[int]) {
+func (s *Server) Print(c *icilk.Ctx, user, eid int, self icilk.Future[int]) {
 	s.print(c, s.boxes[user%len(s.boxes)], eid, self)
 }
 
@@ -289,7 +289,7 @@ func Run(rt *icilk.Runtime, cfg Config) Result {
 						})
 					default: // print
 						icilk.GoSelf(rt, c, PrioCompress, "print",
-							func(c *icilk.Ctx, self *icilk.Future[int]) int {
+							func(c *icilk.Ctx, self icilk.Future[int]) int {
 								prints.Add(1)
 								srv.print(c, box, eid, self)
 								return 0
@@ -353,7 +353,7 @@ func (s *Server) sortBox(c *icilk.Ctx, box *mailbox) {
 // coordinating with any in-flight compression through the slot protocol:
 // install this print task's own handle, touch whatever was there before
 // (the mirror image of the paper's compress pseudocode).
-func (s *Server) print(c *icilk.Ctx, box *mailbox, eid int, self *icilk.Future[int]) {
+func (s *Server) print(c *icilk.Ctx, box *mailbox, eid int, self icilk.Future[int]) {
 	box.mu.Lock(c)
 	if eid >= len(box.emails) {
 		box.mu.Unlock(c)
@@ -386,7 +386,7 @@ func (s *Server) print(c *icilk.Ctx, box *mailbox, eid int, self *icilk.Future[i
 // previous occupant, then compress if still needed.
 func (s *Server) compress(c *icilk.Ctx, box *mailbox, e *email, count *atomic.Int64) {
 	icilk.GoSelf(s.rt, c, PrioCompress, "compress",
-		func(c *icilk.Ctx, self *icilk.Future[int]) int {
+		func(c *icilk.Ctx, self icilk.Future[int]) int {
 			if e.id < box.slots.Len() {
 				if prev := box.slots.Swap(e.id, self.Untyped()); prev != nil {
 					prev.Touch(c) // wait for in-flight print

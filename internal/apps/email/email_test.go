@@ -89,7 +89,7 @@ func TestPrintDecompressesCorrectly(t *testing.T) {
 	box.emails[1].compressed = true
 
 	fut := icilk.GoSelf(rt, nil, PrioCompress, "print",
-		func(c *icilk.Ctx, self *icilk.Future[int]) int {
+		func(c *icilk.Ctx, self icilk.Future[int]) int {
 			srv.print(c, box, 1, self)
 			return 0
 		})

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ast"
 	"repro/internal/icilk"
+	"repro/internal/machine"
 	"repro/internal/parser"
 	"repro/internal/prio"
 )
@@ -269,5 +270,79 @@ main : nat @ p = {
 	_, err := cp.Run(RunConfig{Workers: 1, MaxSteps: 10_000})
 	if err == nil || !strings.Contains(err.Error(), "evaluation steps") {
 		t.Errorf("divergent program should exhaust the step limit, got %v", err)
+	}
+}
+
+// TestFusedForwardingTouch: `x <- cmd{ ftouch outer }; ftouch x` — the
+// double-touch idiom for a thread whose value is another tid — compiles
+// to one forwarding-aware touch. The value must match the machine
+// backend (exactly-two-touch semantics preserved) and the scheduler must
+// report at least one forwarded touch (either a sync hop through the
+// done outer value or a completion-time migration of the parked
+// toucher).
+func TestFusedForwardingTouch(t *testing.T) {
+	src := `
+priority p
+main : nat @ p = {
+  inner <- cmd[p]{ fcreate[p; nat] { ret 42 } };
+  outer <- cmd[p]{ fcreate[p; nat thread[p]] { ret inner } };
+  v <- cmd[p]{ x <- cmd[p]{ ftouch outer }; ftouch x };
+  ret v
+}`
+	prog := mustParse(t, src)
+	mc := machine.New(prog.Order, prog.MainPrio, prog.Main)
+	if err := mc.Run(machine.Prompt{P: 2}, 5_000_000); err != nil {
+		t.Fatalf("machine run: %v", err)
+	}
+	want, ok := mc.FinalValue("main")
+	if !ok {
+		t.Fatal("machine run left main unfinished")
+	}
+	cp := mustCompile(t, src)
+	res := mustRun(t, cp)
+	if !ast.ValueEqual(res.Value, want) {
+		t.Errorf("backends disagree: machine %s, icilk %s", want, res.Value)
+	}
+	if (res.Value != ast.Nat{N: 42}) {
+		t.Errorf("value %s, want 42", res.Value)
+	}
+	if res.Stats.ForwardedTouches < 1 {
+		t.Errorf("fused double-touch did not forward: %d forwarded touches",
+			res.Stats.ForwardedTouches)
+	}
+}
+
+// TestFusedTouchOfNonThreadSticks: if the first touch of the fused pair
+// yields a non-tid, the second ftouch is stuck — the fused path must
+// report the same dynamic type error the unfused path would. The
+// typechecker rejects `ftouch x` at type nat statically, so the program
+// is assembled by hand.
+func TestFusedTouchOfNonThreadSticks(t *testing.T) {
+	p := prio.Const("p")
+	cmdv := func(m ast.Cmd) ast.Expr { return ast.CmdVal{P: p, M: m} }
+	main := ast.Bind{
+		X: "outer",
+		E: cmdv(ast.Fcreate{P: p, T: ast.NatT{}, M: ast.Ret{E: ast.Nat{N: 7}}}),
+		M: ast.Bind{
+			X: "v",
+			E: cmdv(ast.Bind{
+				X: "x",
+				E: cmdv(ast.Ftouch{E: ast.Var{Name: "outer"}}),
+				M: ast.Ftouch{E: ast.Var{Name: "x"}},
+			}),
+			M: ast.Ret{E: ast.Var{Name: "v"}},
+		},
+	}
+	cp := &Prog{
+		Order:      prio.NewTotalOrder("p"),
+		Main:       main,
+		MainPrio:   p,
+		LevelNames: []string{"p"},
+		levelOf:    map[string]icilk.Priority{"p": 0},
+		ceilOf:     map[string]icilk.Priority{},
+	}
+	_, err := cp.Run(RunConfig{Workers: 2})
+	if err == nil || !strings.Contains(err.Error(), "ftouch of non-thread value") {
+		t.Errorf("fused touch of a nat should be stuck, got %v", err)
 	}
 }

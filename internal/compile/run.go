@@ -88,7 +88,7 @@ type exec struct {
 	steps      atomic.Int64
 	maxSteps   int64
 
-	threads sync.Map // thread name -> *icilk.Future[ast.Expr]
+	threads sync.Map // thread name -> icilk.Future[ast.Expr]
 	refs    sync.Map // loc name    -> *icilk.Ref[ast.Expr]
 }
 
@@ -165,12 +165,65 @@ func (x *exec) level(pr prio.Prio) icilk.Priority {
 	return l
 }
 
-func (x *exec) future(name string) *icilk.Future[ast.Expr] {
+func (x *exec) future(name string) icilk.Future[ast.Expr] {
 	f, ok := x.threads.Load(name)
 	if !ok {
 		panic(stuckf("ftouch of unknown thread %s", name))
 	}
-	return f.(*icilk.Future[ast.Expr])
+	return f.(icilk.Future[ast.Expr])
+}
+
+// fwdTid is a thread-completion value that is itself a thread handle: an
+// ast.Tid to the program, a forwarding carrier (the embedded
+// icilk.Handle) to the runtime. Every Fcreate body that returns a tid is
+// wrapped into one, which is what lets the scheduler migrate a parked
+// toucher down a tid chain (finish-side forwarding) instead of waking it
+// to re-park. fwdTid never leaks into evaluation: every touch result is
+// unwrapped back to the plain ast.Tid before it re-enters a term.
+type fwdTid struct {
+	ast.Tid
+	icilk.Handle
+}
+
+// wrapTid turns a thread body's tid-valued result into a forwarding
+// carrier; non-tid values pass through untouched.
+func (x *exec) wrapTid(v ast.Expr) ast.Expr {
+	if tid, ok := v.(ast.Tid); ok {
+		return fwdTid{Tid: tid, Handle: *x.future(tid.Thread).Untyped()}
+	}
+	return v
+}
+
+// unwrapTid strips the carrier off a touched value, restoring the λ4i
+// value the machine semantics would have produced.
+func unwrapTid(v ast.Expr) ast.Expr {
+	if w, ok := v.(fwdTid); ok {
+		return w.Tid
+	}
+	return v
+}
+
+// touchFused implements the fused `bind x = ftouch e in ftouch x`
+// peephole: one forwarding-aware touch with a hop budget of 1 — the
+// outer ftouch rides the inner one's park instead of waking to re-park
+// (the D-Touch pair costs one park, not two). The budget keeps the
+// fusion semantics-exact: exactly two touches deep, so a third tid in
+// the chain is returned unresolved, just as the unfused pair would.
+func (x *exec) touchFused(c *icilk.Ctx, tid ast.Tid) ast.Expr {
+	h := x.future(tid.Thread).Untyped()
+	v := h.TouchThroughN(c, 1)
+	// Whether the hop happened is the stuckness question: the head
+	// value is now resolved, so re-reading it is the done fast path
+	// (one atomic load). A non-tid head value means the substituted
+	// outer ftouch would have been stuck on it.
+	if _, headIsTid := h.Touch(c).(fwdTid); !headIsTid {
+		panic(stuckf("ftouch of non-thread value %s", v.(ast.Expr)))
+	}
+	ev, ok := v.(ast.Expr)
+	if !ok {
+		panic(stuckf("ftouch produced non-expression %T", v))
+	}
+	return unwrapTid(ev)
 }
 
 func (x *exec) ref(loc string) *icilk.Ref[ast.Expr] {
@@ -199,6 +252,24 @@ func (x *exec) command(c *icilk.Ctx, m ast.Cmd) ast.Expr {
 			if !ok {
 				panic(stuckf("bind of non-command value %s", mm.E))
 			}
+			// Fused-forwarding peephole: `bind x = ftouch e in ftouch x`
+			// chains two touches whose first result must be a tid. One
+			// forwarding-aware touch (hop budget 1) resolves the pair
+			// with a single park — completion-time migration carries the
+			// parked toucher from the outer thread to the inner one —
+			// where the naive pair parks on the outer thread, wakes,
+			// substitutes, and parks again on the inner.
+			if ft, ok := cv.M.(ast.Ftouch); ok {
+				if outer, ok := mm.M.(ast.Ftouch); ok {
+					if xv, ok := outer.E.(ast.Var); ok && xv.Name == mm.X {
+						tid, ok := x.eval(ft.E).(ast.Tid)
+						if !ok {
+							panic(stuckf("ftouch of non-thread value %s", ft.E))
+						}
+						return x.touchFused(c, tid)
+					}
+				}
+			}
 			v := x.command(c, cv.M)
 			m = ast.SubstCmd(v, mm.X, mm.M)
 
@@ -206,7 +277,9 @@ func (x *exec) command(c *icilk.Ctx, m ast.Cmd) ast.Expr {
 			name := x.freshThread()
 			body := mm.M
 			fut := icilk.Go(x.rt, c, x.level(mm.P), "l4i:"+name, func(c2 *icilk.Ctx) ast.Expr {
-				return x.command(c2, body)
+				// A tid-valued result completes the future as a
+				// forwarding carrier (see fwdTid); every touch unwraps.
+				return x.wrapTid(x.command(c2, body))
 			})
 			// Publish before returning the handle: the tid value can
 			// only flow onward from our return.
@@ -218,7 +291,10 @@ func (x *exec) command(c *icilk.Ctx, m ast.Cmd) ast.Expr {
 			if !ok {
 				panic(stuckf("ftouch of non-thread value %s", mm.E))
 			}
-			return x.future(tid.Thread).Touch(c)
+			// A plain touch never forwards — D-Touch returns the
+			// thread's value as-is, tid or not — so only the carrier
+			// wrapper is stripped.
+			return unwrapTid(x.future(tid.Thread).Touch(c))
 
 		case ast.Dcl: // D-Dcl → icilk.Ref with the derived ceiling
 			v := x.eval(mm.E)

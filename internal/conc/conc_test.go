@@ -105,7 +105,7 @@ func TestSlotTablePrintCompressProtocol(t *testing.T) {
 
 	printGate := make(chan struct{})
 	_ = icilk.GoSelf(rt, nil, 0, "print",
-		func(c *icilk.Ctx, self *icilk.Future[int]) int {
+		func(c *icilk.Ctx, self icilk.Future[int]) int {
 			st.Swap(0, self.Untyped())
 			close(printGate)
 			busy := time.Now().Add(2 * time.Millisecond)

@@ -265,7 +265,7 @@ func readMostlyThroughput(workers int, dur time.Duration, mode lockMode) float64
 	rwlock := mode != modeMutex
 	var stop atomic.Bool
 	var ops atomic.Int64
-	var futs []*icilk.Future[int]
+	var futs []icilk.Future[int]
 	for t := 0; t < workers; t++ {
 		t := t
 		futs = append(futs, icilk.Go(rt, nil, 0, "scale-reader", func(c *icilk.Ctx) int {

@@ -386,7 +386,7 @@ func shardedThroughput(workers, nshards int, dur time.Duration) float64 {
 
 	var stop atomic.Bool
 	var ops atomic.Int64
-	var futs []*icilk.Future[int]
+	var futs []icilk.Future[int]
 	for t := 0; t < workers; t++ {
 		t := t
 		futs = append(futs, icilk.Go(rt, nil, 0, "shard-worker", func(c *icilk.Ctx) int {

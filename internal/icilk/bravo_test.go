@@ -243,7 +243,7 @@ func TestRWMutexSlotStressRace(t *testing.T) {
 		m.SetReaderSlots(slots)
 		table := map[int]int{}
 		const writers, readers, rounds = 24, 48, 8
-		var futs []*Future[int]
+		var futs []Future[int]
 		for i := 0; i < writers; i++ {
 			p := Priority(i % 3)
 			key := i % 8
@@ -370,7 +370,7 @@ func TestMutexMidWaitBoostReorders(t *testing.T) {
 	}
 
 	gate.Complete(0)
-	for _, f := range []*Future[int]{holder, a, b, booster} {
+	for _, f := range []Future[int]{holder, a, b, booster} {
 		if _, err := Await(f, 10*time.Second); err != nil {
 			t.Fatal(err)
 		}
@@ -448,7 +448,7 @@ func TestRWMutexMidWaitBoostReorders(t *testing.T) {
 	}
 
 	gate.Complete(0)
-	for _, f := range []*Future[int]{holder, a, b, booster} {
+	for _, f := range []Future[int]{holder, a, b, booster} {
 		if _, err := Await(f, 10*time.Second); err != nil {
 			t.Fatal(err)
 		}

@@ -113,7 +113,7 @@ func TestTransitiveInheritanceMutexChain(t *testing.T) {
 	}
 
 	gate.Complete(0) // unwind the chain
-	for _, f := range []*Future[int]{tail, mid, comp, entry} {
+	for _, f := range []Future[int]{tail, mid, comp, entry} {
 		if _, err := Await(f, 10*time.Second); err != nil {
 			t.Fatal(err)
 		}
@@ -201,7 +201,7 @@ func TestTransitiveInheritanceRWMutexChain(t *testing.T) {
 	}
 
 	gate.Complete(0)
-	for _, f := range []*Future[int]{tail, mid, comp, entry} {
+	for _, f := range []Future[int]{tail, mid, comp, entry} {
 		if _, err := Await(f, 10*time.Second); err != nil {
 			t.Fatal(err)
 		}
@@ -275,7 +275,7 @@ func TestTransitiveBoostFloorSurvivesUnlock(t *testing.T) {
 	if got != 1 {
 		t.Errorf("child effPrio after uncontended Lock/Unlock = %d, want 1 (spawn floor wiped)", got)
 	}
-	for _, f := range []*Future[int]{mid, high} {
+	for _, f := range []Future[int]{mid, high} {
 		if _, err := Await(f, 10*time.Second); err != nil {
 			t.Fatal(err)
 		}

@@ -42,7 +42,7 @@ func TestDeadlockDetected(t *testing.T) {
 
 	deadline := time.After(5 * time.Second)
 	errCh := make(chan error, 2)
-	for _, f := range []*Future[int]{f1, f2} {
+	for _, f := range []Future[int]{f1, f2} {
 		f := f
 		go func() {
 			_, err := Await(f, 2*time.Second)
@@ -99,7 +99,7 @@ func TestDeadlockRWMutexWriteCycle(t *testing.T) {
 	})
 
 	errCh := make(chan error, 2)
-	for _, f := range []*Future[int]{f1, f2} {
+	for _, f := range []Future[int]{f1, f2} {
 		f := f
 		go func() {
 			_, err := Await(f, 2*time.Second)
@@ -130,7 +130,7 @@ func TestNoFalseDeadlock(t *testing.T) {
 	defer rt.Shutdown()
 
 	m := NewMutex(rt, 1, "only")
-	var futs []*Future[int]
+	var futs []Future[int]
 	for i := 0; i < 8; i++ {
 		futs = append(futs, Go(rt, nil, Priority(i%2), "worker", func(c *Ctx) int {
 			for j := 0; j < 50; j++ {

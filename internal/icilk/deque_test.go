@@ -307,9 +307,9 @@ func TestConfigDefaults(t *testing.T) {
 func TestGoSelfProvidesOwnFuture(t *testing.T) {
 	rt := New(Config{Workers: 2, Levels: 1})
 	defer rt.Shutdown()
-	fut := GoSelf(rt, nil, 0, "selfaware", func(c *Ctx, self *Future[int]) int {
-		if self == nil {
-			t.Error("self future is nil")
+	fut := GoSelf(rt, nil, 0, "selfaware", func(c *Ctx, self Future[int]) int {
+		if !self.Valid() {
+			t.Error("self future is invalid")
 			return 0
 		}
 		if self.Done() {

@@ -76,7 +76,7 @@ func TestLatencyHiding(t *testing.T) {
 	// would be ≥ 4×30ms.
 	rt := testRuntime(t, Config{Workers: 2, Levels: 1})
 	start := time.Now()
-	var futs []*Future[bool]
+	var futs []Future[bool]
 	for i := 0; i < 8; i++ {
 		futs = append(futs, Go(rt, nil, 0, "waiter", func(c *Ctx) bool {
 			io := IO(rt, 0, 30*time.Millisecond, func() int { return 1 })
@@ -331,7 +331,7 @@ func TestWaitIdleTimeout(t *testing.T) {
 func TestManyTasksStress(t *testing.T) {
 	rt := testRuntime(t, Config{Workers: 4, Levels: 3, Prioritize: true})
 	var sum atomic.Int64
-	var futs []*Future[int]
+	var futs []Future[int]
 	for i := 0; i < 300; i++ {
 		p := Priority(i % 3)
 		i := i

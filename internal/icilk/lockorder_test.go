@@ -68,7 +68,7 @@ func TestLockOrderConsistentNestingSilent(t *testing.T) {
 	B := NewMutex(rt, 1, "ordB")
 	C := NewMutex(rt, 1, "ordC")
 
-	var futs []*Future[int]
+	var futs []Future[int]
 	for i := 0; i < 12; i++ {
 		i := i
 		futs = append(futs, Go(rt, nil, Priority(i%2), "nest", func(c *Ctx) int {
@@ -222,7 +222,7 @@ func TestLockOrderPartialOrderStressSilent(t *testing.T) {
 	locks := stressLocks(rt)
 
 	const tasks, iters = 16, 40
-	var futs []*Future[int]
+	var futs []Future[int]
 	for i := 0; i < tasks; i++ {
 		rng := rand.New(rand.NewSource(int64(i) + 1))
 		futs = append(futs, Go(rt, nil, Priority(i%2), "partial", func(c *Ctx) int {
@@ -264,7 +264,7 @@ func TestLockOrderShuffledStressFires(t *testing.T) {
 	locks := stressLocks(rt)
 
 	const tasks, iters = 8, 30
-	var futs []*Future[int]
+	var futs []Future[int]
 	for i := 0; i < tasks; i++ {
 		rng := rand.New(rand.NewSource(int64(i) + 100))
 		futs = append(futs, Go(rt, nil, Priority(i%2), "shuffled", func(c *Ctx) int {

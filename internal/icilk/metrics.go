@@ -93,6 +93,9 @@ type schedCounters struct {
 	inherits     counter
 	transBoosts  counter
 	ceilings     counter
+	poolHits     counter
+	poolMisses   counter
+	forwards     counter
 }
 
 // SchedStats is a snapshot of the scheduler's event counters since the
@@ -153,6 +156,19 @@ type SchedStats struct {
 	// ceiling — the dynamic analogue of the state-typing rule (paper
 	// Fig. 12) that Touch's inversion check is for futures.
 	CeilingViolations int64
+	// PoolHits and PoolMisses count task/future allocations served from
+	// the worker-striped free lists versus from the heap. At steady
+	// state on the serve path the hit rate approaches 1; with
+	// Config.DisablePooling every allocation is a miss (the ablation's
+	// observable).
+	PoolHits   int64
+	PoolMisses int64
+	// ForwardedTouches counts forwarding hops: a touched future whose
+	// value was itself a future handle, resolved by walking to the inner
+	// future (or migrating a parked waiter onto it) instead of returning
+	// control and re-parking — one count per hop, whether taken
+	// synchronously by the toucher or at completion time by finish.
+	ForwardedTouches int64
 }
 
 // Stats returns a snapshot of the scheduler's event counters.
@@ -174,12 +190,16 @@ func (rt *Runtime) Stats() SchedStats {
 		Inherits:          rt.stats.inherits.Load(),
 		TransitiveBoosts:  rt.stats.transBoosts.Load(),
 		CeilingViolations: rt.stats.ceilings.Load(),
+		PoolHits:          rt.stats.poolHits.Load(),
+		PoolMisses:        rt.stats.poolMisses.Load(),
+		ForwardedTouches:  rt.stats.forwards.Load(),
 	}
 }
 
 func (s SchedStats) String() string {
 	return fmt.Sprintf(
-		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d mutexparks=%d rwrparks=%d rwwparks=%d rwrevokes=%d inherits=%d transboosts=%d ceilings=%d",
+		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d mutexparks=%d rwrparks=%d rwwparks=%d rwrevokes=%d inherits=%d transboosts=%d ceilings=%d poolhits=%d poolmisses=%d forwards=%d",
 		s.Spawns, s.InlineRuns, s.Promotions, s.Parks, s.Resumes, s.Helps, s.Steals, s.Wakes,
-		s.MutexParks, s.RWReadParks, s.RWWriteParks, s.RWRevokes, s.Inherits, s.TransitiveBoosts, s.CeilingViolations)
+		s.MutexParks, s.RWReadParks, s.RWWriteParks, s.RWRevokes, s.Inherits, s.TransitiveBoosts, s.CeilingViolations,
+		s.PoolHits, s.PoolMisses, s.ForwardedTouches)
 }

@@ -1,7 +1,6 @@
 package icilk
 
 import (
-	"sync/atomic"
 	"time"
 )
 
@@ -17,30 +16,46 @@ import (
 // so Runtime.WaitIdle waits for in-flight IO exactly as it waits for
 // tasks. Complete and Fail may be called from any goroutine, but only
 // once between them; a second resolution panics, matching the
-// single-assignment semantics of futures.
+// single-assignment semantics of futures. A Promise is a small value
+// (like Future); the zero Promise is invalid and Valid reports so.
 type Promise[T any] struct {
-	rt       *Runtime
-	f        *future
-	resolved atomic.Bool
+	rt  *Runtime
+	f   *future
+	gen uint64
 }
 
 // NewPromise creates an unresolved promise at priority p. The returned
 // promise's Future can be stored, passed, and Touched like any other;
-// touchers park (freeing their workers) until some goroutine resolves it.
-func NewPromise[T any](rt *Runtime, p Priority) *Promise[T] {
+// touchers park (freeing their workers) until some goroutine resolves
+// it. Called from outside task context, it draws on pool stripe 0; task
+// code should prefer NewPromiseIn, which uses the current worker's
+// stripe.
+func NewPromise[T any](rt *Runtime, p Priority) Promise[T] {
 	rt.outstanding.Add(1)
-	return &Promise[T]{rt: rt, f: &future{prio: p}}
+	f := rt.getFuture(nil, p)
+	return Promise[T]{rt: rt, f: f, gen: f.gen.Load()}
 }
 
+// NewPromiseIn is NewPromise from task context: the promise's future is
+// drawn from (and, after a TouchRelease, returned to) the current
+// worker's pool stripe.
+func NewPromiseIn[T any](c *Ctx, p Priority) Promise[T] {
+	rt := c.t.rt
+	rt.outstanding.Add(1)
+	f := rt.getFuture(c.g, p)
+	return Promise[T]{rt: rt, f: f, gen: f.gen.Load()}
+}
+
+// Valid reports whether the promise was actually created (the zero
+// Promise is the "no promise here" sentinel for struct fields).
+func (p Promise[T]) Valid() bool { return p.f != nil }
+
 // Future returns the consumer-side handle.
-func (p *Promise[T]) Future() *Future[T] { return &Future[T]{f: p.f} }
+func (p Promise[T]) Future() Future[T] { return Future[T]{f: p.f, gen: p.gen} }
 
 // Complete resolves the promise with v, requeueing every parked toucher.
 // It panics if the promise was already resolved.
-func (p *Promise[T]) Complete(v T) {
-	if p.resolved.Swap(true) {
-		panic("icilk: promise resolved twice")
-	}
+func (p Promise[T]) Complete(v T) {
 	defer p.rt.taskDone()
 	p.f.complete(v)
 }
@@ -50,12 +65,10 @@ func (p *Promise[T]) Complete(v T) {
 // scan and its park decision will rescan), but no park-condition
 // broadcast is issued, so a completer draining a batch of ready IO
 // events pays one broadcast per batch instead of one per promise.
-// Every CompleteQuiet batch MUST be followed by a Runtime.Kick — an
-// already-parked worker learns about quiet completions only from it.
-func (p *Promise[T]) CompleteQuiet(v T) {
-	if p.resolved.Swap(true) {
-		panic("icilk: promise resolved twice")
-	}
+// Every CompleteQuiet batch MUST be followed by a Runtime.Kick (or a
+// KickSoon, which coalesces the batch boundary over a time window) —
+// an already-parked worker learns about quiet completions only from it.
+func (p Promise[T]) CompleteQuiet(v T) {
 	defer p.rt.taskDone()
 	p.f.finish(v, nil, true)
 }
@@ -63,31 +76,45 @@ func (p *Promise[T]) CompleteQuiet(v T) {
 // Fail resolves the promise with an error; touchers re-panic it, so an
 // IO failure propagates along join edges like a task panic. It panics if
 // the promise was already resolved.
-func (p *Promise[T]) Fail(err error) {
-	if p.resolved.Swap(true) {
-		panic("icilk: promise resolved twice")
-	}
+func (p Promise[T]) Fail(err error) {
 	defer p.rt.taskDone()
 	p.f.fail(err)
 }
 
 // Resolved reports whether Complete or Fail has been called.
-func (p *Promise[T]) Resolved() bool { return p.resolved.Load() }
+func (p Promise[T]) Resolved() bool {
+	f := p.f
+	if !f.done.Load() {
+		return false
+	}
+	// A failed future reports done=true with err set; Resolved must see
+	// it too (poll deliberately hides failures from TryTouch).
+	return true
+}
 
 // Completed returns an already-resolved future holding v — for IO layers
 // whose fast path (buffered data, cache hit) has the value on hand and
 // needs a Future only to keep one signature. It never parks a toucher
-// and does not count as outstanding.
-func Completed[T any](p Priority, v T) *Future[T] {
-	return &Future[T]{f: &future{prio: p, done: true, val: v}}
+// and does not count as outstanding: touching it is the done fast path
+// (one atomic load), with no wake machinery anywhere near it.
+func Completed[T any](p Priority, v T) Future[T] {
+	f := &future{prio: p, val: v}
+	f.done.Store(true)
+	return Future[T]{f: f}
 }
 
 // IO returns a future that completes with mk() after d elapses, without
 // occupying a worker — the io_future of Section 4.1. The simulated I/O
 // substrate (internal/simio) builds on this; real-socket IO in
-// internal/serve uses NewPromise directly.
-func IO[T any](rt *Runtime, p Priority, d time.Duration, mk func() T) *Future[T] {
+// internal/serve uses NewPromise directly. Timer completions are quiet
+// + KickSoon: expirations landing within one CompletionWindow coalesce
+// into a single worker wake (the batched-completion contract), instead
+// of one broadcast per timer.
+func IO[T any](rt *Runtime, p Priority, d time.Duration, mk func() T) Future[T] {
 	pr := NewPromise[T](rt, p)
-	time.AfterFunc(d, func() { pr.Complete(mk()) })
+	time.AfterFunc(d, func() {
+		pr.CompleteQuiet(mk())
+		rt.KickSoon()
+	})
 	return pr.Future()
 }

@@ -70,6 +70,27 @@ type Config struct {
 	// asserts order-discipline absence by merely completing. Requires
 	// RecordLockOrder.
 	PanicOnLockOrderViolation bool
+	// DisablePooling turns off the worker-striped task/future free
+	// lists (pool.go) — the ablation knob for measuring what the
+	// per-request allocations cost. With pooling off every getTask/
+	// getFuture is a heap allocation and a SchedStats.PoolMisses count.
+	DisablePooling bool
+	// DebugPooling makes recycling misuse loud: every touch through a
+	// Future/Handle checks the handle's mint-time generation stamp
+	// against the future's current one and panics with a
+	// StaleHandleError on mismatch (a handle used after TouchRelease
+	// recycled its future). Off by default — the check is cheap but the
+	// contract (TouchRelease callers own the last reference) is the
+	// production invariant, and tests are where it should fail.
+	DebugPooling bool
+	// CompletionWindow is the coalescing window for Runtime.KickSoon:
+	// IO completions arriving within one window share a single wake
+	// broadcast (default 50µs; negative disables coalescing, making
+	// KickSoon an immediate Kick).
+	CompletionWindow time.Duration
+
+	// pooling is the derived positive form of DisablePooling.
+	pooling bool
 }
 
 func (c Config) withDefaults() Config {
@@ -91,6 +112,10 @@ func (c Config) withDefaults() Config {
 	c.CheckInversions = !c.DisableInversionCheck
 	c.CollectMetrics = !c.DisableMetrics
 	c.Inherit = !c.DisableInheritance
+	c.pooling = !c.DisablePooling
+	if c.CompletionWindow == 0 {
+		c.CompletionWindow = 50 * time.Microsecond
+	}
 	return c
 }
 
@@ -162,6 +187,16 @@ type Runtime struct {
 	metrics   metrics
 	stats     schedCounters
 	lockOrder lockOrderGraph
+
+	// pools are the worker-striped task/future free lists (pool.go),
+	// indexed by worker id.
+	pools []poolStripe
+
+	// KickSoon state: kickPending marks a scheduled flush; the
+	// persistent timer is (re)armed under kickMu.
+	kickPending atomic.Bool
+	kickMu      sync.Mutex
+	kickTimer   *time.Timer
 }
 
 // New starts a runtime with the given configuration.
@@ -171,6 +206,7 @@ func New(cfg Config) *Runtime {
 		cfg:        cfg,
 		assignment: make([]atomic.Int32, cfg.Workers),
 		masterStop: make(chan struct{}),
+		pools:      make([]poolStripe, cfg.Workers),
 	}
 	rt.parkCond = sync.NewCond(&rt.parkMu)
 	for l := 0; l < cfg.Levels; l++ {
@@ -209,6 +245,11 @@ func (rt *Runtime) Shutdown() {
 		return
 	}
 	close(rt.masterStop)
+	rt.kickMu.Lock()
+	if rt.kickTimer != nil {
+		rt.kickTimer.Stop()
+	}
+	rt.kickMu.Unlock()
 	rt.parkMu.Lock()
 	rt.parkCond.Broadcast()
 	rt.parkMu.Unlock()
@@ -345,7 +386,12 @@ func (rt *Runtime) spawn(c *Ctx, p Priority, name string, f *future, fn func(*Ct
 	if rt.stopped.Load() {
 		panic("icilk: spawn on a stopped runtime")
 	}
-	t := &task{rt: rt, prio: p, fut: f, name: name, fn: fn}
+	var g *gctx
+	if c != nil {
+		g = c.g
+	}
+	t := rt.getTask(g)
+	t.prio, t.fut, t.name, t.fn = p, f, name, fn
 	f.owner = t
 	// A task spawned from inside a boosted critical section inherits the
 	// boost as a floor: if the holder forks work it will join before
@@ -367,10 +413,6 @@ func (rt *Runtime) spawn(c *Ctx, p Priority, name string, f *future, fn func(*Ct
 	}
 	rt.outstanding.Add(1)
 	rt.stats.spawns.Add(1)
-	var g *gctx
-	if c != nil {
-		g = c.g
-	}
 	rt.submit(t, g)
 }
 
@@ -378,10 +420,31 @@ func (rt *Runtime) spawn(c *Ctx, p Priority, name string, f *future, fn func(*Ct
 // closure until it first blocks; the common never-blocking task runs
 // inline on a worker with no goroutine, channel, or timestamp traffic.
 // The returned future is first-class: store it, pass it, Touch it.
-func Go[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx) T) *Future[T] {
-	f := &future{prio: p}
+func Go[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx) T) Future[T] {
+	var g *gctx
+	if c != nil {
+		g = c.g
+	}
+	f := rt.getFuture(g, p)
+	out := Future[T]{f: f, gen: f.gen.Load()}
 	rt.spawn(c, p, name, f, func(c *Ctx) any { return fn(c) })
-	return &Future[T]{f: f}
+	return out
+}
+
+// Spawn is the untyped fcreate: fn's any result completes the returned
+// Handle directly, with no generic wrapper closure. It exists for hot
+// paths that spawn with a hoisted closure and must not allocate per
+// spawn — with pooling on, a steady-state Spawn/TouchRelease pair is
+// allocation-free.
+func Spawn(rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx) any) Handle {
+	var g *gctx
+	if c != nil {
+		g = c.g
+	}
+	f := rt.getFuture(g, p)
+	out := Handle{f: f, gen: f.gen.Load()}
+	rt.spawn(c, p, name, f, fn)
+	return out
 }
 
 // GoSelf is Go for tasks that need their own future while running — the
@@ -389,9 +452,13 @@ func Go[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx) T) *F
 // can install its own handle in the coordination slot (Section 5.1). The
 // future is created before the task starts, so the body receives a fully
 // initialized handle.
-func GoSelf[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx, *Future[T]) T) *Future[T] {
-	f := &future{prio: p}
-	self := &Future[T]{f: f}
+func GoSelf[T any](rt *Runtime, c *Ctx, p Priority, name string, fn func(*Ctx, Future[T]) T) Future[T] {
+	var g *gctx
+	if c != nil {
+		g = c.g
+	}
+	f := rt.getFuture(g, p)
+	self := Future[T]{f: f, gen: f.gen.Load()}
 	rt.spawn(c, p, name, f, func(c *Ctx) any { return fn(c, self) })
 	return self
 }
@@ -422,6 +489,42 @@ func (rt *Runtime) requeueQuiet(t *task) {
 // a Promise.CompleteQuiet batch) is ready. Completers call it once per
 // drained batch instead of paying one broadcast per completion.
 func (rt *Runtime) Kick() { rt.wake() }
+
+// KickSoon schedules a Kick within Config.CompletionWindow, coalescing
+// with every other KickSoon that lands in the same window — the wake
+// half of batched IO completion for completers that see events one at
+// a time (timer callbacks, per-connection reader goroutines) and so
+// have no natural batch boundary to Kick at. Quiet completions are
+// visible to scanning workers immediately (requeueQuiet bumps wakeSeq);
+// only the broadcast to already-parked workers is deferred, so the
+// window trades at most CompletionWindow of wake latency on an idle
+// machine for one broadcast per window under load.
+//
+// The flush clears kickPending BEFORE broadcasting: any completer that
+// saw kickPending already set has ordered its requeue before the swap,
+// hence before the coming broadcast — no quiet completion can strand
+// behind a flush it raced with.
+func (rt *Runtime) KickSoon() {
+	if rt.cfg.CompletionWindow <= 0 {
+		rt.wake()
+		return
+	}
+	if rt.kickPending.Swap(true) {
+		return // a flush is already scheduled and will cover this batch
+	}
+	rt.kickMu.Lock()
+	if rt.kickTimer == nil {
+		rt.kickTimer = time.AfterFunc(rt.cfg.CompletionWindow, rt.flushKick)
+	} else {
+		rt.kickTimer.Reset(rt.cfg.CompletionWindow)
+	}
+	rt.kickMu.Unlock()
+}
+
+func (rt *Runtime) flushKick() {
+	rt.kickPending.Store(false)
+	rt.wake()
+}
 
 // run is a worker runner's scheduling loop. The goroutine executes tasks
 // inline on its own stack; when a task first parks, the goroutine hands

@@ -43,7 +43,7 @@ func TestRWMutexWriterExcludes(t *testing.T) {
 	m := NewRWMutex(rt, 2, 1, "excl")
 	x := 0
 	const writers, incs = 12, 8
-	var futs []*Future[int]
+	var futs []Future[int]
 	for i := 0; i < writers; i++ {
 		park := i%3 == 0
 		futs = append(futs, Go(rt, nil, 1, "writer", func(c *Ctx) int {
@@ -178,7 +178,7 @@ func TestRWMutexDrainGrantsWriterOverReaders(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	gate.Complete(0)
-	for _, f := range []*Future[int]{holder, writer, late} {
+	for _, f := range []Future[int]{holder, writer, late} {
 		if _, err := Await(f, 10*time.Second); err != nil {
 			t.Fatal(err)
 		}
@@ -329,7 +329,7 @@ func TestRWMutexStressMultiLevel(t *testing.T) {
 	m := NewRWMutex(rt, 3, 2, "stress")
 	table := map[int]int{}
 	const writers, readers, rounds = 40, 60, 6
-	var futs []*Future[int]
+	var futs []Future[int]
 	for i := 0; i < writers; i++ {
 		p := Priority(i % 3) // ≤ write ceiling 2
 		key := i % 8
@@ -395,7 +395,7 @@ func TestMutexHandoffPriorityOrder(t *testing.T) {
 	})
 	<-locked
 	var order []Priority
-	var futs []*Future[int]
+	var futs []Future[int]
 	for _, p := range []Priority{0, 2, 1} {
 		p := p
 		// Ensure each waiter has parked before spawning the next, so all
@@ -462,7 +462,7 @@ func TestMutexFastPathChurnRace(t *testing.T) {
 	counter := 0
 	var tries atomic.Int64
 	const tasks, rounds = 24, 30
-	var futs []*Future[int]
+	var futs []Future[int]
 	for i := 0; i < tasks; i++ {
 		p := Priority(i % 2)
 		kind := i % 3

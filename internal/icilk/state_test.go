@@ -35,7 +35,7 @@ func TestRefUpdateAtomicUnderContention(t *testing.T) {
 	rt := testRuntime(t, Config{Workers: 4, Levels: 3, Prioritize: true})
 	r := NewRef[int64](rt, 2, 0)
 	const tasks, incs = 60, 50
-	var futs []*Future[int]
+	var futs []Future[int]
 	for i := 0; i < tasks; i++ {
 		p := Priority(i % 3)
 		futs = append(futs, Go(rt, nil, p, "inc", func(c *Ctx) int {
@@ -126,7 +126,7 @@ func TestMutexMutualExclusion(t *testing.T) {
 	m := NewMutex(rt, 2, "counter")
 	counter := 0
 	const tasks = 48
-	var futs []*Future[int]
+	var futs []Future[int]
 	for i := 0; i < tasks; i++ {
 		p := Priority(i % 3)
 		park := i%4 == 0
@@ -203,7 +203,7 @@ func TestMutexTryLock(t *testing.T) {
 // inheritance the holder was boosted to the waiter's level, so its
 // requeue lands at level 1, the master hands the worker up, and the
 // chain unwinds.
-func inheritanceScenario(t *testing.T, rt *Runtime) (high *Future[int], gate *Promise[int], stopSpin *atomic.Bool) {
+func inheritanceScenario(t *testing.T, rt *Runtime) (high Future[int], gate Promise[int], stopSpin *atomic.Bool) {
 	t.Helper()
 	m := NewMutex(rt, 1, "inherit")
 	gate = NewPromise[int](rt, 0)
@@ -303,7 +303,7 @@ func TestMutexStressMultiLevel(t *testing.T) {
 	table := map[int]int{}
 	hits := NewRef[int64](rt, 3, 0)
 	const tasks = 120
-	var futs []*Future[int]
+	var futs []Future[int]
 	for i := 0; i < tasks; i++ {
 		p := Priority(i % 4)
 		key := i % 8

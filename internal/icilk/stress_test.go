@@ -27,7 +27,7 @@ func TestStressChurn(t *testing.T) {
 
 			const roots = 120
 			var completed atomic.Int64
-			var futs []*Future[int]
+			var futs []Future[int]
 			for i := 0; i < roots; i++ {
 				i := i
 				p := Priority(i % 3)
@@ -90,7 +90,7 @@ func runDifferentialWorkload(t *testing.T, cfg Config) map[int]bool {
 		mu.Unlock()
 	}
 	const width, depth = 16, 4
-	var futs []*Future[int]
+	var futs []Future[int]
 	for i := 0; i < width; i++ {
 		i := i
 		futs = append(futs, Go(rt, nil, Priority(i%cfg.Levels), "tree", func(c *Ctx) int {

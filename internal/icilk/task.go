@@ -40,6 +40,13 @@ type task struct {
 	firstRun time.Time
 	done     time.Time
 
+	// ctx is the task's execution context, embedded so the steady-state
+	// spawn/run/recycle cycle allocates nothing. Rebuilt by execTask on
+	// every incarnation; a *Ctx retained past the task's end was always
+	// invalid, and with pooling it aliases the next incarnation exactly
+	// like a stale Handle does.
+	ctx Ctx
+
 	// blockedOn is set while parked on a future (diagnostics only).
 	blockedOn *future
 
@@ -107,6 +114,20 @@ type task struct {
 	// release the exact slot the acquire published into, even if the
 	// task migrated workers while holding. Task-private, like held.
 	rslots []rslotHold
+
+	// fwdVal/fwdErr deliver a touched future's outcome to this task
+	// while it is parked as a waiter: finish writes them before the
+	// requeue, and the resumed toucher reads them instead of re-reading
+	// the future cell (which a concurrent TouchRelease may already have
+	// recycled). fwdBudget is the forwarding budget the task parked
+	// with: zero for a plain Touch, positive for TouchThrough, where
+	// finish may consume hops by migrating the parked task along a
+	// carrier chain. All three are written by the task itself before it
+	// becomes visible on a waiter list, or by finish before the
+	// requeue; the park/requeue handshake publishes them.
+	fwdBudget int32
+	fwdVal    any
+	fwdErr    error
 }
 
 // rslotHold is one slot-path read hold: the lock and the slot counter
@@ -362,7 +383,8 @@ func (e *PriorityInversionError) Error() string {
 // execTask returns only once the task has finished (it may park and be
 // resumed by other workers any number of times in between).
 func (rt *Runtime) execTask(g *gctx, t *task) {
-	c := &Ctx{t: t, g: g}
+	t.ctx = Ctx{t: t, g: g}
+	c := &t.ctx
 	if rt.cfg.CollectMetrics {
 		t.firstRun = time.Now()
 	}
@@ -381,7 +403,8 @@ func (rt *Runtime) execTask(g *gctx, t *task) {
 		}
 	}()
 	v := t.fn(c)
-	if t.g == nil {
+	inline := t.g == nil
+	if inline {
 		// The task finished without ever parking — the fcreate fast
 		// path: no goroutine, no channel operations, no promotion.
 		rt.stats.inlineRuns.Add(1)
@@ -392,6 +415,14 @@ func (rt *Runtime) execTask(g *gctx, t *task) {
 	rt.recordTask(t)
 	t.fut.complete(v)
 	rt.taskDone()
+	if inline && rt.cfg.pooling {
+		// An inline task was popped under the dispatch claim from
+		// exactly one queue and sits on no waiter list, so nothing else
+		// references it: recycle it. Promoted tasks are never pooled —
+		// their fiber goroutine and any stale duplicate queue entries
+		// may still hold the pointer.
+		rt.putTask(g, t)
+	}
 }
 
 // runTask executes t using the slot currently held by g's goroutine:

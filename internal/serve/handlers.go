@@ -15,7 +15,7 @@ import (
 // handlerFn computes one response body. self is non-nil only for
 // slot-protocol handlers (email print), which receive their own future
 // to install in the coordination slot.
-type handlerFn func(c *icilk.Ctx, self *icilk.Future[int]) (int, string)
+type handlerFn func(c *icilk.Ctx, self icilk.Future[int]) (int, string)
 
 // dispatch admits req to a priority class and spawns its handler at that
 // class's level — the network edge of the paper's priority
@@ -34,7 +34,10 @@ func (s *Server) dispatch(c *icilk.Ctx, cn *sconn, req *request) {
 	s.countAdmit(c, class)
 	s.trackSession(c, cn, req)
 	prev := cn.lastWrite
-	token := icilk.NewPromise[int](s.rt, PrioInteractive)
+	// Pool-sourced: the order token is touched exactly once, by the
+	// successor handler, which releases it (TouchRelease below). The
+	// final token of a connection is never touched and falls to the GC.
+	token := icilk.NewPromiseIn[int](c, PrioInteractive)
 	cn.lastWrite = token.Future()
 	// A slot-protocol handler (email print) runs as its own inner task
 	// so the future it installs in the coordination slot completes as
@@ -44,12 +47,12 @@ func (s *Server) dispatch(c *icilk.Ctx, cn *sconn, req *request) {
 	// parks on A's order token.
 	exec := func(c *icilk.Ctx) (int, string) {
 		if !self {
-			return run(c, nil)
+			return run(c, icilk.Future[int]{})
 		}
 		var status int
 		var text string
 		inner := icilk.GoSelf(s.rt, c, prio, class,
-			func(c *icilk.Ctx, fut *icilk.Future[int]) int {
+			func(c *icilk.Ctx, fut icilk.Future[int]) int {
 				status, text = run(c, fut)
 				return 0
 			})
@@ -74,7 +77,7 @@ func (s *Server) dispatch(c *icilk.Ctx, cn *sconn, req *request) {
 			}()
 			status, text = exec(c)
 		}()
-		prev.Touch(c)
+		prev.TouchRelease(c) // sole toucher of the predecessor's token
 		s.respond(c, cn, prio, class, status, text)
 		token.Complete(0)
 		return 0
@@ -88,7 +91,7 @@ func (s *Server) dispatch(c *icilk.Ctx, cn *sconn, req *request) {
 // job server uses.
 func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
 	fail := func(status int, msg string) (string, icilk.Priority, handlerFn, bool) {
-		return "error", classPrio("error"), func(*icilk.Ctx, *icilk.Future[int]) (int, string) {
+		return "error", classPrio("error"), func(*icilk.Ctx, icilk.Future[int]) (int, string) {
 			return status, msg
 		}, false
 	}
@@ -97,12 +100,12 @@ func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
 	}
 	switch req.path {
 	case "/ping":
-		return "ping", classPrio("ping"), func(*icilk.Ctx, *icilk.Future[int]) (int, string) {
+		return "ping", classPrio("ping"), func(*icilk.Ctx, icilk.Future[int]) (int, string) {
 			return 200, "pong\n"
 		}, false
 
 	case "/stats":
-		return "stats", classPrio("stats"), func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+		return "stats", classPrio("stats"), func(c *icilk.Ctx, _ icilk.Future[int]) (int, string) {
 			return 200, s.statsBody(c)
 		}, false
 
@@ -114,7 +117,7 @@ func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
 		}
 		prio := jserver.PriorityOf(jt)
 		class := "jserver-" + jt.String()
-		return class, prio, func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+		return class, prio, func(c *icilk.Ctx, _ icilk.Future[int]) (int, string) {
 			start := time.Now()
 			s.jobs.Exec(s.rt, c, prio, jt)
 			return 200, fmt.Sprintf("%s done in %v\n", jt, time.Since(start).Round(time.Microsecond))
@@ -125,7 +128,7 @@ func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
 		if url == "" {
 			return fail(400, "missing url parameter\n")
 		}
-		return "proxy", classPrio("proxy"), func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+		return "proxy", classPrio("proxy"), func(c *icilk.Ctx, _ icilk.Future[int]) (int, string) {
 			// Fastest path: the serve-layer response cache (proxy content
 			// is deterministic, so whole bodies are safe to replay).
 			if body, ok := s.cachedResponse(c, "proxy:"+url); ok {
@@ -149,18 +152,18 @@ func (s *Server) route(req *request) (string, icilk.Priority, handlerFn, bool) {
 		user := atoiDefault(req.query.Get("user"), 0)
 		switch op := req.query.Get("op"); op {
 		case "send":
-			return "email-send", classPrio("email-send"), func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+			return "email-send", classPrio("email-send"), func(c *icilk.Ctx, _ icilk.Future[int]) (int, string) {
 				s.email.Send(c, user)
 				return 200, "sent\n"
 			}, false
 		case "sort":
-			return "email-sort", classPrio("email-sort"), func(c *icilk.Ctx, _ *icilk.Future[int]) (int, string) {
+			return "email-sort", classPrio("email-sort"), func(c *icilk.Ctx, _ icilk.Future[int]) (int, string) {
 				s.email.Sort(c, user)
 				return 200, "sorted\n"
 			}, false
 		case "print":
 			eid := atoiDefault(req.query.Get("id"), 0)
-			return "email-print", classPrio("email-print"), func(c *icilk.Ctx, self *icilk.Future[int]) (int, string) {
+			return "email-print", classPrio("email-print"), func(c *icilk.Ctx, self icilk.Future[int]) (int, string) {
 				s.email.Print(c, user, eid, self)
 				return 200, "printed\n"
 			}, true

@@ -218,7 +218,7 @@ type Server struct {
 // written is one finished socket write: the promise its handler parks
 // on, and the byte count to complete it with (-1 on error).
 type written struct {
-	pr *icilk.Promise[int]
+	pr icilk.Promise[int]
 	n  int
 }
 
@@ -250,7 +250,7 @@ const maxSessions = 4096
 type writeOp struct {
 	cn   *sconn
 	data []byte
-	pr   *icilk.Promise[int]
+	pr   icilk.Promise[int]
 }
 
 // sconn is one accepted connection: the reader goroutine parses requests
@@ -261,14 +261,14 @@ type sconn struct {
 	mu      sync.Mutex
 	queue   []*request
 	closed  bool
-	pending *icilk.Promise[*request]
+	pending icilk.Promise[*request]
 
 	// lastWrite is the response-order chain: the future that completes
 	// when the most recently dispatched request's response has been
 	// written. Only the event-loop task reads and replaces it, so it
 	// needs no lock. The chain also means at most one write per
 	// connection is ever in flight, so writes need no per-conn lock.
-	lastWrite *icilk.Future[int]
+	lastWrite icilk.Future[int]
 }
 
 // Start listens on cfg.Addr and begins serving.
@@ -361,18 +361,25 @@ func (s *Server) reader(cn *sconn) {
 			cn.closed = true
 			cn.queue = nil // a dead client gets no buffered work executed
 			pr := cn.pending
-			cn.pending = nil
+			cn.pending = icilk.Promise[*request]{}
 			cn.mu.Unlock()
-			if pr != nil {
+			if pr.Valid() {
+				// Connection teardown wakes its event loop immediately: a
+				// coalescing window would only delay the close.
 				pr.Complete(nil) // nil request = connection over
 			}
 			s.dropConn(cn)
 			return
 		}
-		if pr := cn.pending; pr != nil {
-			cn.pending = nil
+		if pr := cn.pending; pr.Valid() {
+			cn.pending = icilk.Promise[*request]{}
 			cn.mu.Unlock()
-			pr.Complete(req)
+			// Quiet + KickSoon: request arrivals landing on many
+			// connections within one completion window share a single
+			// worker wake instead of one broadcast per reader goroutine.
+			// Scanning (non-parked) workers see the requeue immediately.
+			pr.CompleteQuiet(req)
+			s.rt.KickSoon()
 			continue
 		}
 		if len(cn.queue) >= maxPipelined {
@@ -406,23 +413,27 @@ func (s *Server) dropConn(cn *sconn) {
 // nothing buffered it registers a promise and returns a future for the
 // reader to complete; the event loop parks on it, freeing its worker
 // for exactly as long as the client takes. A closed connection returns
-// an empty batch and a nil future.
-func (s *Server) nextBatch(cn *sconn, buf []*request) ([]*request, *icilk.Future[*request]) {
+// an empty batch and an invalid (zero) future.
+func (s *Server) nextBatch(c *icilk.Ctx, cn *sconn, buf []*request) ([]*request, icilk.Future[*request]) {
 	cn.mu.Lock()
 	// Closed beats buffered: no one can read the responses, so buffered
 	// requests on a dead connection are dropped, not executed.
 	if cn.closed {
 		cn.queue = nil
 		cn.mu.Unlock()
-		return buf, nil
+		return buf, icilk.Future[*request]{}
 	}
 	if len(cn.queue) > 0 {
 		buf = append(buf, cn.queue...)
 		cn.queue = cn.queue[:0]
 		cn.mu.Unlock()
-		return buf, nil
+		return buf, icilk.Future[*request]{}
 	}
-	pr := icilk.NewPromise[*request](s.rt, PrioInteractive)
+	// Pool-sourced (NewPromiseIn) and released by the event loop's
+	// TouchRelease: at steady state the wait-for-request promise costs
+	// no allocation. The reader holds its Promise copy only for the
+	// duration of the Complete call, so the release cannot race it.
+	pr := icilk.NewPromiseIn[*request](c, PrioInteractive)
 	cn.pending = pr
 	cn.mu.Unlock()
 	return buf, pr.Future()
@@ -455,10 +466,12 @@ func (s *Server) eventLoop(cn *sconn) {
 		n := 0
 		var batch []*request
 		for {
-			var fut *icilk.Future[*request]
-			batch, fut = s.nextBatch(cn, batch[:0])
-			if fut != nil {
-				req := fut.Touch(c)
+			var fut icilk.Future[*request]
+			batch, fut = s.nextBatch(c, cn, batch[:0])
+			if fut.Valid() {
+				// This task is the future's only toucher and nothing
+				// stores the handle, so release it back to the pool.
+				req := fut.TouchRelease(c)
 				if req == nil {
 					return n
 				}
@@ -484,10 +497,14 @@ func (s *Server) eventLoop(cn *sconn) {
 // Nothing here blocks the icilk worker: the goroutine spawn is cheap
 // and the touch parks the task, freeing the worker immediately.
 func (s *Server) respond(c *icilk.Ctx, cn *sconn, prio icilk.Priority, class string, status int, body string) {
-	pr := icilk.NewPromise[int](s.rt, prio)
+	// Pool-sourced and released here: the write promise lives exactly
+	// one response — this task is its only toucher, and the completer's
+	// CompleteQuiet has returned control of the cell before TouchRelease
+	// can observe the completion.
+	pr := icilk.NewPromiseIn[int](c, prio)
 	s.writeWG.Add(1)
 	go s.write(writeOp{cn: cn, data: httpResponse(status, class, prio, body), pr: pr})
-	if pr.Future().Touch(c) < 0 {
+	if pr.Future().TouchRelease(c) < 0 {
 		s.writeErrs.Add(1)
 	}
 }

@@ -46,7 +46,7 @@ func (d *Device) Name() string { return d.name }
 // Read issues a simulated read completing with data() after the sampled
 // latency — the cilk_read of Section 4.1: the returned io_future hides
 // the latency instead of blocking a worker.
-func Read[T any](rt *icilk.Runtime, d *Device, p icilk.Priority, data func() T) *icilk.Future[T] {
+func Read[T any](rt *icilk.Runtime, d *Device, p icilk.Priority, data func() T) icilk.Future[T] {
 	d.mu.Lock()
 	lat := d.lat.Sample(d.rng)
 	d.mu.Unlock()
@@ -54,7 +54,7 @@ func Read[T any](rt *icilk.Runtime, d *Device, p icilk.Priority, data func() T) 
 }
 
 // Write issues a simulated write, completing with true after the latency.
-func Write(rt *icilk.Runtime, d *Device, p icilk.Priority) *icilk.Future[bool] {
+func Write(rt *icilk.Runtime, d *Device, p icilk.Priority) icilk.Future[bool] {
 	d.mu.Lock()
 	lat := d.lat.Sample(d.rng)
 	d.mu.Unlock()

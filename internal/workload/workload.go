@@ -238,9 +238,9 @@ func SmithWaterman(rt *icilk.Runtime, c *icilk.Ctx, p icilk.Priority, a, b strin
 	for i := range h {
 		h[i] = make([]int, len(b)+1)
 	}
-	grid := make([][]*icilk.Future[int], rows)
+	grid := make([][]icilk.Future[int], rows)
 	for i := range grid {
-		grid[i] = make([]*icilk.Future[int], cols)
+		grid[i] = make([]icilk.Future[int], cols)
 	}
 	for bi := 0; bi < rows; bi++ {
 		for bj := 0; bj < cols; bj++ {
