@@ -219,3 +219,23 @@ func TestKickSoonCoalesces(t *testing.T) {
 		t.Fatalf("%d completions produced %d wake broadcasts; KickSoon did not coalesce", n, d)
 	}
 }
+
+// TestKickSoonAfterShutdown pins the KickSoon/Shutdown ordering: a
+// KickSoon that runs after Shutdown must not re-arm the flush timer
+// Shutdown just stopped (which would fire a wake on a stopped runtime),
+// and must leave kickPending clear so the skip is not mistaken for a
+// scheduled flush.
+func TestKickSoonAfterShutdown(t *testing.T) {
+	rt := New(Config{Workers: 1, Levels: 1, CompletionWindow: time.Hour})
+	rt.Shutdown()
+	rt.KickSoon()
+	rt.kickMu.Lock()
+	armed := rt.kickTimer != nil
+	rt.kickMu.Unlock()
+	if armed {
+		t.Fatal("KickSoon after Shutdown armed the flush timer")
+	}
+	if rt.kickPending.Load() {
+		t.Fatal("KickSoon after Shutdown left kickPending set")
+	}
+}

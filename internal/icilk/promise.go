@@ -53,9 +53,23 @@ func (p Promise[T]) Valid() bool { return p.f != nil }
 // Future returns the consumer-side handle.
 func (p Promise[T]) Future() Future[T] { return Future[T]{f: p.f, gen: p.gen} }
 
+// checkGen fails a resolution through a promise whose future was
+// recycled (the toucher released it and the cell moved on to another
+// incarnation) — only under Config.DebugPooling, mirroring the handle-
+// side check: without it a late Complete would silently resolve the
+// pooled cell or another request's incarnation instead of panicking.
+func (p Promise[T]) checkGen() {
+	if p.rt.cfg.DebugPooling {
+		if cur := p.f.gen.Load(); cur != p.gen {
+			panic(&StaleHandleError{Minted: p.gen, Current: cur})
+		}
+	}
+}
+
 // Complete resolves the promise with v, requeueing every parked toucher.
 // It panics if the promise was already resolved.
 func (p Promise[T]) Complete(v T) {
+	p.checkGen()
 	defer p.rt.taskDone()
 	p.f.complete(v)
 }
@@ -69,6 +83,7 @@ func (p Promise[T]) Complete(v T) {
 // KickSoon, which coalesces the batch boundary over a time window) —
 // an already-parked worker learns about quiet completions only from it.
 func (p Promise[T]) CompleteQuiet(v T) {
+	p.checkGen()
 	defer p.rt.taskDone()
 	p.f.finish(v, nil, true)
 }
@@ -77,15 +92,30 @@ func (p Promise[T]) CompleteQuiet(v T) {
 // IO failure propagates along join edges like a task panic. It panics if
 // the promise was already resolved.
 func (p Promise[T]) Fail(err error) {
+	p.checkGen()
 	defer p.rt.taskDone()
 	p.f.fail(err)
 }
 
-// Resolved reports whether Complete or Fail has been called.
+// Resolved reports whether Complete or Fail has been called on THIS
+// incarnation of the promise's future. Recycling counts as resolved: a
+// future only reaches TouchRelease after its completion, so a bumped
+// generation stamp means the promise's lifetime already ended. The
+// stamp is re-checked after the done load because putFuture bumps the
+// generation BEFORE clearing done — a done=false read from a recycled
+// cell is always caught by the second check, so Resolved never reverts
+// to false once the promise has completed. It must still not be used
+// as a he-who-completes guard by a racing completer (use a caller-local
+// flag for that); it is a point-in-time observation, not a claim.
 func (p Promise[T]) Resolved() bool {
 	f := p.f
+	if f.gen.Load() != p.gen {
+		return true
+	}
 	if !f.done.Load() {
-		return false
+		// done=false is trustworthy only if the cell still belongs to
+		// this incarnation; re-check the stamp (bumped before the reset).
+		return f.gen.Load() != p.gen
 	}
 	// A failed future reports done=true with err set; Resolved must see
 	// it too (poll deliberately hides failures from TryTouch).
@@ -109,7 +139,10 @@ func Completed[T any](p Priority, v T) Future[T] {
 // internal/serve uses NewPromise directly. Timer completions are quiet
 // + KickSoon: expirations landing within one CompletionWindow coalesce
 // into a single worker wake (the batched-completion contract), instead
-// of one broadcast per timer.
+// of one broadcast per timer. The trade: with all workers parked, a
+// completion is noticed up to one window (default 50µs) late. Callers
+// that assert sub-window IO latency should set Config.CompletionWindow
+// negative, which makes KickSoon an immediate Kick.
 func IO[T any](rt *Runtime, p Priority, d time.Duration, mk func() T) Future[T] {
 	pr := NewPromise[T](rt, p)
 	time.AfterFunc(d, func() {

@@ -87,6 +87,73 @@ func TestPromiseDoubleResolvePanics(t *testing.T) {
 	pr.Complete(2)
 }
 
+// TestStalePromiseResolveDebug pins the completer-side generation
+// check: with DebugPooling set, Complete on a promise whose future was
+// already recycled by TouchRelease panics with a StaleHandleError
+// instead of silently resolving the pooled cell (whose done flag was
+// reset, so the double-resolution guard alone can no longer fire).
+func TestStalePromiseResolveDebug(t *testing.T) {
+	rt := New(Config{Workers: 2, Levels: 1, DebugPooling: true})
+	defer rt.Shutdown()
+
+	res := Go(rt, nil, 0, "stale-completer", func(c *Ctx) int {
+		pr := NewPromiseIn[int](c, 0)
+		pr.Complete(1)
+		if v := pr.Future().TouchRelease(c); v != 1 {
+			t.Errorf("TouchRelease = %d, want 1", v)
+		}
+		defer func() {
+			if _, ok := recover().(*StaleHandleError); !ok {
+				t.Error("Complete after recycle did not panic with StaleHandleError")
+			}
+		}()
+		pr.Complete(2) // future recycled: must fail loudly
+		return 0
+	})
+	if _, err := Await(res, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPromiseResolvedSurvivesRecycle checks that Resolved latches: it
+// stays true after TouchRelease recycles the future — even once the
+// pooled cell is re-issued to a new, unresolved promise — because the
+// generation stamp identifies this incarnation, not the cell.
+func TestPromiseResolvedSurvivesRecycle(t *testing.T) {
+	rt := New(Config{Workers: 2, Levels: 1})
+	defer rt.Shutdown()
+
+	res := Go(rt, nil, 0, "resolved-observer", func(c *Ctx) int {
+		pr := NewPromiseIn[int](c, 0)
+		if pr.Resolved() {
+			t.Error("fresh promise reports Resolved")
+		}
+		pr.Complete(1)
+		if !pr.Resolved() {
+			t.Error("completed promise not Resolved")
+		}
+		pr.Future().TouchRelease(c)
+		if !pr.Resolved() {
+			t.Error("Resolved reverted to false after recycle")
+		}
+		// Re-issue the cell: the new incarnation's done=false must not
+		// bleed into the old promise's answer.
+		pr2 := NewPromiseIn[int](c, 0)
+		if !pr.Resolved() {
+			t.Error("Resolved reverted once the cell was re-issued")
+		}
+		if pr2.Resolved() {
+			t.Error("fresh re-issued promise reports Resolved")
+		}
+		pr2.Complete(2)
+		pr2.Future().TouchRelease(c)
+		return 0
+	})
+	if _, err := Await(res, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestCompleted checks the pre-resolved fast-path future.
 func TestCompleted(t *testing.T) {
 	rt := New(Config{Workers: 1, Levels: 2})

@@ -513,6 +513,16 @@ func (rt *Runtime) KickSoon() {
 		return // a flush is already scheduled and will cover this batch
 	}
 	rt.kickMu.Lock()
+	// Re-check under kickMu: Shutdown sets stopped and then stops the
+	// timer under this same lock, so either we observe stopped here and
+	// never arm, or Shutdown's stop runs after our arm and cancels it.
+	// Without this a late KickSoon could re-arm the timer Shutdown just
+	// stopped, firing a wake on a stopped runtime.
+	if rt.stopped.Load() {
+		rt.kickPending.Store(false)
+		rt.kickMu.Unlock()
+		return
+	}
 	if rt.kickTimer == nil {
 		rt.kickTimer = time.AfterFunc(rt.cfg.CompletionWindow, rt.flushKick)
 	} else {

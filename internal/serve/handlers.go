@@ -60,8 +60,13 @@ func (s *Server) dispatch(c *icilk.Ctx, cn *sconn, req *request) {
 		return status, text
 	}
 	icilk.Go(s.rt, c, prio, class, func(c *icilk.Ctx) int {
+		// Completion is tracked with a closure-local flag, not
+		// token.Resolved(): once Complete(0) lands, the successor's
+		// TouchRelease may recycle the future before this defer runs,
+		// and probing the (possibly reused) cell would race.
+		completed := false
 		defer func() {
-			if !token.Resolved() {
+			if !completed {
 				token.Complete(-1) // backstop: never strand the successor
 			}
 		}()
@@ -79,6 +84,7 @@ func (s *Server) dispatch(c *icilk.Ctx, cn *sconn, req *request) {
 		}()
 		prev.TouchRelease(c) // sole toucher of the predecessor's token
 		s.respond(c, cn, prio, class, status, text)
+		completed = true
 		token.Complete(0)
 		return 0
 	})
