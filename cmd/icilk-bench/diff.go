@@ -240,10 +240,12 @@ func diffValue(file, path string, oldV, newV any, threshold float64, regs *[]reg
 }
 
 // labelKeys are the row-identity fields experiments use, in preference
-// order: string identities first (per-program, per-app rows), then the
-// numeric sweep dimensions (the scaling curves' workers/shards points,
-// which stay aligned even when a sweep gains intermediate points).
-var labelKeys = []string{"program", "Program", "App", "Param", "workers", "shards"}
+// order: string identities first (per-program, per-app rows, the
+// overload experiment's per-class and per-load-point rows, the io
+// sweep's wake modes), then the numeric sweep dimensions (the scaling
+// curves' workers/shards points, which stay aligned even when a sweep
+// gains intermediate points).
+var labelKeys = []string{"program", "Program", "App", "Param", "class", "load", "mode", "workers", "shards"}
 
 // labelIndex builds label → element for an array whose elements all
 // carry the same label key; nil when the array has no such key.

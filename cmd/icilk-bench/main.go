@@ -69,6 +69,8 @@ var experimentList = []experimentInfo{
 		func(cfg experiments.EvalConfig, iters int) any { return l4i(cfg, iters) }},
 	{"io", "per-request future tax: pooled spawn/touch allocs, forwarding touch, batched completion wakes", "-workers",
 		func(cfg experiments.EvalConfig, _ int) any { return ioExp(cfg) }},
+	{"overload", "overload robustness: per-class goodput/p99 at 0.5x and 3x capacity with shedding and deadlines", "-workers -duration -seed",
+		func(cfg experiments.EvalConfig, _ int) any { return overload(cfg) }},
 	{"all", "every experiment above, in order", "", nil},
 }
 
@@ -423,6 +425,33 @@ func ioExp(cfg experiments.EvalConfig) any {
 	for _, pt := range res.Completion {
 		fmt.Printf("%10s %16.0f %10d\n", pt.Mode, pt.OpsPerSec, pt.Wakes)
 	}
+	fmt.Println()
+	return res
+}
+
+func overload(cfg experiments.EvalConfig) any {
+	fmt.Println("=== Overload robustness: shedding + deadlines across the capacity sweep ===")
+	res, err := experiments.OverloadBench(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "icilk-bench: overload: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("calibrated capacity: %.0f req/s (%d workers, no admission policy)\n",
+		res.CapacityOpsPerSec, res.Workers)
+	for _, pt := range res.Points {
+		fmt.Printf("load %s (%.0f req/s offered): sent=%d done=%d errors=%d\n",
+			pt.Load, pt.Factor*res.CapacityOpsPerSec, pt.Sent, pt.Done, pt.Errors)
+		fmt.Printf("  %-16s %4s %8s %12s %6s %6s %12s\n",
+			"class", "prio", "ok", "goodput/s", "shed", "timeo", "p99")
+		for _, row := range pt.Classes {
+			fmt.Printf("  %-16s %4d %8d %12.0f %6d %6d %12v\n",
+				row.Class, row.Prio, row.Done, row.Rate(), row.Shed, row.Timeouts,
+				time.Duration(row.Tail()).Round(time.Microsecond))
+		}
+	}
+	fmt.Printf("interactive classes at %s vs %s: goodput ratio %.2f, p99 ratio %.2f\n",
+		res.Points[len(res.Points)-1].Load, res.Points[0].Load,
+		res.InteractiveGoodputRatio, res.InteractiveP99Ratio)
 	fmt.Println()
 	return res
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/apps/jserver"
+	"repro/internal/faultinject"
 	"repro/internal/serve"
 )
 
@@ -76,17 +77,79 @@ func serveFlags(fs *flag.FlagSet, defaultAddr string) func() serve.Config {
 		swN      = fs.Int("sw-n", 0, "jserver Smith-Waterman size (0 = default)")
 		seed     = fs.Int64("seed", 20200406, "random seed for the simulated backends")
 		pprof    = fs.String("pprof", "", "address for a net/http/pprof side listener (empty = off); see SERVING.md")
+
+		maxConns  = fs.Int("max-conns", 0, "max open connections, extra connections get one 503 (0 = unlimited)")
+		idleTO    = fs.Duration("idle-timeout", 0, "keep-alive idle read deadline (0 = default 120s, negative = off)")
+		headerTO  = fs.Duration("header-timeout", 0, "per-request-head read deadline (0 = default 5s, negative = off)")
+		drainTO   = fs.Duration("drain-timeout", 0, "shutdown drain bound before force-close (0 = default 5s)")
+		deadlines = fs.String("deadlines", "", `per-class deadline budgets as "class=dur,..." (e.g. "jserver-sw=250ms")`)
+		defDdl    = fs.Duration("default-deadline", 0, "deadline for classes absent from -deadlines (0 = none)")
+		shed      = fs.String("shed", "", `per-class shed watermarks as "class=N,..." — refuse class admissions 503 past N outstanding`)
+		chaos     = fs.Bool("chaos", false, "inject seeded connection/completion faults (see internal/faultinject)")
+		chaosSeed = fs.Int64("chaos-seed", 1, "fault injection seed (with -chaos)")
 	)
 	return func() serve.Config {
 		startPprof(*pprof)
+		var faults *faultinject.Faults
+		if *chaos {
+			faults = faultinject.Default(*chaosSeed)
+		}
 		return serve.Config{
-			Addr:     *addr,
-			Workers:  *workers,
-			Baseline: *baseline,
-			Jobs:     jserver.Config{MatMulN: *matmulN, FibN: *fibN, SortN: *sortN, SWN: *swN},
-			Seed:     *seed,
+			Addr:              *addr,
+			Workers:           *workers,
+			Baseline:          *baseline,
+			Jobs:              jserver.Config{MatMulN: *matmulN, FibN: *fibN, SortN: *sortN, SWN: *swN},
+			Seed:              *seed,
+			MaxConns:          *maxConns,
+			IdleTimeout:       *idleTO,
+			ReadHeaderTimeout: *headerTO,
+			DrainTimeout:      *drainTO,
+			Deadlines:         parseDeadlines(*deadlines),
+			DefaultDeadline:   *defDdl,
+			ShedLimits:        parseShed(*shed),
+			Faults:            faults,
 		}
 	}
+}
+
+// parseDeadlines turns "jserver-sw=250ms,proxy=1s" into a deadline map.
+func parseDeadlines(s string) map[string]time.Duration {
+	if s == "" {
+		return nil
+	}
+	m := map[string]time.Duration{}
+	for _, part := range strings.Split(s, ",") {
+		class, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "icilk-serve: bad -deadlines entry %q (want class=duration)\n", part)
+			os.Exit(2)
+		}
+		d, err := time.ParseDuration(val)
+		if err != nil || d <= 0 {
+			fmt.Fprintf(os.Stderr, "icilk-serve: bad deadline %q for class %q\n", val, class)
+			os.Exit(2)
+		}
+		m[class] = d
+	}
+	return m
+}
+
+// parseShed turns "jserver-sw=8,jserver-sort=16" into a watermark map.
+func parseShed(s string) map[string]int {
+	if s == "" {
+		return nil
+	}
+	m := map[string]int{}
+	for _, part := range strings.Split(s, ",") {
+		class, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		n, err := strconv.Atoi(val)
+		if !ok || err != nil || n <= 0 {
+			fmt.Fprintf(os.Stderr, "icilk-serve: bad -shed entry %q (want class=N)\n", part)
+			os.Exit(2)
+		}
+		m[class] = n
+	}
+	return m
 }
 
 // pprofStarted makes startPprof idempotent: the serve-config closure
@@ -185,13 +248,14 @@ func cmdServe(args []string) {
 	cfg := serveFlags(fs, "127.0.0.1:8080")
 	fs.Parse(args)
 
-	s, err := serve.Start(cfg())
+	conf := cfg()
+	s, err := serve.Start(conf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "icilk-serve:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("icilk-serve: listening on %s (workers=%d, prioritized=%v)\n",
-		s.Addr(), cfg().Workers, !cfg().Baseline)
+	fmt.Printf("icilk-serve: listening on %s (workers=%d, prioritized=%v, chaos=%v)\n",
+		s.Addr(), conf.Workers, !conf.Baseline, conf.Faults != nil)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
@@ -199,6 +263,9 @@ func cmdServe(args []string) {
 	if err := s.Shutdown(); err != nil {
 		fmt.Fprintln(os.Stderr, "icilk-serve:", err)
 		os.Exit(1)
+	}
+	if conf.Faults != nil {
+		fmt.Printf("icilk-serve: injected faults: %v\n", conf.Faults.Stats())
 	}
 }
 
@@ -240,17 +307,22 @@ func runLoad(cfg serve.LoadConfig) {
 	res.Report(os.Stdout)
 	// The smoke gate: every class that saw traffic must have a p99
 	// within the loadgen's own read deadline — a response stream that
-	// only survives on timeouts fails loudly here (and in CI).
-	finite := 0
-	for class := range res.PerClass {
-		if p99 := res.Summary(class).P99; p99 > 0 && p99 < 30*time.Second {
-			finite++
+	// only survives on timeouts fails loudly here (and in CI). A class
+	// whose every response was a counted refusal (shed or deadline 503s
+	// against a watermarked server) has no latency sample, but the
+	// server demonstrably answered it — that is healthy backpressure,
+	// not a hang.
+	healthy := 0
+	for class, cs := range res.PerClass {
+		p99 := res.Summary(class).P99
+		if (p99 > 0 && p99 < 30*time.Second) || (p99 == 0 && cs.Shed+cs.Timeouts > 0) {
+			healthy++
 		}
 	}
-	if finite < len(res.PerClass) {
-		fmt.Fprintf(os.Stderr, "icilk-serve: only %d/%d classes produced a bounded p99\n",
-			finite, len(res.PerClass))
+	if healthy < len(res.PerClass) {
+		fmt.Fprintf(os.Stderr, "icilk-serve: only %d/%d classes produced a bounded p99 or counted refusals\n",
+			healthy, len(res.PerClass))
 		os.Exit(1)
 	}
-	fmt.Printf("p99 finite for %d/%d classes\n", finite, len(res.PerClass))
+	fmt.Printf("p99 finite or refusals counted for %d/%d classes\n", healthy, len(res.PerClass))
 }

@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// A fast smoke run of the overload experiment: short windows, the
+// structural invariants only. The quantitative claims (interactive p99
+// within 1.5x through 3x overload, nonzero shedding) are asserted by
+// CI's overload job against a full-length run — a 150ms window here is
+// too noisy to gate on.
+func TestOverloadBenchShape(t *testing.T) {
+	res, err := OverloadBench(EvalConfig{
+		Workers:  2,
+		Duration: 150 * time.Millisecond,
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatalf("OverloadBench: %v", err)
+	}
+	if res.CapacityOpsPerSec <= 0 {
+		t.Fatalf("capacity = %f", res.CapacityOpsPerSec)
+	}
+	if len(res.Points) != len(OverloadFactors) {
+		t.Fatalf("points = %d, want %d", len(res.Points), len(OverloadFactors))
+	}
+	for _, pt := range res.Points {
+		if pt.Done == 0 {
+			t.Errorf("point %s served nothing", pt.Load)
+		}
+		if len(pt.Classes) == 0 {
+			t.Errorf("point %s has no class rows", pt.Load)
+		}
+		for i := 1; i < len(pt.Classes); i++ {
+			if pt.Classes[i].Prio > pt.Classes[i-1].Prio {
+				t.Errorf("point %s rows not sorted by priority", pt.Load)
+			}
+		}
+		for _, row := range pt.Classes {
+			if row.GoodputOpsPerSec != 0 && row.ServedPerSec != 0 {
+				t.Errorf("%s/%s sets both the gated and ungated rate leaf", pt.Load, row.Class)
+			}
+			if row.P99Ns != 0 && row.P99Nanos != 0 {
+				t.Errorf("%s/%s sets both the gated and ungated tail leaf", pt.Load, row.Class)
+			}
+		}
+	}
+	if res.InteractiveGoodputRatio <= 0 {
+		t.Fatalf("interactive goodput ratio = %f", res.InteractiveGoodputRatio)
+	}
+	if res.InteractiveP99Ratio <= 0 {
+		t.Fatalf("interactive p99 ratio = %f", res.InteractiveP99Ratio)
+	}
+}

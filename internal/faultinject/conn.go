@@ -1,0 +1,74 @@
+package faultinject
+
+import (
+	"net"
+	"time"
+)
+
+// WrapConn wraps c so every Read and Write may be perturbed by the
+// injector. Deadlines, addresses, and Close pass through untouched; a
+// nil receiver returns c unwrapped, so callers can thread an optional
+// *Faults without branching.
+func (f *Faults) WrapConn(c net.Conn) net.Conn {
+	if f == nil {
+		return c
+	}
+	return &conn{Conn: c, f: f}
+}
+
+// conn is one fault-injected connection. Fault order per operation:
+// stall first (delays are independent of outcomes), then reset, then
+// truncation — so a single op can both stall and fail, as real
+// congested-then-dead sockets do.
+type conn struct {
+	net.Conn
+	f *Faults
+}
+
+func (c *conn) Read(p []byte) (int, error) {
+	f := c.f
+	if f.roll(f.cfg.Stall) {
+		f.stalls.Add(1)
+		time.Sleep(f.cfg.StallFor)
+	}
+	if f.roll(f.cfg.Reset) {
+		f.resets.Add(1)
+		c.Conn.Close()
+		return 0, &InjectedResetError{Op: "read"}
+	}
+	if len(p) > 1 && f.roll(f.cfg.ShortRead) {
+		// A short read is not an error — the kernel is free to return
+		// fewer bytes than asked — so this only exercises the caller's
+		// re-read loop (bufio must come back for the rest).
+		f.shortReads.Add(1)
+		p = p[:(len(p)+1)/2]
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *conn) Write(p []byte) (int, error) {
+	f := c.f
+	if f.roll(f.cfg.Stall) {
+		f.stalls.Add(1)
+		time.Sleep(f.cfg.StallFor)
+	}
+	if f.roll(f.cfg.Reset) {
+		f.resets.Add(1)
+		c.Conn.Close()
+		return 0, &InjectedResetError{Op: "write"}
+	}
+	if len(p) > 1 && f.roll(f.cfg.ShortWrite) {
+		// Unlike a short read, a short write that reports success would
+		// silently desync the HTTP framing, so the truncated write must
+		// fail the call; the server drops the connection, exactly as it
+		// would for a peer that died mid-response.
+		f.shortWrites.Add(1)
+		n, err := c.Conn.Write(p[:len(p)/2])
+		if err != nil {
+			return n, err
+		}
+		c.Conn.Close()
+		return n, &InjectedResetError{Op: "write"}
+	}
+	return c.Conn.Write(p)
+}

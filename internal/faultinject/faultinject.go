@@ -1,0 +1,181 @@
+// Package faultinject is a seeded, deterministic fault injector for the
+// serve layer's chaos testing: a net.Conn wrapper that perturbs the byte
+// stream (short reads, short writes, connection resets, stalls) and a
+// pair of completion hooks that perturb the promise-resolution side of
+// the write path (delayed and failed completions). All decisions are
+// drawn from one seeded PRNG, so a soak run replays bit-identically for
+// a given seed and operation interleaving; every injected fault is
+// counted, so tests can assert that chaos actually happened.
+//
+// The injector never fabricates success: a short write reports the
+// truncated count with an error, and a reset closes the underlying
+// connection, so the wrapped stream stays honest — the server above must
+// survive the fault, not be fooled by it.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config sets per-operation fault probabilities (each in [0, 1]) and the
+// injected delay magnitudes. The zero Config injects nothing.
+type Config struct {
+	// Seed fixes the PRNG; 0 takes a default.
+	Seed int64
+
+	// ShortRead truncates a Read to at most half its buffer.
+	ShortRead float64
+	// ShortWrite writes a prefix of the buffer, then fails the call.
+	ShortWrite float64
+	// Reset fails a Read or Write outright and closes the connection.
+	Reset float64
+	// Stall sleeps StallFor before a Read or Write proceeds.
+	Stall float64
+	// StallFor is the stall duration (default 2ms).
+	StallFor time.Duration
+
+	// CompleteDelay sleeps CompleteDelayFor before a completion hook
+	// reports, delaying the promise resolution it gates.
+	CompleteDelay float64
+	// CompleteDelayFor is the completion delay (default 1ms).
+	CompleteDelayFor time.Duration
+	// CompleteFail makes a completion hook report failure, failing the
+	// write it gates as if the socket had died.
+	CompleteFail float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 20200406
+	}
+	if c.StallFor <= 0 {
+		c.StallFor = 2 * time.Millisecond
+	}
+	if c.CompleteDelayFor <= 0 {
+		c.CompleteDelayFor = time.Millisecond
+	}
+	return c
+}
+
+// Stats counts injected faults by kind.
+type Stats struct {
+	ShortReads     int64
+	ShortWrites    int64
+	Resets         int64
+	Stalls         int64
+	CompleteDelays int64
+	CompleteFails  int64
+}
+
+// Total sums every counter.
+func (s Stats) Total() int64 {
+	return s.ShortReads + s.ShortWrites + s.Resets + s.Stalls + s.CompleteDelays + s.CompleteFails
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("short-reads=%d short-writes=%d resets=%d stalls=%d complete-delays=%d complete-fails=%d",
+		s.ShortReads, s.ShortWrites, s.Resets, s.Stalls, s.CompleteDelays, s.CompleteFails)
+}
+
+// Faults is one injector instance: share it across every connection of a
+// server so all draws come from the single seeded stream.
+type Faults struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	shortReads     atomic.Int64
+	shortWrites    atomic.Int64
+	resets         atomic.Int64
+	stalls         atomic.Int64
+	completeDelays atomic.Int64
+	completeFails  atomic.Int64
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Faults {
+	cfg = cfg.withDefaults()
+	return &Faults{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+}
+
+// Default is the chaos profile the -chaos flag and the soak test use:
+// every fault kind enabled at a rate high enough to fire hundreds of
+// times in a seconds-long soak, with stalls short enough not to
+// dominate it.
+func Default(seed int64) *Faults {
+	return New(Config{
+		Seed:          seed,
+		ShortRead:     0.05,
+		ShortWrite:    0.03,
+		Reset:         0.01,
+		Stall:         0.05,
+		StallFor:      2 * time.Millisecond,
+		CompleteDelay: 0.05,
+		CompleteFail:  0.01,
+	})
+}
+
+// Stats snapshots the injection counters.
+func (f *Faults) Stats() Stats {
+	return Stats{
+		ShortReads:     f.shortReads.Load(),
+		ShortWrites:    f.shortWrites.Load(),
+		Resets:         f.resets.Load(),
+		Stalls:         f.stalls.Load(),
+		CompleteDelays: f.completeDelays.Load(),
+		CompleteFails:  f.completeFails.Load(),
+	}
+}
+
+// roll draws one uniform variate and reports whether it lands under p.
+// The mutex serializes draws from every connection: determinism here
+// means "same seed → same total fault mix", not a per-connection replay
+// (goroutine interleaving still decides which conn draws which variate).
+func (f *Faults) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	f.mu.Lock()
+	v := f.rng.Float64()
+	f.mu.Unlock()
+	return v < p
+}
+
+// CompleteDelay reports the delay to impose before a completion is
+// delivered (0 = none), counting an injection when nonzero.
+func (f *Faults) CompleteDelay() time.Duration {
+	if !f.roll(f.cfg.CompleteDelay) {
+		return 0
+	}
+	f.completeDelays.Add(1)
+	return f.cfg.CompleteDelayFor
+}
+
+// CompleteFail reports whether this completion should be failed,
+// counting an injection when true.
+func (f *Faults) CompleteFail() bool {
+	if !f.roll(f.cfg.CompleteFail) {
+		return false
+	}
+	f.completeFails.Add(1)
+	return true
+}
+
+// InjectedResetError is the error a reset-injected operation fails with.
+// It satisfies net.Error as a non-timeout, so server code treats it like
+// any fatal socket error.
+type InjectedResetError struct{ Op string }
+
+func (e *InjectedResetError) Error() string {
+	return fmt.Sprintf("faultinject: injected connection reset during %s", e.Op)
+}
+
+// Timeout and Temporary make the error a net.Error (never a timeout —
+// a reset is fatal, not retryable).
+func (e *InjectedResetError) Timeout() bool   { return false }
+func (e *InjectedResetError) Temporary() bool { return false }

@@ -77,10 +77,29 @@ func (f *future) fail(err error) { f.finish(nil, err, false) }
 // waiter list instead of being woken — the waiter stays parked, pays no
 // wake/re-park round trip, and resumes only when the chain bottoms out.
 func (f *future) finish(v any, err error, quiet bool) {
+	if !f.tryFinish(v, err, quiet, nil) {
+		panic("icilk: future completed twice")
+	}
+}
+
+// tryFinish is finish with first-writer-wins semantics: it resolves the
+// future only if this incarnation is still unresolved, reporting whether
+// this call was the one that resolved it. With gen non-nil the caller's
+// mint-time generation stamp is checked under f.mu; since putFuture bumps
+// the stamp before resetting the cell and performs the reset while
+// holding f.mu, a stale caller (the cell was released and recycled into
+// another incarnation) always observes either done=true or a bumped
+// stamp here, never a half-reset cell — which is what makes a deadline
+// timer safe to race against a normal completion AND against recycling.
+func (f *future) tryFinish(v any, err error, quiet bool, gen *uint64) bool {
 	f.mu.Lock()
 	if f.done.Load() {
 		f.mu.Unlock()
-		panic("icilk: future completed twice")
+		return false
+	}
+	if gen != nil && f.gen.Load() != *gen {
+		f.mu.Unlock()
+		return false
 	}
 	f.val = v
 	f.err = err
@@ -120,6 +139,7 @@ func (f *future) finish(v any, err error, quiet bool) {
 	if requeued > 0 && !quiet {
 		waiters[0].rt.wake()
 	}
+	return true
 }
 
 // migrateTo moves a parked forwarding waiter onto the carrier's inner

@@ -31,8 +31,19 @@ type handlerFn func(c *icilk.Ctx, self icilk.Future[int]) (int, string)
 // priority inversion regardless of the two handlers' classes.
 func (s *Server) dispatch(c *icilk.Ctx, cn *sconn, req *request) {
 	class, prio, run, self := s.route(req)
+	if reason, ok := s.admitOrShed(class); !ok {
+		s.shedResponse(c, cn, class, prio, reason)
+		return
+	}
 	s.countAdmit(c, class)
 	s.trackSession(c, cn, req)
+	admitted := time.Now()
+	ddl := s.deadlineFor(class)
+	inflight := s.classInflight[class]
+	s.inflight.Add(1)
+	if inflight != nil {
+		inflight.Add(1)
+	}
 	prev := cn.lastWrite
 	// Pool-sourced: the order token is touched exactly once, by the
 	// successor handler, which releases it (TouchRelease below). The
@@ -66,28 +77,153 @@ func (s *Server) dispatch(c *icilk.Ctx, cn *sconn, req *request) {
 		// and probing the (possibly reused) cell would race.
 		completed := false
 		defer func() {
+			// Inflight retires only after the response write: the drain
+			// phase's inflight==0 means every admitted request's bytes
+			// are on (or refused by) its socket, not merely computed.
+			if inflight != nil {
+				inflight.Add(-1)
+			}
+			s.inflight.Add(-1)
 			if !completed {
 				token.Complete(-1) // backstop: never strand the successor
 			}
 		}()
 		// A panicking handler must still emit a response in its slot,
 		// or every later response on this keep-alive connection would
-		// be attributed to the wrong request.
+		// be attributed to the wrong request. A deadline miss is the
+		// same shape with a different answer: the DeadlineError
+		// re-panicked by the timed-out touch becomes a 503.
 		status, text := 500, "internal error\n"
+		timedOut := false
 		func() {
 			defer func() {
 				if r := recover(); r != nil {
-					status, text = 500, fmt.Sprintf("handler panic: %v\n", r)
+					if de, ok := r.(*icilk.DeadlineError); ok {
+						timedOut = true
+						status, text = 503, fmt.Sprintf("deadline exceeded after %v\n", de.After)
+					} else {
+						status, text = 500, fmt.Sprintf("handler panic: %v\n", r)
+					}
 				}
 			}()
-			status, text = exec(c)
+			if ddl > 0 {
+				status, text = s.execDeadlined(c, prio, class, ddl, admitted, exec)
+			} else {
+				status, text = exec(c)
+			}
 		}()
+		extra := ""
+		if timedOut {
+			s.timeouts.add(c, class)
+			extra = overloadHeaders("deadline")
+		}
 		prev.TouchRelease(c) // sole toucher of the predecessor's token
-		s.respond(c, cn, prio, class, status, text)
+		s.respond(c, cn, prio, prio, class, status, extra, text)
 		completed = true
 		token.Complete(0)
 		return 0
 	})
+}
+
+// admitOrShed is the admission gate: a draining server sheds everything
+// (keep-alive clients cannot hold the drain open), and a class at its
+// configured watermark sheds its own new arrivals while every other
+// class proceeds — overload in the batch tier never costs an
+// interactive admission.
+func (s *Server) admitOrShed(class string) (reason string, ok bool) {
+	if s.draining.Load() {
+		return "draining", false
+	}
+	if lim := s.cfg.ShedLimits[class]; lim > 0 {
+		if ctr := s.classInflight[class]; ctr != nil && ctr.Load() >= int64(lim) {
+			return "shed", false
+		}
+	}
+	return "", true
+}
+
+// shedResponse answers a refused admission with a 503 without spawning
+// the handler: the responder is a trivial top-level task (shedding must
+// stay fast precisely when the refused class's queues are longest), it
+// keeps the response-order token chain intact, and the response carries
+// the refused class and its true priority so the load generator
+// attributes the shed to the right class. Shed responses do not count
+// as inflight — during drain they are the only admissions, and counting
+// them would hold the drain open.
+func (s *Server) shedResponse(c *icilk.Ctx, cn *sconn, class string, prio icilk.Priority, reason string) {
+	s.shed.add(c, class)
+	prev := cn.lastWrite
+	token := icilk.NewPromiseIn[int](c, PrioInteractive)
+	cn.lastWrite = token.Future()
+	body := "shed: " + class + " over capacity\n"
+	if reason == "draining" {
+		body = "shutting down\n"
+	}
+	icilk.Go(s.rt, c, classPrio("error"), "error", func(c *icilk.Ctx) int {
+		completed := false
+		defer func() {
+			if !completed {
+				token.Complete(-1)
+			}
+		}()
+		prev.TouchRelease(c)
+		s.respond(c, cn, classPrio("error"), prio, class, 503, overloadHeaders(reason), body)
+		completed = true
+		token.Complete(0)
+		return 0
+	})
+}
+
+// deadlineFor resolves a class's deadline budget.
+func (s *Server) deadlineFor(class string) time.Duration {
+	if d, ok := s.cfg.Deadlines[class]; ok {
+		return d
+	}
+	return s.cfg.DefaultDeadline
+}
+
+// hres is one handler outcome, carried through the deadline promise.
+type hres struct {
+	status int
+	text   string
+}
+
+// execDeadlined runs exec in an inner task racing a FailAfter timer on
+// an hres promise: whichever resolves first wins, and the loser's
+// resolution is a no-op (first-writer-wins TryComplete / tryFinish). On
+// expiry the touch below re-panics the *DeadlineError into dispatch's
+// recover, which answers 503; the inner task is NOT preempted — it runs
+// to completion and finds its TryComplete returning false. A request
+// that already overspent its budget in the admission queue panics the
+// same DeadlineError without spawning the inner task at all.
+func (s *Server) execDeadlined(c *icilk.Ctx, prio icilk.Priority, class string, ddl time.Duration, admitted time.Time, exec func(*icilk.Ctx) (int, string)) (int, string) {
+	remaining := ddl - time.Since(admitted)
+	if remaining <= 0 {
+		panic(&icilk.DeadlineError{After: ddl, Prio: prio})
+	}
+	pr := icilk.NewPromiseIn[hres](c, prio)
+	cancel := pr.FailAfter(remaining)
+	icilk.Go(s.rt, c, prio, class, func(c *icilk.Ctx) int {
+		st, tx := 500, "internal error\n"
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					st, tx = 500, fmt.Sprintf("handler panic: %v\n", r)
+				}
+			}()
+			st, tx = exec(c)
+		}()
+		if pr.TryComplete(hres{status: st, text: tx}) {
+			cancel()
+		}
+		return 0
+	})
+	// Sole toucher; the success path recycles the cell (a late timer
+	// firing loses tryFinish's generation check), and the deadline path
+	// panics before the release, so the cell falls to the GC instead —
+	// the straggling inner task may still hold its Promise copy.
+	r := pr.Future().TouchRelease(c)
+	return r.status, r.text
 }
 
 // route is the admission table: request → (class name, priority level,
@@ -209,7 +345,8 @@ func (s *Server) statsBody(c *icilk.Ctx) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "uptime: %v\n", time.Since(s.start).Round(time.Millisecond))
 	fmt.Fprintf(&b, "connections accepted: %d\n", s.accepted.Load())
-	fmt.Fprintf(&b, "requests: %d\n", s.requests.Load())
+	fmt.Fprintf(&b, "connections open: %d (refused %d)\n", s.connCount.Load(), s.refused.Load())
+	fmt.Fprintf(&b, "requests: %d (%d in flight)\n", s.requests.Load(), s.inflight.Load())
 	fmt.Fprintf(&b, "write errors: %d\n", s.writeErrs.Load())
 	fmt.Fprintf(&b, "proxy cache: %d hits, %d misses\n",
 		s.proxy.Hits.Load(c), s.proxy.Misses.Load(c))
@@ -217,15 +354,26 @@ func (s *Server) statsBody(c *icilk.Ctx) string {
 		s.rcache.entries(c), s.rcacheHits.Load(c))
 	sessN, sessReqs := s.sess.counts(c)
 	fmt.Fprintf(&b, "sessions: %d tracked, %d requests\n", sessN, sessReqs)
-	admitted := s.Admitted(c)
-	classes := make([]string, 0, len(admitted))
-	for cl := range admitted {
-		classes = append(classes, cl)
+	writeClassCounts := func(title string, m map[string]int64) {
+		classes := make([]string, 0, len(m))
+		for cl := range m {
+			classes = append(classes, cl)
+		}
+		sort.Strings(classes)
+		b.WriteString(title + ":\n")
+		for _, cl := range classes {
+			fmt.Fprintf(&b, "  %-16s %d\n", cl, m[cl])
+		}
 	}
-	sort.Strings(classes)
-	b.WriteString("admitted per class:\n")
-	for _, cl := range classes {
-		fmt.Fprintf(&b, "  %-16s %d\n", cl, admitted[cl])
+	writeClassCounts("admitted per class", s.Admitted(c))
+	if shed := s.shed.merged(c); len(shed) > 0 {
+		writeClassCounts("shed per class", shed)
+	}
+	if to := s.timeouts.merged(c); len(to) > 0 {
+		writeClassCounts("deadline misses per class", to)
+	}
+	if fl := s.cfg.Faults; fl != nil {
+		fmt.Fprintf(&b, "injected faults: %v\n", fl.Stats())
 	}
 	fmt.Fprintf(&b, "scheduler: %v\n", s.rt.Stats())
 	fmt.Fprintf(&b, "worker allocation (level per worker): %v\n", s.rt.Allocation())

@@ -1,0 +1,306 @@
+package serve
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"net/textproto"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/apps/jserver"
+)
+
+// expectClosed asserts the server hangs up: the next read returns EOF
+// (or a reset) within the deadline.
+func expectClosed(t *testing.T, cl *client) {
+	t.Helper()
+	cl.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := cl.br.ReadByte(); err == nil {
+		t.Fatal("connection still open after a fatal request error")
+	} else if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("connection neither answered nor closed (read timed out)")
+	}
+}
+
+func TestMalformedRequestLineGets400(t *testing.T) {
+	s := testServer(t, Config{})
+	cl := dialTest(t, s.Addr())
+	if _, err := io.WriteString(cl.conn, "NONSENSE\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	cl.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := readResponse(cl.tp, cl.br)
+	if err != nil {
+		t.Fatalf("no response to a malformed request line: %v", err)
+	}
+	if resp.status != 400 {
+		t.Fatalf("malformed request line answered %d, want 400", resp.status)
+	}
+	expectClosed(t, cl)
+}
+
+func TestOversizedRequestLineGets400(t *testing.T) {
+	s := testServer(t, Config{})
+	cl := dialTest(t, s.Addr())
+	long := "/ping?pad=" + strings.Repeat("x", maxRequestLine)
+	if _, err := fmt.Fprintf(cl.conn, "GET %s HTTP/1.1\r\nHost: t\r\n\r\n", long); err != nil {
+		t.Fatal(err)
+	}
+	cl.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := readResponse(cl.tp, cl.br)
+	if err != nil {
+		t.Fatalf("no response to an oversized request line: %v", err)
+	}
+	if resp.status != 400 {
+		t.Fatalf("oversized request line answered %d, want 400", resp.status)
+	}
+	expectClosed(t, cl)
+}
+
+func TestOversizedHeadGets431(t *testing.T) {
+	s := testServer(t, Config{})
+	cl := dialTest(t, s.Addr())
+	// Many modest header lines totalling past the head budget: no single
+	// line trips the request-line limit, so only the byte budget can
+	// stop the buffering.
+	var b strings.Builder
+	b.WriteString("GET /ping HTTP/1.1\r\nHost: t\r\n")
+	for i := 0; b.Len() < maxHeadBytes+1024; i++ {
+		fmt.Fprintf(&b, "X-Filler-%d: %s\r\n", i, strings.Repeat("y", 1000))
+	}
+	b.WriteString("\r\n")
+	if _, err := io.WriteString(cl.conn, b.String()); err != nil && err != io.ErrShortWrite {
+		// The server may cut the connection mid-upload; the response (or
+		// close) below is still the observable contract.
+		t.Logf("upload interrupted: %v", err)
+	}
+	cl.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := readResponse(cl.tp, cl.br)
+	if err != nil {
+		t.Fatalf("no response to an oversized head: %v", err)
+	}
+	if resp.status != 431 {
+		t.Fatalf("oversized head answered %d, want 431", resp.status)
+	}
+	expectClosed(t, cl)
+}
+
+func TestOversizedBodyGets400(t *testing.T) {
+	s := testServer(t, Config{})
+	cl := dialTest(t, s.Addr())
+	if _, err := fmt.Fprintf(cl.conn, "GET /ping HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n", maxBodyBytes+1); err != nil {
+		t.Fatal(err)
+	}
+	cl.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := readResponse(cl.tp, cl.br)
+	if err != nil {
+		t.Fatalf("no response to an oversized body declaration: %v", err)
+	}
+	if resp.status != 400 {
+		t.Fatalf("oversized body answered %d, want 400", resp.status)
+	}
+	expectClosed(t, cl)
+}
+
+// A declared body within bounds must still be discarded correctly and
+// the connection kept alive (regression guard for the budget grant).
+func TestBoundedBodyIsDiscarded(t *testing.T) {
+	s := testServer(t, Config{})
+	cl := dialTest(t, s.Addr())
+	body := strings.Repeat("z", 2048)
+	if _, err := fmt.Fprintf(cl.conn, "GET /ping HTTP/1.1\r\nHost: t\r\nContent-Length: %d\r\n\r\n%s", len(body), body); err != nil {
+		t.Fatal(err)
+	}
+	cl.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := readResponse(cl.tp, cl.br)
+	if err != nil || resp.status != 200 {
+		t.Fatalf("GET with bounded body = (%v, %v), want 200", resp, err)
+	}
+	if r := cl.get(t, "/ping"); r.status != 200 {
+		t.Fatalf("connection did not survive a bodied request: %d", r.status)
+	}
+}
+
+func TestMaxConnsRefusesWith503(t *testing.T) {
+	s := testServer(t, Config{MaxConns: 1})
+	first := dialTest(t, s.Addr())
+	if r := first.get(t, "/ping"); r.status != 200 {
+		t.Fatalf("first connection /ping = %d", r.status)
+	}
+	second := dialTest(t, s.Addr())
+	second.conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	resp, err := readResponse(second.tp, second.br)
+	if err != nil {
+		t.Fatalf("over-cap connection got no 503: %v", err)
+	}
+	if resp.status != 503 || resp.overload != "conns" {
+		t.Fatalf("over-cap connection answered %d overload=%q, want 503/conns", resp.status, resp.overload)
+	}
+	expectClosed(t, second)
+	// The slot frees once the first connection goes away.
+	first.conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		third, err := net.DialTimeout("tcp", s.Addr(), time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		third.SetReadDeadline(time.Now().Add(5 * time.Second))
+		fmt.Fprintf(third, "GET /ping HTTP/1.1\r\nHost: t\r\n\r\n")
+		br := newTestReader(third)
+		resp, err := readResponse(br.tp, br.br)
+		third.Close()
+		if err == nil && resp.status == 200 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: last = (%v, %v)", resp, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// newTestReader pairs the bufio/textproto readers for a raw conn.
+func newTestReader(c net.Conn) *client {
+	br := bufio.NewReader(c)
+	return &client{conn: c, br: br, tp: textproto.NewReader(br)}
+}
+
+func TestSlowlorisHeaderTimeout(t *testing.T) {
+	s := testServer(t, Config{ReadHeaderTimeout: 150 * time.Millisecond})
+	cl := dialTest(t, s.Addr())
+	// First byte arrives, then the head trickles: the header deadline
+	// must cut the connection off rather than waiting forever.
+	if _, err := io.WriteString(cl.conn, "GET /ping HT"); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	cl.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	_, err := cl.br.ReadByte()
+	if err == nil {
+		t.Fatal("server answered a half-written request head")
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("server never dropped the slowloris connection")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("slowloris eviction took %v", waited)
+	}
+}
+
+func TestIdleTimeout(t *testing.T) {
+	s := testServer(t, Config{IdleTimeout: 150 * time.Millisecond})
+	cl := dialTest(t, s.Addr())
+	if r := cl.get(t, "/ping"); r.status != 200 {
+		t.Fatalf("/ping = %d", r.status)
+	}
+	cl.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	_, err := cl.br.ReadByte()
+	if err == nil {
+		t.Fatal("idle connection received bytes")
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("idle connection was never evicted")
+	}
+}
+
+func TestDeadlineAnswers503(t *testing.T) {
+	s := testServer(t, Config{
+		Jobs:      jserver.Config{MatMulN: 32, FibN: 18, SortN: 20_000, SWN: 1500},
+		Deadlines: map[string]time.Duration{"jserver-sw": time.Millisecond},
+	})
+	cl := dialTest(t, s.Addr())
+	r := cl.get(t, "/jserver?job=sw")
+	if r.status != 503 || r.overload != "deadline" {
+		t.Fatalf("deadline-doomed sw = %d overload=%q, want 503/deadline", r.status, r.overload)
+	}
+	// The connection and its response ordering survive the miss.
+	if r := cl.get(t, "/ping"); r.status != 200 {
+		t.Fatalf("/ping after a deadline miss = %d", r.status)
+	}
+	stats := cl.get(t, "/stats")
+	if !strings.Contains(string(stats.body), "deadline misses per class") ||
+		!strings.Contains(string(stats.body), "jserver-sw") {
+		t.Fatalf("/stats does not report the deadline miss:\n%s", stats.body)
+	}
+}
+
+func TestShedWatermarkRefusesBatchKeepsInteractive(t *testing.T) {
+	s := testServer(t, Config{
+		Jobs:       jserver.Config{MatMulN: 32, FibN: 18, SortN: 20_000, SWN: 1500},
+		ShedLimits: map[string]int{"jserver-sw": 1},
+	})
+	cl := dialTest(t, s.Addr())
+	// One pipelined burst: the first sw is admitted; the rest arrive
+	// while it is still inflight and must shed at the watermark.
+	burst := strings.Repeat("GET /jserver?job=sw HTTP/1.1\r\nHost: t\r\n\r\n", 5)
+	if _, err := io.WriteString(cl.conn, burst); err != nil {
+		t.Fatal(err)
+	}
+	ok, shed := 0, 0
+	for i := 0; i < 5; i++ {
+		cl.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+		resp, err := readResponse(cl.tp, cl.br)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if resp.class != "jserver-sw" {
+			t.Fatalf("response %d attributed to class %q", i, resp.class)
+		}
+		switch {
+		case resp.status == 200:
+			ok++
+		case resp.status == 503 && resp.overload == "shed":
+			shed++
+		default:
+			t.Fatalf("response %d = %d overload=%q", i, resp.status, resp.overload)
+		}
+	}
+	if ok == 0 || shed == 0 {
+		t.Fatalf("burst of 5 sw: ok=%d shed=%d, want both nonzero", ok, shed)
+	}
+	// Interactive traffic is untouched by the batch watermark.
+	if r := cl.get(t, "/ping"); r.status != 200 {
+		t.Fatalf("/ping during sw shedding = %d", r.status)
+	}
+	stats := cl.get(t, "/stats")
+	if !strings.Contains(string(stats.body), "shed per class") {
+		t.Fatalf("/stats does not report sheds:\n%s", stats.body)
+	}
+}
+
+// Graceful drain: a request admitted before Shutdown still gets its
+// response; the drain phase holds the socket open until the bytes land.
+func TestGracefulDrainFinishesInflight(t *testing.T) {
+	s := testServer(t, Config{
+		Jobs: jserver.Config{MatMulN: 32, FibN: 18, SortN: 20_000, SWN: 1500},
+	})
+	cl := dialTest(t, s.Addr())
+	if _, err := io.WriteString(cl.conn, "GET /jserver?job=sw HTTP/1.1\r\nHost: t\r\n\r\n"); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the request is admitted, then shut down underneath it.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.inflight.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never went inflight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Shutdown() }()
+	cl.conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	resp, err := readResponse(cl.tp, cl.br)
+	if err != nil {
+		t.Fatalf("inflight request was cut off by Shutdown: %v", err)
+	}
+	if resp.status != 200 {
+		t.Fatalf("drained response = %d, want 200", resp.status)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}

@@ -12,6 +12,53 @@ import (
 	"repro/internal/icilk"
 )
 
+// Byte budgets for one request. A request line longer than
+// maxRequestLine or a declared body over maxBodyBytes is malformed
+// (400); a head that keeps pulling bytes past maxHeadBytes without
+// completing is abuse (431) — the headLimiter cuts it off at the socket
+// so a hostile client cannot make the reader buffer unbounded bytes.
+const (
+	maxRequestLine = 4 << 10
+	maxHeadBytes   = 16 << 10
+	maxBodyBytes   = 64 << 10
+)
+
+// reqError is a client-visible parse failure: the reader answers with
+// status and drops the connection (the byte stream past a malformed
+// request is unframed, so the connection cannot be reused).
+type reqError struct {
+	status int
+	msg    string
+}
+
+func (e *reqError) Error() string { return fmt.Sprintf("serve: %d %s", e.status, e.msg) }
+
+var errHeadTooLarge = &reqError{status: 431, msg: "request head too large"}
+
+// headLimiter sits between the socket and the reader's bufio.Reader,
+// bounding how many bytes one request may pull. The reader resets the
+// budget before each request; parseRequest grants extra budget for a
+// declared (bounded) body. Bytes buffered by bufio across a reset are
+// counted against the request that pulled them, not the one that parses
+// them — an approximation that is off by at most one bufio buffer, never
+// unbounded.
+type headLimiter struct {
+	r      io.Reader
+	budget int
+}
+
+func (h *headLimiter) Read(p []byte) (int, error) {
+	if h.budget <= 0 {
+		return 0, errHeadTooLarge
+	}
+	if len(p) > h.budget {
+		p = p[:h.budget]
+	}
+	n, err := h.r.Read(p)
+	h.budget -= n
+	return n, err
+}
+
 // request is one parsed HTTP request, delivered to a connection's event
 // loop through an IO future.
 type request struct {
@@ -24,7 +71,9 @@ type request struct {
 // from the connection. Bodies are read and discarded — every endpoint is
 // a GET. It runs on the connection's reader goroutine, where blocking is
 // free: the Go netpoller parks the goroutine, not an icilk worker.
-func parseRequest(tp *textproto.Reader, br *bufio.Reader) (*request, error) {
+// Malformed input fails with a *reqError carrying the status the reader
+// should answer with; IO errors (EOF, deadline) pass through raw.
+func parseRequest(tp *textproto.Reader, br *bufio.Reader, lim *headLimiter) (*request, error) {
 	line, err := tp.ReadLine()
 	if err != nil {
 		return nil, err
@@ -34,10 +83,13 @@ func parseRequest(tp *textproto.Reader, br *bufio.Reader) (*request, error) {
 			return nil, err
 		}
 	}
+	if len(line) > maxRequestLine {
+		return nil, &reqError{status: 400, msg: fmt.Sprintf("request line of %d bytes exceeds %d", len(line), maxRequestLine)}
+	}
 	method, rest, ok := strings.Cut(line, " ")
 	uri, _, ok2 := strings.Cut(rest, " ")
 	if !ok || !ok2 {
-		return nil, fmt.Errorf("serve: malformed request line %q", line)
+		return nil, &reqError{status: 400, msg: fmt.Sprintf("malformed request line %q", line)}
 	}
 	h, err := tp.ReadMIMEHeader()
 	if err != nil {
@@ -46,7 +98,13 @@ func parseRequest(tp *textproto.Reader, br *bufio.Reader) (*request, error) {
 	if cl := h.Get("Content-Length"); cl != "" {
 		n, err := strconv.Atoi(cl)
 		if err != nil || n < 0 {
-			return nil, fmt.Errorf("serve: bad Content-Length %q", cl)
+			return nil, &reqError{status: 400, msg: fmt.Sprintf("bad Content-Length %q", cl)}
+		}
+		if n > maxBodyBytes {
+			return nil, &reqError{status: 400, msg: fmt.Sprintf("body of %d bytes exceeds %d", n, maxBodyBytes)}
+		}
+		if lim != nil {
+			lim.budget += n // a declared, bounded body may exceed the head budget
 		}
 		if _, err := io.CopyN(io.Discard, br, int64(n)); err != nil {
 			return nil, err
@@ -54,7 +112,7 @@ func parseRequest(tp *textproto.Reader, br *bufio.Reader) (*request, error) {
 	}
 	u, err := url.ParseRequestURI(uri)
 	if err != nil {
-		return nil, fmt.Errorf("serve: bad request URI %q: %w", uri, err)
+		return nil, &reqError{status: 400, msg: fmt.Sprintf("bad request URI %q", uri)}
 	}
 	return &request{method: method, path: u.Path, query: u.Query()}, nil
 }
@@ -71,23 +129,37 @@ func statusText(code int) string {
 		return "Not Found"
 	case 405:
 		return "Method Not Allowed"
+	case 431:
+		return "Request Header Fields Too Large"
+	case 503:
+		return "Service Unavailable"
 	default:
 		return "Internal Server Error"
 	}
 }
 
+// overloadHeaders marks a 503 with its reason and a retry hint. The
+// X-Overload value ("shed", "deadline", "conns", "draining") lets the
+// load generator count refusals per cause instead of folding them into
+// latency samples.
+func overloadHeaders(reason string) string {
+	return "Retry-After: 1\r\nX-Overload: " + reason + "\r\n"
+}
+
 // httpResponse serializes a keep-alive HTTP/1.1 response. The admission
 // class and priority ride in X-Class/X-Priority headers so the load
 // generator can aggregate latencies per priority class without knowing
-// the server's admission table.
-func httpResponse(status int, class string, prio icilk.Priority, body string) []byte {
+// the server's admission table. extra is preformatted additional header
+// lines ("" for none), each "Name: value\r\n".
+func httpResponse(status int, class string, prio icilk.Priority, extra, body string) []byte {
 	var b strings.Builder
-	b.Grow(len(body) + 128)
+	b.Grow(len(body) + len(extra) + 128)
 	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", status, statusText(status))
 	fmt.Fprintf(&b, "Content-Length: %d\r\n", len(body))
 	fmt.Fprintf(&b, "Content-Type: text/plain\r\n")
 	fmt.Fprintf(&b, "X-Class: %s\r\n", class)
 	fmt.Fprintf(&b, "X-Priority: %d\r\n", int(prio))
+	b.WriteString(extra)
 	b.WriteString("\r\n")
 	b.WriteString(body)
 	return []byte(b.String())
@@ -96,10 +168,11 @@ func httpResponse(status int, class string, prio icilk.Priority, body string) []
 // response is the client-side view of one reply, as read by the load
 // generator.
 type response struct {
-	status int
-	class  string
-	prio   int
-	body   []byte
+	status   int
+	class    string
+	prio     int
+	overload string // X-Overload reason on a refused request, "" otherwise
+	body     []byte
 }
 
 // readResponse parses one HTTP/1.1 response from a client connection.
@@ -129,5 +202,11 @@ func readResponse(tp *textproto.Reader, br *bufio.Reader) (*response, error) {
 		return nil, err
 	}
 	prio, _ := strconv.Atoi(h.Get("X-Priority"))
-	return &response{status: status, class: h.Get("X-Class"), prio: prio, body: body}, nil
+	return &response{
+		status:   status,
+		class:    h.Get("X-Class"),
+		prio:     prio,
+		overload: h.Get("X-Overload"),
+		body:     body,
+	}, nil
 }

@@ -76,20 +76,36 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	return c
 }
 
-// ClassSample aggregates response latencies for one priority class, as
-// reported by the server's X-Class/X-Priority headers.
+// ClassSample aggregates responses for one priority class, as reported
+// by the server's X-Class/X-Priority headers. Latencies holds only 2xx
+// responses: a shed or timed-out request is a fast refusal, and folding
+// it into the sample would make an overloaded server's p99 look BETTER
+// the harder it sheds. Refusals are counted instead, split by the
+// server's X-Overload reason.
 type ClassSample struct {
 	Class     string
 	Prio      int
 	Latencies []time.Duration
+
+	// Shed counts 503s refused by admission control (X-Overload "shed",
+	// "conns", or "draining"); Timeouts counts deadline-missed 503s
+	// (X-Overload "deadline"); Other counts remaining non-2xx responses
+	// (4xx, handler 500s).
+	Shed     int64
+	Timeouts int64
+	Other    int64
 }
 
-// LoadResult is one load generation run's outcome.
+// LoadResult is one load generation run's outcome. Done counts every
+// parsed response; Shed and Timeouts total the per-class refusal
+// counters (goodput = Done - Shed - Timeouts - per-class Other).
 type LoadResult struct {
-	Sent    int64
-	Done    int64
-	Errors  int64
-	Elapsed time.Duration
+	Sent     int64
+	Done     int64
+	Errors   int64
+	Shed     int64
+	Timeouts int64
+	Elapsed  time.Duration
 	// PerClass maps class name → latency sample. Latency is measured
 	// from the request's scheduled arrival instant to the last response
 	// byte, so queueing delay counts — the open-loop discipline that
@@ -108,8 +124,8 @@ func (r *LoadResult) Summary(class string) stats.Summary {
 
 // Report renders the per-class latency table, highest priority first.
 func (r *LoadResult) Report(w io.Writer) {
-	fmt.Fprintf(w, "sent=%d done=%d errors=%d elapsed=%v\n",
-		r.Sent, r.Done, r.Errors, r.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(w, "sent=%d done=%d shed=%d timeouts=%d errors=%d elapsed=%v\n",
+		r.Sent, r.Done, r.Shed, r.Timeouts, r.Errors, r.Elapsed.Round(time.Millisecond))
 	classes := make([]*ClassSample, 0, len(r.PerClass))
 	for _, cs := range r.PerClass {
 		classes = append(classes, cs)
@@ -120,12 +136,12 @@ func (r *LoadResult) Report(w io.Writer) {
 		}
 		return classes[i].Class < classes[j].Class
 	})
-	fmt.Fprintf(w, "%-16s %4s %7s %10s %10s %10s %10s\n",
-		"class", "prio", "count", "p50", "p95", "p99", "max")
+	fmt.Fprintf(w, "%-16s %4s %7s %6s %6s %6s %10s %10s %10s %10s\n",
+		"class", "prio", "ok", "shed", "timeo", "other", "p50", "p95", "p99", "max")
 	for _, cs := range classes {
 		s := stats.Summarize(cs.Latencies)
-		fmt.Fprintf(w, "%-16s %4d %7d %10v %10v %10v %10v\n",
-			cs.Class, cs.Prio, s.Count,
+		fmt.Fprintf(w, "%-16s %4d %7d %6d %6d %6d %10v %10v %10v %10v\n",
+			cs.Class, cs.Prio, s.Count, cs.Shed, cs.Timeouts, cs.Other,
 			s.P50.Round(time.Microsecond), s.P95.Round(time.Microsecond),
 			s.P99.Round(time.Microsecond), s.Max.Round(time.Microsecond))
 	}
@@ -170,14 +186,19 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 	var sent, done, errs atomic.Int64
 	arrivals := make(chan arrival, 1<<14)
 
-	// The generator: open-loop Poisson arrivals over the mix.
+	// The generator: open-loop Poisson arrivals over the mix. The
+	// schedule is absolute — each arrival's instant is fixed by the
+	// cumulative interarrival draws, and every wake emits ALL arrivals
+	// now due. Sleeping per arrival instead (time.After in a loop) caps
+	// the offered rate at the platform timer resolution, which silently
+	// turns a 3x-capacity overload run into a sub-capacity one.
 	stop := make(chan struct{})
 	time.AfterFunc(cfg.Duration, func() { close(stop) })
 	go func() {
 		defer close(arrivals)
 		gen := simio.NewPoisson(cfg.MeanArrival, cfg.Seed)
 		state := uint64(cfg.Seed)*2654435761 + 7
-		gen.Run(stop, func(i int) {
+		emit := func(at time.Time) {
 			state = state*6364136223846793005 + 1442695040888963407
 			path := picks[(state>>33)%uint64(len(picks))]
 			if strings.Contains(path, "%d") {
@@ -185,11 +206,37 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 			}
 			sent.Add(1)
 			select {
-			case arrivals <- arrival{path: path, at: time.Now()}:
+			case arrivals <- arrival{path: path, at: at}:
 			default:
 				errs.Add(1) // arrival backlog overflow: count, don't block the clock
 			}
-		})
+		}
+		begin := time.Now()
+		next := gen.Next()
+		for {
+			now := time.Since(begin)
+			if now < next {
+				t := time.NewTimer(next - now)
+				select {
+				case <-stop:
+					t.Stop()
+					return
+				case <-t.C:
+				}
+				now = time.Since(begin)
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for next <= now {
+				// Latency is measured from the SCHEDULED instant, not
+				// the (possibly batched) emission instant.
+				emit(begin.Add(next))
+				next += gen.Next()
+			}
+		}
 	}()
 
 	// The connection pool.
@@ -199,13 +246,22 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 		wg.Add(1)
 		go func(shard map[string]*ClassSample) {
 			defer wg.Done()
-			record := func(class string, prio int, d time.Duration) {
-				cs := shard[class]
+			record := func(resp *response, d time.Duration) {
+				cs := shard[resp.class]
 				if cs == nil {
-					cs = &ClassSample{Class: class, Prio: prio}
-					shard[class] = cs
+					cs = &ClassSample{Class: resp.class, Prio: resp.prio}
+					shard[resp.class] = cs
 				}
-				cs.Latencies = append(cs.Latencies, d)
+				switch {
+				case resp.status/100 == 2:
+					cs.Latencies = append(cs.Latencies, d)
+				case resp.overload == "deadline":
+					cs.Timeouts++
+				case resp.overload != "":
+					cs.Shed++ // admission refusals: shed, conns, draining
+				default:
+					cs.Other++
+				}
 			}
 			var (
 				conn net.Conn
@@ -258,7 +314,7 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 					continue
 				}
 				done.Add(1)
-				record(resp.class, resp.prio, time.Since(a.at))
+				record(resp, time.Since(a.at))
 			}
 		}(shards[i])
 	}
@@ -273,6 +329,11 @@ func RunLoad(cfg LoadConfig) (*LoadResult, error) {
 				res.PerClass[class] = agg
 			}
 			agg.Latencies = append(agg.Latencies, cs.Latencies...)
+			agg.Shed += cs.Shed
+			agg.Timeouts += cs.Timeouts
+			agg.Other += cs.Other
+			res.Shed += cs.Shed
+			res.Timeouts += cs.Timeouts
 		}
 	}
 

@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps/email"
 	"repro/internal/apps/jserver"
 	"repro/internal/apps/proxy"
+	"repro/internal/faultinject"
 	"repro/internal/icilk"
 	"repro/internal/simio"
 	"repro/internal/workload"
@@ -68,6 +69,12 @@ var storeAccessors = map[string][]string{
 	"serve.admitted": {"conn-loop", "stats"},
 	"serve.sessions": {"conn-loop", "stats"},
 	"serve.rcache":   {"proxy", "stats"},
+	// Shed refusals are counted by the event loop; deadline misses by
+	// the timed-out handler task itself, which can run at any level —
+	// conn-loop's PrioInteractive is the runtime's top level, so the
+	// derived ceiling covers every possible bumper.
+	"serve.shed":     {"conn-loop", "stats"},
+	"serve.timeouts": {"conn-loop", "stats"},
 }
 
 // classPrio resolves a class name, panicking on a class the admission
@@ -146,6 +153,47 @@ type Config struct {
 	// for tests and debug builds, not production serving.
 	DetectDeadlocks bool
 	RecordLockOrder bool
+
+	// Deadlines maps admission class → per-request deadline budget,
+	// measured from admission (so queueing delay counts). A request
+	// whose handler misses its budget is answered 503 with Retry-After
+	// and counted in /stats; the handler itself is not preempted — its
+	// late result is discarded. Classes absent from the map fall back to
+	// DefaultDeadline; zero means no deadline.
+	Deadlines       map[string]time.Duration
+	DefaultDeadline time.Duration
+
+	// ShedLimits maps admission class → max outstanding (admitted but
+	// not yet responded) requests. Past the watermark, new requests of
+	// that class are refused 503 BEFORE their handler task is spawned —
+	// the paper's responsiveness story as an admission policy: watermark
+	// the batch classes and interactive traffic keeps its p99 through
+	// saturation. Absent/zero = unlimited.
+	ShedLimits map[string]int
+
+	// MaxConns caps concurrently open accepted connections; over the
+	// cap, new connections are answered one 503 and closed without ever
+	// reaching the runtime. 0 = unlimited.
+	MaxConns int
+
+	// ReadHeaderTimeout bounds reading one request head once its first
+	// byte has arrived; IdleTimeout bounds the wait for that first byte
+	// between requests. Together they evict slowloris clients (trickling
+	// a header forever) and idle keep-alive hoarders. Zero takes the
+	// defaults (5s / 120s); negative disables.
+	ReadHeaderTimeout time.Duration
+	IdleTimeout       time.Duration
+
+	// DrainTimeout bounds Shutdown's drain phase: after the listener
+	// closes, in-flight requests get up to this long to finish before
+	// remaining connections are force-closed. Zero takes the default
+	// (5s); negative skips straight to force-close.
+	DrainTimeout time.Duration
+
+	// Faults, when non-nil, injects seeded connection and completion
+	// faults into every accepted connection and response write — the
+	// chaos harness (icilk-serve -chaos). Nil serves cleanly.
+	Faults *faultinject.Faults
 }
 
 func (c Config) withDefaults() Config {
@@ -160,6 +208,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 20200406
+	}
+	if c.ReadHeaderTimeout == 0 {
+		c.ReadHeaderTimeout = 5 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 120 * time.Second
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 5 * time.Second
 	}
 	return c
 }
@@ -190,6 +247,24 @@ type Server struct {
 	requests  atomic.Int64
 	writeErrs atomic.Int64
 	shutdown  atomic.Bool
+
+	// Overload-protection state: connCount tracks open accepted
+	// connections against cfg.MaxConns (refused counts the rejects);
+	// inflight counts admitted-but-unresponded requests (the drain
+	// phase's completion condition); classInflight is the same count per
+	// admission class, read by the shedding watermark check. draining
+	// flips during Shutdown's first phase: admissions then shed
+	// everything so keep-alive clients cannot hold the drain open.
+	connCount     atomic.Int64
+	refused       atomic.Int64
+	inflight      atomic.Int64
+	classInflight map[string]*atomic.Int64
+	draining      atomic.Bool
+
+	// shed and timeouts count refused admissions and missed deadlines
+	// per class (worker-striped like admits; served by /stats).
+	shed     *admitTable
+	timeouts *admitTable
 
 	// Scheduler-visible shared state, sharded per shards.go: admits is
 	// the worker-striped per-class admission table; sess tracks client
@@ -258,6 +333,12 @@ type writeOp struct {
 type sconn struct {
 	c net.Conn
 
+	// closeOnce makes teardown idempotent: reader-error teardown, a
+	// failed write, and Shutdown's force-close can all race to drop the
+	// same connection; only the first Close's error is kept.
+	closeOnce sync.Once
+	closeErr  error
+
 	mu      sync.Mutex
 	queue   []*request
 	closed  bool
@@ -287,20 +368,33 @@ func Start(cfg Config) (*Server, error) {
 		RecordLockOrder: cfg.RecordLockOrder,
 	})
 	nshards := shardCount(cfg.Workers)
+	// Every class the router can admit gets an inflight counter up
+	// front; the map is immutable after Start, so watermark checks read
+	// it without a lock.
+	classInflight := map[string]*atomic.Int64{}
+	for cl := range classPriorities {
+		classInflight[cl] = &atomic.Int64{}
+	}
+	for _, jt := range []workload.JobType{workload.JobMatMul, workload.JobFib, workload.JobSort, workload.JobSW} {
+		classInflight["jserver-"+jt.String()] = &atomic.Int64{}
+	}
 	s := &Server{
-		cfg:        cfg,
-		rt:         rt,
-		ln:         ln,
-		jobs:       jserver.NewJobSet(cfg.Jobs),
-		proxy:      proxy.NewService(rt, simio.Latency{Base: 3 * time.Millisecond, Jitter: 5 * time.Millisecond}, cfg.Seed),
-		email:      email.NewServer(rt, email.Config{Users: cfg.Users, Seed: cfg.Seed}),
-		start:      time.Now(),
-		conns:      map[*sconn]struct{}{},
-		admits:     newAdmitTable(rt, nshards),
-		sess:       newSessionStore(rt, nshards),
-		rcache:     newResponseCache(rt, nshards),
-		rcacheHits: icilk.NewStripedCounter(rt, derivedCeiling("serve.rcache")),
-		writeDone:  make(chan written, 256),
+		cfg:           cfg,
+		rt:            rt,
+		ln:            ln,
+		jobs:          jserver.NewJobSet(cfg.Jobs),
+		proxy:         proxy.NewService(rt, simio.Latency{Base: 3 * time.Millisecond, Jitter: 5 * time.Millisecond}, cfg.Seed),
+		email:         email.NewServer(rt, email.Config{Users: cfg.Users, Seed: cfg.Seed}),
+		start:         time.Now(),
+		conns:         map[*sconn]struct{}{},
+		admits:        newAdmitTable(rt, nshards, "serve.admitted"),
+		shed:          newAdmitTable(rt, nshards, "serve.shed"),
+		timeouts:      newAdmitTable(rt, nshards, "serve.timeouts"),
+		classInflight: classInflight,
+		sess:          newSessionStore(rt, nshards),
+		rcache:        newResponseCache(rt, nshards),
+		rcacheHits:    icilk.NewStripedCounter(rt, derivedCeiling("serve.rcache")),
+		writeDone:     make(chan written, 256),
 	}
 	s.compWG.Add(1)
 	go s.completer()
@@ -331,7 +425,17 @@ func (s *Server) acceptor() {
 			time.Sleep(10 * time.Millisecond)
 			continue
 		}
+		if max := s.cfg.MaxConns; max > 0 && s.connCount.Load() >= int64(max) {
+			// Over the cap: one 503 on a throwaway goroutine, never a
+			// runtime task. The load check is racy by a connection or
+			// two under an accept burst — a watermark, not a ledger.
+			s.refused.Add(1)
+			s.connWG.Add(1)
+			go s.refuse(c)
+			continue
+		}
 		s.accepted.Add(1)
+		c = s.cfg.Faults.WrapConn(c) // no-op when chaos is off (nil Faults)
 		cn := &sconn{c: c, lastWrite: icilk.Completed(PrioInteractive, 0)}
 		s.connMu.Lock()
 		if s.shutdown.Load() {
@@ -340,6 +444,7 @@ func (s *Server) acceptor() {
 			return
 		}
 		s.conns[cn] = struct{}{}
+		s.connCount.Add(1)
 		s.connMu.Unlock()
 		s.connWG.Add(1)
 		go s.reader(cn)
@@ -347,15 +452,28 @@ func (s *Server) acceptor() {
 	}
 }
 
+// refuse answers one over-cap connection with a 503 and closes it. The
+// write gets a short deadline so a client that never reads cannot pin
+// the goroutine past shutdown.
+func (s *Server) refuse(c net.Conn) {
+	defer s.connWG.Done()
+	defer c.Close()
+	c.SetWriteDeadline(time.Now().Add(time.Second))
+	c.Write(httpResponse(503, "error", classPrio("error"), overloadHeaders("conns"),
+		"server at connection capacity\n"))
+}
+
 // reader is cn's poller: it blocks in the kernel (via the netpoller) for
 // request bytes and completes the connection's pending request promise on
 // each arrival — the socket-readiness edge that drives the runtime.
 func (s *Server) reader(cn *sconn) {
 	defer s.connWG.Done()
-	br := bufio.NewReader(cn.c)
+	lim := &headLimiter{r: cn.c}
+	br := bufio.NewReader(lim)
 	tp := textproto.NewReader(br)
+	idle, header := s.cfg.IdleTimeout, s.cfg.ReadHeaderTimeout
 	for {
-		req, err := parseRequest(tp, br)
+		req, err := s.readOne(cn, tp, br, lim, idle, header)
 		cn.mu.Lock()
 		if err != nil {
 			cn.closed = true
@@ -367,6 +485,14 @@ func (s *Server) reader(cn *sconn) {
 				// Connection teardown wakes its event loop immediately: a
 				// coalescing window would only delay the close.
 				pr.Complete(nil) // nil request = connection over
+			}
+			// A malformed request gets its answer before the drop; the
+			// stream past it is unframed, so the connection cannot live
+			// on either way. IO errors (EOF, deadline, reset) get none.
+			var re *reqError
+			if errors.As(err, &re) {
+				cn.c.SetWriteDeadline(time.Now().Add(time.Second))
+				cn.c.Write(httpResponse(re.status, "error", classPrio("error"), "", re.msg+"\n"))
 			}
 			s.dropConn(cn)
 			return
@@ -400,11 +526,38 @@ func (s *Server) reader(cn *sconn) {
 // dispatched) requests.
 const maxPipelined = 256
 
+// readOne reads one request under the anti-slowloris discipline: wait up
+// to idle for the first byte, then give the whole head (and any declared
+// body) at most header to finish and maxHeadBytes to fit in. A client
+// that trickles one byte per second can hold a connection for at most
+// idle + header, not forever.
+func (s *Server) readOne(cn *sconn, tp *textproto.Reader, br *bufio.Reader, lim *headLimiter, idle, header time.Duration) (*request, error) {
+	lim.budget = maxHeadBytes
+	if idle > 0 {
+		cn.c.SetReadDeadline(time.Now().Add(idle))
+		if _, err := br.Peek(1); err != nil {
+			return nil, err
+		}
+	}
+	if header > 0 {
+		cn.c.SetReadDeadline(time.Now().Add(header))
+	} else if idle > 0 {
+		cn.c.SetReadDeadline(time.Time{})
+	}
+	return parseRequest(tp, br, lim)
+}
+
+// dropConn tears down one connection. It is idempotent — reader-error
+// teardown, write failure, and Shutdown's force-close may all call it —
+// and only the first Close's error is recorded on the sconn.
 func (s *Server) dropConn(cn *sconn) {
-	cn.c.Close()
-	s.connMu.Lock()
-	delete(s.conns, cn)
-	s.connMu.Unlock()
+	cn.closeOnce.Do(func() {
+		cn.closeErr = cn.c.Close()
+		s.connMu.Lock()
+		delete(s.conns, cn)
+		s.connMu.Unlock()
+		s.connCount.Add(-1)
+	})
 }
 
 // nextBatch drains every already-buffered request on cn into buf —
@@ -495,15 +648,19 @@ func (s *Server) eventLoop(cn *sconn) {
 // respond ships one response on a dedicated writer goroutine; the
 // handler task parks on the write promise until the bytes are out.
 // Nothing here blocks the icilk worker: the goroutine spawn is cheap
-// and the touch parks the task, freeing the worker immediately.
-func (s *Server) respond(c *icilk.Ctx, cn *sconn, prio icilk.Priority, class string, status int, body string) {
+// and the touch parks the task, freeing the worker immediately. prio is
+// the calling task's priority (the write promise's level); hdrPrio is
+// the priority advertised in X-Priority — they differ only for shed
+// responses, whose top-level responder reports the refused class's true
+// level.
+func (s *Server) respond(c *icilk.Ctx, cn *sconn, prio, hdrPrio icilk.Priority, class string, status int, extra, body string) {
 	// Pool-sourced and released here: the write promise lives exactly
 	// one response — this task is its only toucher, and the completer's
 	// CompleteQuiet has returned control of the cell before TouchRelease
 	// can observe the completion.
 	pr := icilk.NewPromiseIn[int](c, prio)
 	s.writeWG.Add(1)
-	go s.write(writeOp{cn: cn, data: httpResponse(status, class, prio, body), pr: pr})
+	go s.write(writeOp{cn: cn, data: httpResponse(status, class, hdrPrio, extra, body), pr: pr})
 	if pr.Future().TouchRelease(c) < 0 {
 		s.writeErrs.Add(1)
 	}
@@ -524,6 +681,21 @@ const writeStall = 30 * time.Second
 // in turn winds down the event loop and any buffered requests.
 func (s *Server) write(op writeOp) {
 	defer s.writeWG.Done()
+	// Chaos hooks perturb the completion side of the write promise: a
+	// delay holds the handler parked past the bytes landing, and an
+	// injected failure reports the write dead (dropping the connection)
+	// exactly as a failed socket write would — the promise still
+	// resolves exactly once either way.
+	if fl := s.cfg.Faults; fl != nil {
+		if d := fl.CompleteDelay(); d > 0 {
+			time.Sleep(d)
+		}
+		if fl.CompleteFail() {
+			s.dropConn(op.cn)
+			s.writeDone <- written{pr: op.pr, n: -1}
+			return
+		}
+	}
 	op.cn.c.SetWriteDeadline(time.Now().Add(writeStall))
 	_, err := op.cn.c.Write(op.data)
 	n := len(op.data)
@@ -615,18 +787,34 @@ func (s *Server) storeResponse(c *icilk.Ctx, key, body string) {
 	s.rcache.put(c, key, body)
 }
 
-// Shutdown stops accepting, closes every connection, drains in-flight
-// tasks, and stops the runtime.
+// Shutdown stops the server in two phases. Phase one (drain): close the
+// listener, flip draining — every new admission now sheds with a 503 —
+// and give already-admitted requests up to DrainTimeout to get their
+// responses onto their sockets. Phase two (force): close every
+// remaining connection (idempotent against racing reader teardowns),
+// then run the established wind-down — readers exit, the runtime
+// drains, writers report, the completer closes. A clean drain means no
+// in-flight request is ever cut off mid-response; the timeout bounds
+// how long a stuck client can hold the process.
 func (s *Server) Shutdown() error {
 	if s.shutdown.Swap(true) {
 		return nil
 	}
 	s.ln.Close()
+	s.draining.Store(true)
+	deadline := time.Now().Add(s.cfg.DrainTimeout)
+	for s.inflight.Load() > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
 	s.connMu.Lock()
+	conns := make([]*sconn, 0, len(s.conns))
 	for cn := range s.conns {
-		cn.c.Close() // readers unblock with an error and finish the loops
+		conns = append(conns, cn)
 	}
 	s.connMu.Unlock()
+	for _, cn := range conns {
+		s.dropConn(cn) // readers unblock with an error and finish the loops
+	}
 	s.connWG.Wait()
 	err := s.rt.WaitIdle(30 * time.Second)
 	if err == nil {

@@ -182,20 +182,21 @@ type admitShard struct {
 	m  map[string]int64
 }
 
-// admitTable is the worker-striped per-class admission accumulator:
-// event loops on different workers bump different stripes; /stats
-// merges them.
+// admitTable is a worker-striped per-class accumulator: tasks on
+// different workers bump different stripes; /stats merges them. The
+// admission, shed, and deadline-miss counters are all instances, named
+// by their storeAccessors entry (which supplies the lock ceilings).
 type admitTable struct {
 	shards []admitShard
 	mask   uint32
 }
 
-func newAdmitTable(rt *icilk.Runtime, nshards int) *admitTable {
-	ceil := derivedCeiling("serve.admitted")
+func newAdmitTable(rt *icilk.Runtime, nshards int, store string) *admitTable {
+	ceil := derivedCeiling(store)
 	at := &admitTable{shards: make([]admitShard, nshards), mask: uint32(nshards - 1)}
 	for i := range at.shards {
 		at.shards[i] = admitShard{
-			mu: icilk.NewRWMutex(rt, ceil, ceil, fmt.Sprintf("serve.admitted/%d", i)),
+			mu: icilk.NewRWMutex(rt, ceil, ceil, fmt.Sprintf("%s/%d", store, i)),
 			m:  map[string]int64{},
 		}
 	}
