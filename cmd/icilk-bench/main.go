@@ -386,14 +386,15 @@ func l4i(cfg experiments.EvalConfig, iters int) any {
 		fmt.Fprintln(os.Stderr, "icilk-bench:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%-20s %10s %12s %12s %8s %8s %6s\n",
-		"program", "value", "machine", "icilk", "ratio", "threads", "ceils")
+	fmt.Printf("%-20s %10s %12s %12s %8s %12s %12s %8s %6s\n",
+		"program", "value", "machine", "icilk", "ratio", "mach-allocs", "icilk-allocs", "threads", "ceils")
 	for _, pt := range pts {
-		fmt.Printf("%-20s %10s %12v %12v %7.2fx %8d %6d\n",
+		fmt.Printf("%-20s %10s %12v %12v %7.2fx %12.0f %12.0f %8d %6d\n",
 			pt.Program, pt.Value,
 			time.Duration(pt.MachineNs).Round(time.Microsecond),
 			time.Duration(pt.CompiledNs).Round(time.Microsecond),
-			pt.Ratio(), pt.Threads, pt.CeilingViolations)
+			pt.Ratio(), pt.MachineAllocs, pt.CompiledAllocs,
+			pt.Threads, pt.CeilingViolations)
 	}
 	fmt.Println()
 	return pts

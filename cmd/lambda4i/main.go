@@ -51,6 +51,7 @@ type options struct {
 	policy    string
 	p         int
 	dagOut    string
+	dumpIR    bool
 	verify    bool
 	bounds    bool
 	maxSteps  int
@@ -66,6 +67,7 @@ func main() {
 	flag.StringVar(&o.policy, "policy", "prompt", "machine backend scheduling policy: runall, seq, child, prompt")
 	flag.IntVar(&o.p, "P", 2, "cores: the prompt policy's P, and the icilk backend's worker count")
 	flag.StringVar(&o.dagOut, "dag", "", "write the cost graph as DOT to this file (machine backend)")
+	flag.BoolVar(&o.dumpIR, "dump-ir", false, "dump the pass pipeline's converted IR — per-code-object frame sizes and captures, baked levels and ceilings (icilk backend)")
 	flag.BoolVar(&o.verify, "verify", true, "verify strong well-formedness and admissibility of the run (machine backend)")
 	flag.BoolVar(&o.bounds, "bounds", false, "verify the Theorem 2.3 response-time bound for every thread (machine backend)")
 	flag.IntVar(&o.maxSteps, "max-steps", 10_000_000, "step limit for the run")
@@ -105,6 +107,9 @@ func realMain(o options) error {
 
 	switch o.backend {
 	case "machine":
+		if o.dumpIR {
+			return fmt.Errorf("-dump-ir requires -backend icilk (the simulator interprets the AST directly)")
+		}
 		return runMachine(o, prog)
 	case "icilk":
 		// Fail rather than silently skip output the user asked for: the
@@ -145,6 +150,13 @@ func runICilk(o options, prog *parser.Program) error {
 			fmt.Printf(" %s=%d", loc, ceils[loc])
 		}
 		fmt.Println()
+	}
+	if o.dumpIR {
+		ir, err := cp.IRSummary()
+		if err != nil {
+			return err
+		}
+		fmt.Print(ir)
 	}
 	res, err := cp.Run(compile.RunConfig{
 		Workers:  o.p,

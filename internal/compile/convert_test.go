@@ -1,0 +1,194 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+)
+
+// These tests pin the closure-conversion pass through end-to-end runs:
+// each program is shaped so that a slot-assignment or capture bug
+// changes main's value, not just performance.
+
+// TestCaptureShadowing: a lambda captures the *outer* x; a later
+// shadowing let must get a fresh slot, not clobber the captured copy
+// (slots are allocated monotonically and never reused for exactly this
+// reason).
+func TestCaptureShadowing(t *testing.T) {
+	src := `
+priority p
+main : nat @ p = {
+  let x = 3 in
+  let f = fn u : nat => x in
+  let x = 7 in
+  let a = f 0 in
+  ret (ifz x { a ; k . a })
+}
+`
+	res := mustRun(t, mustCompile(t, src))
+	if got := res.Value.String(); got != "3" {
+		t.Fatalf("captured-then-shadowed x: got %s, want 3 (the capture-time value)", got)
+	}
+}
+
+// TestCaptureUnderFcreate: an fcreate body is a separate code object;
+// free variables of the spawned command must be snapshotted into the
+// child's frame when the thread is created.
+func TestCaptureUnderFcreate(t *testing.T) {
+	src := `
+priority lo
+priority hi
+order lo < hi
+main : nat @ lo = {
+  let x = 6 in
+  let y = 2 in
+  h <- cmd[lo]{ fcreate[hi; nat] { ret (ifz y { y ; k . x }) } };
+  v <- cmd[lo]{ ftouch h };
+  ret v
+}
+`
+	res := mustRun(t, mustCompile(t, src))
+	if got := res.Value.String(); got != "6" {
+		t.Fatalf("fcreate capture: got %s, want 6", got)
+	}
+}
+
+// TestNestedCaptureChain: a variable free two code objects deep must be
+// threaded through the intervening closure (capture-of-a-capture), one
+// copy per closure creation.
+func TestNestedCaptureChain(t *testing.T) {
+	src := `
+priority p
+main : nat @ p = {
+  let x = 5 in
+  let outer = fn u : nat => (fn w : nat => x) in
+  let inner = outer 0 in
+  ret (inner 1)
+}
+`
+	res := mustRun(t, mustCompile(t, src))
+	if got := res.Value.String(); got != "5" {
+		t.Fatalf("nested capture: got %s, want 5", got)
+	}
+}
+
+// TestRefCellInClosedOverFrame: a dcl-bound location captured by a
+// command value must alias the same icilk.Ref — the closure copies the
+// handle, not the cell — so a write through the capture is seen by a
+// read through the original binding.
+func TestRefCellInClosedOverFrame(t *testing.T) {
+	src := `
+priority p
+main : nat @ p = {
+  dcl c : nat := 1 in
+  let w = cmd[p]{ c := 8 } in
+  u <- w;
+  r <- cmd[p]{ !c };
+  ret r
+}
+`
+	res := mustRun(t, mustCompile(t, src))
+	if got := res.Value.String(); got != "8" {
+		t.Fatalf("closed-over ref cell: got %s, want 8 (write must alias the dcl'd cell)", got)
+	}
+}
+
+// TestFixCaptureInRecursiveBody: the fix-bound name and an outer
+// capture must both stay resolvable across every recursive activation
+// (fresh frame per call, knot tied through the recursion cell).
+func TestFixCaptureInRecursiveBody(t *testing.T) {
+	src := `
+priority p
+main : nat @ p = {
+  let base = 9 in
+  let down = fix f : nat -> nat is
+    fn n : nat => ifz n { base ; m . f m } in
+  ret (down 4)
+}
+`
+	res := mustRun(t, mustCompile(t, src))
+	if got := res.Value.String(); got != "9" {
+		t.Fatalf("fix capture: got %s, want 9", got)
+	}
+}
+
+// TestClosureCapturedCounterKeepsTightCeiling pins the escape-analysis
+// tightening (ROADMAP 3b, first step): a counter whose cell flows
+// through a let alias into closures is still only ever accessed inside
+// commands at statically known priorities, so its derived ceiling stays
+// at the highest access level (hi = 1) instead of widening to the top
+// of the three-level order (ur = 2).
+func TestClosureCapturedCounterKeepsTightCeiling(t *testing.T) {
+	src := `
+priority lo
+priority hi
+priority ur
+order lo < hi
+order hi < ur
+main : nat @ lo = {
+  dcl cnt : nat := 0 in
+  let r = cnt in
+  let bump = fn u : nat => cmd[hi]{ cas(r, 0, u) } in
+  h <- cmd[lo]{ fcreate[hi; nat] { a <- bump 5; ret a } };
+  w <- cmd[lo]{ ftouch h };
+  v <- cmd[lo]{ !r };
+  ret v
+}
+`
+	cp := mustCompile(t, src)
+	if got := cp.RefCeilings()["cnt"]; got != 1 {
+		t.Errorf("closure-captured counter ceiling %d, want 1 (level of hi, not top)", got)
+	}
+	res := mustRun(t, cp)
+	if got := res.Value.String(); got != "5" {
+		t.Errorf("value %s, want 5", got)
+	}
+	if res.Stats.CeilingViolations != 0 {
+		t.Errorf("tight ceiling tripped %d violations on a derivation-approved access",
+			res.Stats.CeilingViolations)
+	}
+}
+
+// TestAliasEscapeStillWidens: the alias tracking must not weaken the
+// escape analysis — an alias passed to a function (an untracked flow)
+// widens the site to top exactly as the literal ref would.
+func TestAliasEscapeStillWidens(t *testing.T) {
+	src := `
+priority lo
+priority hi
+order lo < hi
+main : nat @ lo = {
+  dcl cell : nat := 4 in
+  let r = cell in
+  let rd = fn q : nat ref => cmd[lo]{ !q } in
+  v <- rd r;
+  ret v
+}
+`
+	cp := mustCompile(t, src)
+	if got := cp.RefCeilings()["cell"]; got != 1 {
+		t.Errorf("alias-escaped ref ceiling %d, want top level 1", got)
+	}
+	res := mustRun(t, cp)
+	if got := res.Value.String(); got != "4" {
+		t.Errorf("value %s, want 4", got)
+	}
+}
+
+// TestUnboundVariableFailsConversion: the converter, not the
+// evaluator, is the layer that rejects a hand-built Prog whose main
+// command has a free variable — Run must surface that as an error
+// before any runtime is spun up.
+func TestUnboundVariableFailsConversion(t *testing.T) {
+	cp := mustCompile(t, `
+priority p
+main : nat @ p = { ret 0 }
+`)
+	// Splice a free variable past the typechecker.
+	cp.Main = ast.Ret{E: ast.Var{Name: "y"}}
+	if _, err := cp.Run(RunConfig{Workers: 1}); err == nil ||
+		!strings.Contains(err.Error(), "unbound variable y") {
+		t.Fatalf("free variable should fail conversion, got: %v", err)
+	}
+}

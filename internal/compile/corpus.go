@@ -17,7 +17,7 @@ var corpusDirs = []string{
 // glob returning fewer means a test is running from the wrong
 // directory (or programs were deleted), and the callers should fail
 // loudly instead of silently testing a shrunken corpus.
-const corpusMin = 9
+const corpusMin = 10
 
 // Corpus returns every .l4i program under the repo root, sorted — the
 // shared source of truth for the differential tests here and the CLI

@@ -38,7 +38,9 @@ func parseFile(t *testing.T, path string) *parser.Program {
 // corpus program typechecks, runs on the abstract machine and on the
 // compiled icilk backend, and the two backends agree on main's value —
 // with zero dynamic ceiling violations, because the compiled ceilings
-// come from the same typing derivation that accepted the program.
+// come from the same typing derivation that accepted the program. The
+// compiled run repeats with the runtime's task/future pooling disabled:
+// the allocation ablation must be invisible to program results.
 func TestCorpusDifferential(t *testing.T) {
 	for _, f := range corpus(t) {
 		f := f
@@ -59,20 +61,27 @@ func TestCorpusDifferential(t *testing.T) {
 				t.Fatal("machine run left main unfinished")
 			}
 
-			res, err := cp.Run(RunConfig{Workers: 2})
-			if err != nil {
-				t.Fatalf("compiled run: %v", err)
-			}
-			if !ast.ValueEqual(res.Value, want) {
-				t.Errorf("backends disagree: machine %s, icilk %s", want, res.Value)
-			}
-			if res.Stats.CeilingViolations != 0 {
-				t.Errorf("checker-accepted program tripped %d ceiling violations",
-					res.Stats.CeilingViolations)
-			}
-			if res.Threads != int64(len(mc.ThreadOrder())) {
-				t.Errorf("thread counts disagree: machine %d, icilk %d",
-					len(mc.ThreadOrder()), res.Threads)
+			for _, pool := range []struct {
+				name    string
+				disable bool
+			}{{"pooled", false}, {"nopool", true}} {
+				t.Run(pool.name, func(t *testing.T) {
+					res, err := cp.Run(RunConfig{Workers: 2, DisablePooling: pool.disable})
+					if err != nil {
+						t.Fatalf("compiled run: %v", err)
+					}
+					if !ast.ValueEqual(res.Value, want) {
+						t.Errorf("backends disagree: machine %s, icilk %s", want, res.Value)
+					}
+					if res.Stats.CeilingViolations != 0 {
+						t.Errorf("checker-accepted program tripped %d ceiling violations",
+							res.Stats.CeilingViolations)
+					}
+					if res.Threads != int64(len(mc.ThreadOrder())) {
+						t.Errorf("thread counts disagree: machine %d, icilk %d",
+							len(mc.ThreadOrder()), res.Threads)
+					}
+				})
 			}
 		})
 	}

@@ -1,0 +1,436 @@
+package compile
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/icilk"
+)
+
+// eval.go is the environment-based evaluator over the converted IR.
+// Values are Go-native representations — no ast rewriting happens on
+// the hot path; the only place an ast.Expr is rebuilt is reify, which
+// converts main's final value back to surface syntax for Result.Value.
+type value = any
+
+type (
+	vUnit struct{}
+	// vNat boxes without allocating for n < 256 (Go interns small
+	// word-sized interface payloads), which covers the numerals hot
+	// loops actually produce.
+	vNat  struct{ n int }
+	vPair struct{ l, r value }
+	vInl  struct {
+		v value
+		t ast.Type
+	}
+	vInr struct {
+		v value
+		t ast.Type
+	}
+	// vRef is an allocated cell: the icilk ref carrying the baked
+	// ceiling, plus the runtime location name reification prints.
+	vRef struct {
+		cell *icilk.Ref[value]
+		loc  string
+	}
+	// vTid is a first-class thread handle. Embedding icilk.Handle makes
+	// every tid value a forwarding carrier: when a thread's final value
+	// is a vTid, the scheduler can migrate a parked toucher down the
+	// chain (completion-time forwarding) instead of waking it to
+	// re-park. A plain Touch still returns the vTid itself — D-Touch
+	// returns the thread's value as-is — so the λ4i semantics are
+	// unchanged; only the parking pattern improves.
+	vTid struct {
+		name string
+		icilk.Handle
+	}
+)
+
+// vClos, vCmd, and vPLam are the closure values: a code object plus the
+// captured slots and the priority environment at creation. They are
+// pointers so creating one costs a single allocation.
+type vClos struct {
+	code *code
+	caps []value
+	penv []icilk.Priority
+}
+
+type vCmd struct {
+	code *code
+	caps []value
+	penv []icilk.Priority
+}
+
+type vPLam struct {
+	code *code
+	caps []value
+	penv []icilk.Priority
+}
+
+// recCell ties fix's recursive knot: the fix-bound slot holds the cell
+// while the body evaluates, and the result is patched in before the fix
+// expression returns. Reads unwrap; a nil cell read means the fix
+// consumed its own value strictly, which the step semantics (and the
+// type system's arrow-typed fixes) rule out.
+type recCell struct{ v value }
+
+// stepFlush is how many locally counted steps a task accumulates before
+// folding them into the shared fuel counter — the shared atomic is off
+// the per-node hot path.
+const stepFlush = 256
+
+// texec is one task's evaluator state: the shared run, the task's
+// scheduler context (refs and touches check against its effective
+// priority), and the local step count.
+type texec struct {
+	x *exec
+	c *icilk.Ctx
+	n int32
+}
+
+func (t *texec) step() {
+	t.n++
+	if t.n >= stepFlush {
+		t.flush()
+	}
+}
+
+func (t *texec) flush() {
+	if t.n == 0 {
+		return
+	}
+	n := int64(t.n)
+	t.n = 0
+	if t.x.steps.Add(n) > t.x.maxSteps {
+		panic(stuckLimit(t.x.maxSteps))
+	}
+}
+
+// load reads a frame slot, unwrapping the fix indirection.
+func load(fr []value, slot int, name string) value {
+	v := fr[slot]
+	if rc, ok := v.(*recCell); ok {
+		if rc.v == nil {
+			panic(stuckf("fix variable %s used before its definition closed", name))
+		}
+		return rc.v
+	}
+	return v
+}
+
+// command runs a code object's command body to its final value on the
+// calling icilk task. Sequencing (Bind, Dcl) iterates in one frame —
+// the environment-based replacement for the substitution evaluator's
+// rewrite-and-loop — so long chains neither grow the stack nor copy
+// terms.
+func (t *texec) command(co *code, fr []value, penv []icilk.Priority) value {
+	m := co.cbody
+	for {
+		t.step()
+		switch mm := m.(type) {
+		case cRet: // D-Ret
+			return t.eval(mm.e, fr, penv)
+
+		case cBind: // D-Bind: run the encapsulated command, write the slot.
+			bv := t.eval(mm.e, fr, penv)
+			cv, ok := bv.(*vCmd)
+			if !ok {
+				panic(stuckf("bind of non-command value %s", vstr(bv)))
+			}
+			if mm.fuse {
+				if ft, ok := cv.code.cbody.(cFtouch); ok {
+					return t.fusedTouch(cv, ft)
+				}
+			}
+			fr[mm.slot] = t.command(cv.code, newFrame(cv.code, cv.caps), cv.penv)
+			m = mm.m
+
+		case cFcreate: // D-Create → icilk.Go at the baked level
+			x := t.x
+			name := x.freshThread()
+			caps := mkCaps(mm.code, fr)
+			co, pv := mm.code, penv
+			fut := icilk.Go(x.rt, t.c, mm.p.resolve(penv), "l4i:"+name, func(c2 *icilk.Ctx) value {
+				t2 := &texec{x: x, c: c2}
+				v := t2.command(co, newFrame(co, caps), pv)
+				t2.flush()
+				return v
+			})
+			return vTid{name: name, Handle: *fut.Untyped()}
+
+		case cFtouch: // D-Touch → Handle.Touch (dynamic ρ ⪯ ρ′ check)
+			tv := t.eval(mm.e, fr, penv)
+			tid, ok := tv.(vTid)
+			if !ok {
+				panic(stuckf("ftouch of non-thread value %s", vstr(tv)))
+			}
+			h := tid.Handle
+			return h.Touch(t.c)
+
+		case cDcl: // D-Dcl → icilk.Ref with the baked ceiling
+			v := t.eval(mm.e, fr, penv)
+			fr[mm.slot] = vRef{cell: icilk.NewRef[value](t.x.rt, mm.ceil, v), loc: t.x.freshLoc()}
+			m = mm.m
+
+		case cGet: // D-Get → Ref.Load
+			r, ok := t.eval(mm.e, fr, penv).(vRef)
+			if !ok {
+				panic(stuckf("dereference of non-reference value %s", vstr(t.eval(mm.e, fr, penv))))
+			}
+			return r.cell.Load(t.c)
+
+		case cSet: // D-Set → Ref.Store
+			r, ok := t.eval(mm.l, fr, penv).(vRef)
+			if !ok {
+				panic(stuckf("assignment to non-reference value %s", vstr(t.eval(mm.l, fr, penv))))
+			}
+			v := t.eval(mm.r, fr, penv)
+			r.cell.Store(t.c, v)
+			return v
+
+		case cCAS: // D-CAS1/D-CAS2 → one Ref.Update CAS
+			r, ok := t.eval(mm.ref, fr, penv).(vRef)
+			if !ok {
+				panic(stuckf("cas on non-reference value %s", vstr(t.eval(mm.ref, fr, penv))))
+			}
+			old := t.eval(mm.old, fr, penv)
+			nw := t.eval(mm.nw, fr, penv)
+			var succ bool
+			r.cell.Update(t.c, func(cur value) value {
+				if valueEq(cur, old) {
+					succ = true
+					return nw
+				}
+				succ = false
+				return cur
+			})
+			if succ {
+				return vNat{n: 1}
+			}
+			return vNat{n: 0}
+
+		default:
+			panic(stuckf("unknown command form %T", m))
+		}
+	}
+}
+
+// fusedTouch is `bind x = ftouch e in ftouch x` as one forwarding-aware
+// touch with hop budget 1: the outer touch rides the inner one's park
+// (one park, not two) while staying semantics-exact — exactly two
+// touches deep, so a third tid in the chain is returned unresolved,
+// just as the unfused pair would.
+func (t *texec) fusedTouch(cv *vCmd, ft cFtouch) value {
+	fr := newFrame(cv.code, cv.caps)
+	tv := t.eval(ft.e, fr, cv.penv)
+	tid, ok := tv.(vTid)
+	if !ok {
+		panic(stuckf("ftouch of non-thread value %s", vstr(tv)))
+	}
+	h := tid.Handle
+	v := h.TouchThroughN(t.c, 1)
+	// Whether the hop happened is the stuckness question: the head value
+	// is now resolved, so re-reading it is the done fast path (one
+	// atomic load). A non-tid head value means the outer ftouch would
+	// have been stuck on it.
+	if _, headIsTid := h.Touch(t.c).(vTid); !headIsTid {
+		panic(stuckf("ftouch of non-thread value %s", vstr(v)))
+	}
+	return v
+}
+
+// eval evaluates a converted expression in its frame, big-step, with
+// the Figure 11 semantics: application activates the closure's code
+// object over a fresh frame, fix unrolls through the recCell, commands
+// under cmd[ρ]{...} are values that only run when bound.
+func (t *texec) eval(e iExpr, fr []value, penv []icilk.Priority) value {
+	t.step()
+	switch ee := e.(type) {
+	case iConst:
+		return ee.v
+
+	case iVar:
+		return load(fr, ee.slot, ee.name)
+
+	case iPair:
+		return vPair{l: t.eval(ee.l, fr, penv), r: t.eval(ee.r, fr, penv)}
+	case iInl:
+		return vInl{v: t.eval(ee.v, fr, penv), t: ee.t}
+	case iInr:
+		return vInr{v: t.eval(ee.v, fr, penv), t: ee.t}
+
+	case iLet:
+		fr[ee.slot] = t.eval(ee.e1, fr, penv)
+		return t.eval(ee.e2, fr, penv)
+
+	case iIfz:
+		n, ok := t.eval(ee.v, fr, penv).(vNat)
+		if !ok {
+			panic(stuckf("ifz of non-numeral %s", vstr(t.eval(ee.v, fr, penv))))
+		}
+		if n.n == 0 {
+			return t.eval(ee.zero, fr, penv)
+		}
+		fr[ee.slot] = vNat{n: n.n - 1}
+		return t.eval(ee.succ, fr, penv)
+
+	case iApp:
+		f := t.eval(ee.f, fr, penv)
+		cl, ok := f.(*vClos)
+		if !ok {
+			panic(stuckf("application of non-lambda %s", vstr(f)))
+		}
+		a := t.eval(ee.a, fr, penv)
+		nf := newFrame(cl.code, cl.caps)
+		nf[cl.code.argSlot] = a
+		return t.eval(cl.code.body, nf, cl.penv)
+
+	case iFst:
+		p, ok := t.eval(ee.v, fr, penv).(vPair)
+		if !ok {
+			panic(stuckf("fst of non-pair %s", vstr(t.eval(ee.v, fr, penv))))
+		}
+		return p.l
+	case iSnd:
+		p, ok := t.eval(ee.v, fr, penv).(vPair)
+		if !ok {
+			panic(stuckf("snd of non-pair %s", vstr(t.eval(ee.v, fr, penv))))
+		}
+		return p.r
+
+	case iCase:
+		switch v := t.eval(ee.v, fr, penv).(type) {
+		case vInl:
+			fr[ee.lslot] = v.v
+			return t.eval(ee.l, fr, penv)
+		case vInr:
+			fr[ee.rslot] = v.v
+			return t.eval(ee.r, fr, penv)
+		default:
+			panic(stuckf("case of non-sum %s", vstr(v)))
+		}
+
+	case iFix:
+		rc := &recCell{}
+		fr[ee.slot] = rc
+		v := t.eval(ee.e, fr, penv)
+		rc.v = v
+		return v
+
+	case iLam:
+		return &vClos{code: ee.code, caps: mkCaps(ee.code, fr), penv: penv}
+	case iCmdVal:
+		return &vCmd{code: ee.code, caps: mkCaps(ee.code, fr), penv: penv}
+	case iPLam:
+		return &vPLam{code: ee.code, caps: mkCaps(ee.code, fr), penv: penv}
+
+	case iPApp:
+		pv := t.eval(ee.v, fr, penv)
+		pl, ok := pv.(*vPLam)
+		if !ok {
+			panic(stuckf("priority application of non-abstraction %s", vstr(pv)))
+		}
+		// ∀E: extend the priority environment with the (already
+		// resolved) instantiation and evaluate the body.
+		np := make([]icilk.Priority, len(pl.penv), len(pl.penv)+1)
+		copy(np, pl.penv)
+		np = append(np, ee.p.resolve(penv))
+		return t.eval(pl.code.body, newFrame(pl.code, pl.caps), np)
+	}
+	panic(stuckf("unknown expression form %T", e))
+}
+
+// valueEq compares two values structurally — the CAS rule's D-CAS1/
+// D-CAS2 comparison. Closure-ish values compare by reified printed
+// form, matching ast.ValueEqual's treatment of lambdas and commands.
+func valueEq(a, b value) bool {
+	switch a := a.(type) {
+	case vUnit:
+		_, ok := b.(vUnit)
+		return ok
+	case vNat:
+		bb, ok := b.(vNat)
+		return ok && a.n == bb.n
+	case vPair:
+		bb, ok := b.(vPair)
+		return ok && valueEq(a.l, bb.l) && valueEq(a.r, bb.r)
+	case vInl:
+		bb, ok := b.(vInl)
+		return ok && valueEq(a.v, bb.v)
+	case vInr:
+		bb, ok := b.(vInr)
+		return ok && valueEq(a.v, bb.v)
+	case vRef:
+		bb, ok := b.(vRef)
+		return ok && a.cell == bb.cell
+	case vTid:
+		bb, ok := b.(vTid)
+		return ok && a.name == bb.name
+	default:
+		return vstr(a) == vstr(b)
+	}
+}
+
+// reify converts a runtime value back to surface syntax. Data is
+// structural; closures substitute their reified captures back into the
+// original source term, so the printed form matches what the
+// substitution semantics would have produced.
+func reify(v value, levels []string) ast.Expr {
+	switch v := v.(type) {
+	case vUnit:
+		return ast.Unit{}
+	case vNat:
+		return ast.Nat{N: v.n}
+	case vPair:
+		return ast.Pair{L: reify(v.l, levels), R: reify(v.r, levels)}
+	case vInl:
+		return ast.Inl{V: reify(v.v, levels), T: v.t}
+	case vInr:
+		return ast.Inr{V: reify(v.v, levels), T: v.t}
+	case vRef:
+		return ast.Ref{Loc: v.loc}
+	case vTid:
+		return ast.Tid{Thread: v.name}
+	case *recCell:
+		if v.v != nil {
+			return reify(v.v, levels)
+		}
+		return ast.Var{Name: "fix"}
+	case *vClos:
+		return reifyCode(v.code, v.caps, levels)
+	case *vCmd:
+		return reifyCode(v.code, v.caps, levels)
+	case *vPLam:
+		return reifyCode(v.code, v.caps, levels)
+	}
+	panic(stuckf("unknown value form %T", v))
+}
+
+func reifyCode(co *code, caps []value, levels []string) ast.Expr {
+	e := co.src
+	if e == nil {
+		return ast.Var{Name: "<code>"}
+	}
+	for i, cr := range co.caps {
+		cv := reify(caps[i], levels)
+		if cr.isLoc {
+			if r, ok := cv.(ast.Ref); ok {
+				e = ast.SubstLoc(r.Loc, cr.name, e)
+			}
+			continue
+		}
+		e = ast.Subst(cv, cr.name, e)
+	}
+	return e
+}
+
+// vstr prints a value for diagnostics via its reified surface form.
+func vstr(v value) (s string) {
+	defer func() {
+		if recover() != nil {
+			s = fmt.Sprintf("<%T>", v)
+		}
+	}()
+	return reify(v, nil).String()
+}

@@ -3,13 +3,11 @@ package compile
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/ast"
 	"repro/internal/icilk"
-	"repro/internal/prio"
 )
 
 // RunConfig parameterizes one execution of a compiled program on a
@@ -20,14 +18,18 @@ type RunConfig struct {
 	// Timeout bounds the whole run — main's completion plus the drain of
 	// any straggling spawned threads (default 30s).
 	Timeout time.Duration
-	// MaxSteps bounds the interpreter's total evaluation steps across
-	// all threads, the compiled analogue of the simulator's -max-steps
-	// (default 10M; 0 takes the default).
+	// MaxSteps bounds the evaluator's total steps across all threads,
+	// the compiled analogue of the simulator's -max-steps (default 10M;
+	// 0 takes the default).
 	MaxSteps int64
 	// Baseline disables the prioritized scheduler, running every level
 	// in one work-stealing pool (the Cilk-F configuration). Results must
 	// not change — only responsiveness does.
 	Baseline bool
+	// DisablePooling turns off the runtime's task/future free lists —
+	// the allocation ablation, plumbed through for the differential
+	// tests that must agree with the simulator either way.
+	DisablePooling bool
 	// DetectDeadlocks enables the runtime's blocked-on cycle walk for
 	// the program's state locks (λ4i programs cannot deadlock through
 	// refs, which never block, but the flag is plumbed for parity with
@@ -50,7 +52,7 @@ func (c RunConfig) withDefaults() RunConfig {
 
 // Result is one compiled execution's outcome.
 type Result struct {
-	// Value is main's final value.
+	// Value is main's final value, reified back to surface syntax.
 	Value ast.Expr
 	// Stats is the scheduler-counter snapshot after the run drained;
 	// Stats.CeilingViolations == 0 is the invariant every
@@ -74,43 +76,52 @@ func stuckf(format string, args ...any) error {
 	return &stuckError{msg: fmt.Sprintf(format, args...)}
 }
 
-// exec is the shared execution state of one run: the fresh-name
-// counters and the tables backing the program's first-class handles —
-// tid[a] values index threads, ref[s] values index cells. Entries are
-// published (Store) strictly before the value naming them can reach any
-// other thread, so lookups never miss.
+func stuckLimit(max int64) error {
+	return fmt.Errorf("compile: exceeded %d evaluation steps", max)
+}
+
+// exec is the shared execution state of one run: the converted program,
+// the runtime, and the fresh-name/fuel counters. First-class handles
+// need no side tables — a vTid carries its future and a vRef its cell.
 type exec struct {
-	p  *Prog
+	ir *irProg
 	rt *icilk.Runtime
 
 	nextThread atomic.Int64
 	nextLoc    atomic.Int64
 	steps      atomic.Int64
 	maxSteps   int64
-
-	threads sync.Map // thread name -> icilk.Future[ast.Expr]
-	refs    sync.Map // loc name    -> *icilk.Ref[ast.Expr]
 }
 
-// Run executes the program on a fresh icilk runtime and tears it down.
+// Run converts the program through the pass pipeline (closure
+// conversion + constant resolution; linear in program size), executes
+// the IR on a fresh icilk runtime, and tears the runtime down.
 func (p *Prog) Run(cfg RunConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
+	ir, err := p.convert()
+	if err != nil {
+		return nil, err
+	}
 	rt := icilk.New(icilk.Config{
 		Workers:         cfg.Workers,
 		Levels:          p.Levels(),
 		Prioritize:      !cfg.Baseline,
+		DisablePooling:  cfg.DisablePooling,
 		DetectDeadlocks: cfg.DetectDeadlocks,
 	})
 	defer rt.Shutdown()
 
-	x := &exec{p: p, rt: rt, maxSteps: cfg.MaxSteps}
+	x := &exec{ir: ir, rt: rt, maxSteps: cfg.MaxSteps}
 	mainLvl, err := p.LevelOf(p.MainPrio)
 	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
-	fut := icilk.Go(rt, nil, mainLvl, "main", func(c *icilk.Ctx) ast.Expr {
-		return x.command(c, p.Main)
+	fut := icilk.Go(rt, nil, mainLvl, "main", func(c *icilk.Ctx) value {
+		t := &texec{x: x, c: c}
+		v := t.command(ir.main, newFrame(ir.main, nil), nil)
+		t.flush()
+		return v
 	})
 	v, err := icilk.Await(fut, cfg.Timeout)
 	if err != nil {
@@ -123,12 +134,23 @@ func (p *Prog) Run(cfg RunConfig) (*Result, error) {
 		return nil, fmt.Errorf("compile: drain: %w", err)
 	}
 	res := &Result{
-		Value:   v,
+		Value:   reify(v, ir.levels),
 		Stats:   rt.Stats(),
 		Threads: x.nextThread.Load() + 1,
 		Elapsed: time.Since(start),
 	}
 	return res, nil
+}
+
+// IRSummary converts the program and renders the pass pipeline's output
+// — per-code-object frame sizes and captures, per-dcl baked ceilings —
+// for the CLI's -dump-ir flag.
+func (p *Prog) IRSummary() (string, error) {
+	ir, err := p.convert()
+	if err != nil {
+		return "", err
+	}
+	return ir.Summary(), nil
 }
 
 // IsPriorityInversion reports whether a Run error was caused by the
@@ -146,281 +168,4 @@ func (x *exec) freshThread() string {
 
 func (x *exec) freshLoc() string {
 	return fmt.Sprintf("s%d", x.nextLoc.Add(1))
-}
-
-// step burns one unit of interpreter fuel; exhausting it panics (the
-// panic fails the task's future and surfaces from Run), bounding
-// divergent programs the way the simulator's step limit does.
-func (x *exec) step() {
-	if x.steps.Add(1) > x.maxSteps {
-		panic(fmt.Errorf("compile: exceeded %d evaluation steps", x.maxSteps))
-	}
-}
-
-func (x *exec) level(pr prio.Prio) icilk.Priority {
-	l, err := x.p.LevelOf(pr)
-	if err != nil {
-		panic(err)
-	}
-	return l
-}
-
-func (x *exec) future(name string) icilk.Future[ast.Expr] {
-	f, ok := x.threads.Load(name)
-	if !ok {
-		panic(stuckf("ftouch of unknown thread %s", name))
-	}
-	return f.(icilk.Future[ast.Expr])
-}
-
-// fwdTid is a thread-completion value that is itself a thread handle: an
-// ast.Tid to the program, a forwarding carrier (the embedded
-// icilk.Handle) to the runtime. Every Fcreate body that returns a tid is
-// wrapped into one, which is what lets the scheduler migrate a parked
-// toucher down a tid chain (finish-side forwarding) instead of waking it
-// to re-park. fwdTid never leaks into evaluation: every touch result is
-// unwrapped back to the plain ast.Tid before it re-enters a term.
-type fwdTid struct {
-	ast.Tid
-	icilk.Handle
-}
-
-// wrapTid turns a thread body's tid-valued result into a forwarding
-// carrier; non-tid values pass through untouched.
-func (x *exec) wrapTid(v ast.Expr) ast.Expr {
-	if tid, ok := v.(ast.Tid); ok {
-		return fwdTid{Tid: tid, Handle: *x.future(tid.Thread).Untyped()}
-	}
-	return v
-}
-
-// unwrapTid strips the carrier off a touched value, restoring the λ4i
-// value the machine semantics would have produced.
-func unwrapTid(v ast.Expr) ast.Expr {
-	if w, ok := v.(fwdTid); ok {
-		return w.Tid
-	}
-	return v
-}
-
-// touchFused implements the fused `bind x = ftouch e in ftouch x`
-// peephole: one forwarding-aware touch with a hop budget of 1 — the
-// outer ftouch rides the inner one's park instead of waking to re-park
-// (the D-Touch pair costs one park, not two). The budget keeps the
-// fusion semantics-exact: exactly two touches deep, so a third tid in
-// the chain is returned unresolved, just as the unfused pair would.
-func (x *exec) touchFused(c *icilk.Ctx, tid ast.Tid) ast.Expr {
-	h := x.future(tid.Thread).Untyped()
-	v := h.TouchThroughN(c, 1)
-	// Whether the hop happened is the stuckness question: the head
-	// value is now resolved, so re-reading it is the done fast path
-	// (one atomic load). A non-tid head value means the substituted
-	// outer ftouch would have been stuck on it.
-	if _, headIsTid := h.Touch(c).(fwdTid); !headIsTid {
-		panic(stuckf("ftouch of non-thread value %s", v.(ast.Expr)))
-	}
-	ev, ok := v.(ast.Expr)
-	if !ok {
-		panic(stuckf("ftouch produced non-expression %T", v))
-	}
-	return unwrapTid(ev)
-}
-
-func (x *exec) ref(loc string) *icilk.Ref[ast.Expr] {
-	r, ok := x.refs.Load(loc)
-	if !ok {
-		panic(stuckf("access to unallocated location %s", loc))
-	}
-	return r.(*icilk.Ref[ast.Expr])
-}
-
-// command executes a λ4i command to its final value on the calling
-// icilk task — the task's declared priority is the command's λ4i
-// priority, which is what makes the runtime's dynamic checks see
-// exactly the priorities the typing judgment reasoned about. Sequencing
-// (Bind, Dcl) iterates rather than recurses so long command chains do
-// not grow the task's stack.
-func (x *exec) command(c *icilk.Ctx, m ast.Cmd) ast.Expr {
-	for {
-		x.step()
-		switch mm := m.(type) {
-		case ast.Ret: // D-Ret
-			return x.eval(mm.E)
-
-		case ast.Bind: // D-Bind: run the encapsulated command, substitute.
-			cv, ok := x.eval(mm.E).(ast.CmdVal)
-			if !ok {
-				panic(stuckf("bind of non-command value %s", mm.E))
-			}
-			// Fused-forwarding peephole: `bind x = ftouch e in ftouch x`
-			// chains two touches whose first result must be a tid. One
-			// forwarding-aware touch (hop budget 1) resolves the pair
-			// with a single park — completion-time migration carries the
-			// parked toucher from the outer thread to the inner one —
-			// where the naive pair parks on the outer thread, wakes,
-			// substitutes, and parks again on the inner.
-			if ft, ok := cv.M.(ast.Ftouch); ok {
-				if outer, ok := mm.M.(ast.Ftouch); ok {
-					if xv, ok := outer.E.(ast.Var); ok && xv.Name == mm.X {
-						tid, ok := x.eval(ft.E).(ast.Tid)
-						if !ok {
-							panic(stuckf("ftouch of non-thread value %s", ft.E))
-						}
-						return x.touchFused(c, tid)
-					}
-				}
-			}
-			v := x.command(c, cv.M)
-			m = ast.SubstCmd(v, mm.X, mm.M)
-
-		case ast.Fcreate: // D-Create → icilk.Go at level(ρ)
-			name := x.freshThread()
-			body := mm.M
-			fut := icilk.Go(x.rt, c, x.level(mm.P), "l4i:"+name, func(c2 *icilk.Ctx) ast.Expr {
-				// A tid-valued result completes the future as a
-				// forwarding carrier (see fwdTid); every touch unwraps.
-				return x.wrapTid(x.command(c2, body))
-			})
-			// Publish before returning the handle: the tid value can
-			// only flow onward from our return.
-			x.threads.Store(name, fut)
-			return ast.Tid{Thread: name}
-
-		case ast.Ftouch: // D-Touch → Future.Touch (dynamic ρ ⪯ ρ′ check)
-			tid, ok := x.eval(mm.E).(ast.Tid)
-			if !ok {
-				panic(stuckf("ftouch of non-thread value %s", mm.E))
-			}
-			// A plain touch never forwards — D-Touch returns the
-			// thread's value as-is, tid or not — so only the carrier
-			// wrapper is stripped.
-			return unwrapTid(x.future(tid.Thread).Touch(c))
-
-		case ast.Dcl: // D-Dcl → icilk.Ref with the derived ceiling
-			v := x.eval(mm.E)
-			loc := x.freshLoc()
-			x.refs.Store(loc, icilk.NewRef(x.rt, x.p.ceiling(mm.S), v))
-			m = ast.SubstLocCmd(loc, mm.S, mm.M)
-
-		case ast.Get: // D-Get → Ref.Load
-			ref, ok := x.eval(mm.E).(ast.Ref)
-			if !ok {
-				panic(stuckf("dereference of non-reference value %s", mm.E))
-			}
-			return x.ref(ref.Loc).Load(c)
-
-		case ast.Set: // D-Set → Ref.Store
-			ref, ok := x.eval(mm.L).(ast.Ref)
-			if !ok {
-				panic(stuckf("assignment to non-reference value %s", mm.L))
-			}
-			v := x.eval(mm.R)
-			x.ref(ref.Loc).Store(c, v)
-			return v
-
-		case ast.CAS: // D-CAS1/D-CAS2 → one Ref.Update CAS
-			ref, ok := x.eval(mm.Ref).(ast.Ref)
-			if !ok {
-				panic(stuckf("cas on non-reference value %s", mm.Ref))
-			}
-			old := x.eval(mm.Old)
-			nw := x.eval(mm.New)
-			var succ bool
-			x.ref(ref.Loc).Update(c, func(cur ast.Expr) ast.Expr {
-				if ast.ValueEqual(cur, old) {
-					succ = true
-					return nw
-				}
-				succ = false
-				return cur
-			})
-			if succ {
-				return ast.Nat{N: 1}
-			}
-			return ast.Nat{N: 0}
-
-		default:
-			panic(stuckf("unknown command form %T", m))
-		}
-	}
-}
-
-// eval evaluates a pure λ4i expression to a value, big-step, with the
-// same substitution semantics as Figure 11 (and internal/machine's
-// exprStep): App substitutes into the lambda body, Fix unrolls once,
-// PApp substitutes the priority. Commands under cmd[ρ]{...} are values
-// here; they only run when bound.
-func (x *exec) eval(e ast.Expr) ast.Expr {
-	x.step()
-	switch ee := e.(type) {
-	case ast.Unit, ast.Nat, ast.Ref, ast.Tid, ast.Lam, ast.CmdVal, ast.PLam:
-		return e
-
-	case ast.Var:
-		panic(stuckf("unbound variable %s", ee.Name))
-
-	case ast.Pair:
-		return ast.Pair{L: x.eval(ee.L), R: x.eval(ee.R)}
-	case ast.Inl:
-		return ast.Inl{V: x.eval(ee.V), T: ee.T}
-	case ast.Inr:
-		return ast.Inr{V: x.eval(ee.V), T: ee.T}
-
-	case ast.Let:
-		v := x.eval(ee.E1)
-		return x.eval(ast.Subst(v, ee.X, ee.E2))
-
-	case ast.Ifz:
-		n, ok := x.eval(ee.V).(ast.Nat)
-		if !ok {
-			panic(stuckf("ifz of non-numeral %s", ee.V))
-		}
-		if n.N == 0 {
-			return x.eval(ee.Zero)
-		}
-		return x.eval(ast.Subst(ast.Nat{N: n.N - 1}, ee.X, ee.Succ))
-
-	case ast.App:
-		f := x.eval(ee.F)
-		lam, ok := f.(ast.Lam)
-		if !ok {
-			panic(stuckf("application of non-lambda %s", f))
-		}
-		a := x.eval(ee.A)
-		return x.eval(ast.Subst(a, lam.X, lam.Body))
-
-	case ast.Fst:
-		p, ok := x.eval(ee.V).(ast.Pair)
-		if !ok {
-			panic(stuckf("fst of non-pair %s", ee.V))
-		}
-		return p.L
-	case ast.Snd:
-		p, ok := x.eval(ee.V).(ast.Pair)
-		if !ok {
-			panic(stuckf("snd of non-pair %s", ee.V))
-		}
-		return p.R
-
-	case ast.Case:
-		switch v := x.eval(ee.V).(type) {
-		case ast.Inl:
-			return x.eval(ast.Subst(v.V, ee.X, ee.L))
-		case ast.Inr:
-			return x.eval(ast.Subst(v.V, ee.Y, ee.R))
-		default:
-			panic(stuckf("case of non-sum %s", ee.V))
-		}
-
-	case ast.Fix: // unroll once: [fix x is e / x]e
-		return x.eval(ast.Subst(ee, ee.X, ee.E))
-
-	case ast.PApp:
-		plam, ok := x.eval(ee.V).(ast.PLam)
-		if !ok {
-			panic(stuckf("priority application of non-abstraction %s", ee.V))
-		}
-		return x.eval(ast.SubstPrio(ee.P, prio.Var(plam.Pi), plam.Body))
-	}
-	panic(stuckf("unknown expression form %T", e))
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"time"
 
@@ -29,6 +30,12 @@ type L4iPoint struct {
 	// iters), diffable as ns metrics by icilk-bench -diff.
 	MachineNs  float64 `json:"machine_ns"`
 	CompiledNs float64 `json:"compiled_ns"`
+	// MachineAllocs and CompiledAllocs are heap allocations per run
+	// (ReadMemStats Mallocs delta bracketing the run, best of iters) —
+	// the substitution→environment win shows up here before it shows up
+	// in wall time.
+	MachineAllocs  float64 `json:"machine_allocs_per_op"`
+	CompiledAllocs float64 `json:"compiled_allocs_per_op"`
 	// Threads is the λ4i thread count; CeilingViolations must be 0.
 	Threads           int64 `json:"threads"`
 	CeilingViolations int64 `json:"ceiling_violations"`
@@ -71,26 +78,40 @@ func L4iBench(cfg EvalConfig, dir string, iters int) ([]L4iPoint, error) {
 		pt := L4iPoint{Program: p.name}
 		for i := 0; i < iters; i++ {
 			mc := machine.New(prog.Order, prog.MainPrio, prog.Main)
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
 			start := time.Now()
 			if err := mc.Run(machine.Prompt{P: cfg.Workers}, 10_000_000); err != nil {
 				return nil, fmt.Errorf("%s: machine: %w", p.name, err)
 			}
 			ns := float64(time.Since(start).Nanoseconds())
+			runtime.ReadMemStats(&m1)
+			allocs := float64(m1.Mallocs - m0.Mallocs)
 			if pt.MachineNs == 0 || ns < pt.MachineNs {
 				pt.MachineNs = ns
+			}
+			if pt.MachineAllocs == 0 || allocs < pt.MachineAllocs {
+				pt.MachineAllocs = allocs
 			}
 			if v, ok := mc.FinalValue("main"); ok {
 				pt.Value = v.String()
 			}
 		}
 		for i := 0; i < iters; i++ {
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
 			res, err := cp.Run(compile.RunConfig{Workers: cfg.Workers})
 			if err != nil {
 				return nil, fmt.Errorf("%s: compiled: %w", p.name, err)
 			}
+			runtime.ReadMemStats(&m1)
+			allocs := float64(m1.Mallocs - m0.Mallocs)
 			ns := float64(res.Elapsed.Nanoseconds())
 			if pt.CompiledNs == 0 || ns < pt.CompiledNs {
 				pt.CompiledNs = ns
+			}
+			if pt.CompiledAllocs == 0 || allocs < pt.CompiledAllocs {
+				pt.CompiledAllocs = allocs
 			}
 			pt.Threads = res.Threads
 			pt.CeilingViolations = res.Stats.CeilingViolations

@@ -256,18 +256,34 @@ func (f *future) touchOne(c *Ctx, budget *int) any {
 		}
 		d := rt.levels[rt.effLevel(owner.effPrio())].deques[g.w.id]
 		popped := d.popBottom()
-		if popped == nil {
-			break
-		}
-		if popped != owner {
-			// Not the producer; put it back (we own the bottom) and park.
+		if popped != nil && popped != owner {
+			// Not the producer; put it back (we own the bottom).
 			d.pushBottom(popped)
-			break
+			popped = nil
 		}
-		if !popped.tryClaim() {
-			// A stale duplicate: an inheritance kick dispatched the
-			// producer elsewhere. Drop this entry and re-check the future.
-			continue
+		if popped != nil {
+			if !popped.tryClaim() {
+				// A stale duplicate: an inheritance kick dispatched the
+				// producer elsewhere. Drop this entry and re-check the
+				// future.
+				continue
+			}
+		} else {
+			// The producer is not at our own bottom — a cross-level
+			// spawn routes through the level's injection queue, and an
+			// unblocked producer re-enters there too, where the old
+			// deque-bottom-only helping never saw it and the toucher
+			// parked for nothing. The dispatch claim is the real
+			// ownership token, not queue position: claim the producer
+			// directly, and whichever queue entry still names it loses
+			// tryClaim at its popper and is dropped, exactly like a
+			// stale inheritance duplicate. A failed claim means the
+			// producer is running or blocked elsewhere, so parking is
+			// the right move.
+			if !owner.tryClaim() {
+				break
+			}
+			popped = owner
 		}
 		rt.stats.helps.Add(1)
 		rt.runTask(g, popped)

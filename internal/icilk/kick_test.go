@@ -1,0 +1,77 @@
+package icilk
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMasterKickServesLowLevelPromptly pins the event-driven master
+// reallocation: work submitted at a level below every worker's mandate
+// is invisible to all scans (helping is upward-only), so without the
+// kick it would wait out the master's quantum. With an absurdly long
+// quantum the only way this test finishes quickly is the kick path.
+func TestMasterKickServesLowLevelPromptly(t *testing.T) {
+	rt := New(Config{
+		Workers:    2,
+		Levels:     3,
+		Prioritize: true,
+		Quantum:    2 * time.Second,
+	})
+	defer rt.Shutdown()
+
+	start := time.Now()
+	fut := Go(rt, nil, 0, "lo", func(c *Ctx) int { return 7 })
+	v, err := Await(fut, 10*time.Second)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Await: %v", err)
+	}
+	if v != 7 {
+		t.Fatalf("got %d, want 7", v)
+	}
+	if elapsed >= rt.cfg.Quantum {
+		t.Fatalf("low-level task waited out the %v quantum (%v); master kick not taken", rt.cfg.Quantum, elapsed)
+	}
+	if kicks := rt.Stats().MasterKicks; kicks < 1 {
+		t.Fatalf("MasterKicks = %d, want >= 1", kicks)
+	}
+}
+
+// TestTouchClaimsInjectQueuedProducer pins claim-based touch helping: a
+// producer spawned across levels lands in an inject queue, not the
+// toucher's deque bottom, so the old bottom-of-own-deque help misses it
+// and the toucher parks until a scan finds the producer. The claim path
+// runs it inline. One worker and a long quantum make the old behavior a
+// guaranteed multi-second stall; Helps >= 1 is the direct observable.
+func TestTouchClaimsInjectQueuedProducer(t *testing.T) {
+	rt := New(Config{
+		Workers:    1,
+		Levels:     2,
+		Prioritize: true,
+		Quantum:    2 * time.Second,
+	})
+	defer rt.Shutdown()
+
+	start := time.Now()
+	fut := Go(rt, nil, 0, "main", func(c *Ctx) int {
+		// The worker serving us was mandated to level 0 (the kick path),
+		// so this level-1 spawn misses the submit fast path and lands in
+		// level 1's inject queue — exactly the shape helping used to miss.
+		child := Go(rt, c, 1, "child", func(*Ctx) int { return 42 })
+		return child.Touch(c)
+	})
+	v, err := Await(fut, 10*time.Second)
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("Await: %v", err)
+	}
+	if v != 42 {
+		t.Fatalf("got %d, want 42", v)
+	}
+	if elapsed >= rt.cfg.Quantum {
+		t.Fatalf("touch stalled for the %v quantum (%v); claim-based helping not taken", rt.cfg.Quantum, elapsed)
+	}
+	if helps := rt.Stats().Helps; helps < 1 {
+		t.Fatalf("Helps = %d, want >= 1", helps)
+	}
+}

@@ -96,6 +96,7 @@ type schedCounters struct {
 	poolHits     counter
 	poolMisses   counter
 	forwards     counter
+	masterKicks  counter
 }
 
 // SchedStats is a snapshot of the scheduler's event counters since the
@@ -169,6 +170,11 @@ type SchedStats struct {
 	// control and re-parking — one count per hop, whether taken
 	// synchronously by the toucher or at completion time by finish.
 	ForwardedTouches int64
+	// MasterKicks counts event-driven master reallocations: work was
+	// submitted at a level below every worker's mandate (invisible to
+	// all scans, since helping is upward-only) and the submitter poked
+	// the master instead of letting the work wait out the quantum.
+	MasterKicks int64
 }
 
 // Stats returns a snapshot of the scheduler's event counters.
@@ -193,13 +199,14 @@ func (rt *Runtime) Stats() SchedStats {
 		PoolHits:          rt.stats.poolHits.Load(),
 		PoolMisses:        rt.stats.poolMisses.Load(),
 		ForwardedTouches:  rt.stats.forwards.Load(),
+		MasterKicks:       rt.stats.masterKicks.Load(),
 	}
 }
 
 func (s SchedStats) String() string {
 	return fmt.Sprintf(
-		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d mutexparks=%d rwrparks=%d rwwparks=%d rwrevokes=%d inherits=%d transboosts=%d ceilings=%d poolhits=%d poolmisses=%d forwards=%d",
+		"spawns=%d inline=%d promotions=%d parks=%d resumes=%d helps=%d steals=%d wakes=%d mutexparks=%d rwrparks=%d rwwparks=%d rwrevokes=%d inherits=%d transboosts=%d ceilings=%d poolhits=%d poolmisses=%d forwards=%d masterkicks=%d",
 		s.Spawns, s.InlineRuns, s.Promotions, s.Parks, s.Resumes, s.Helps, s.Steals, s.Wakes,
 		s.MutexParks, s.RWReadParks, s.RWWriteParks, s.RWRevokes, s.Inherits, s.TransitiveBoosts, s.CeilingViolations,
-		s.PoolHits, s.PoolMisses, s.ForwardedTouches)
+		s.PoolHits, s.PoolMisses, s.ForwardedTouches, s.MasterKicks)
 }

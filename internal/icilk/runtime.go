@@ -170,6 +170,15 @@ type Runtime struct {
 	wg          sync.WaitGroup
 	masterStop  chan struct{}
 
+	// Event-driven master wakeup. minAssign is the lowest level any
+	// worker is currently mandated to serve; work submitted below it is
+	// invisible to every scan (workers help upward only) and would wait
+	// out the rest of the quantum, so the submitter pokes the master
+	// through masterKick (buffered, non-blocking — concurrent pokes
+	// coalesce) and the master reruns its allocation immediately.
+	minAssign  atomic.Int32
+	masterKick chan struct{}
+
 	// Worker parking. Producers bump wakeSeq after publishing work and
 	// broadcast if anyone is parked; a worker parks only if wakeSeq is
 	// unchanged since before its last full scan, which closes the
@@ -206,6 +215,7 @@ func New(cfg Config) *Runtime {
 		cfg:        cfg,
 		assignment: make([]atomic.Int32, cfg.Workers),
 		masterStop: make(chan struct{}),
+		masterKick: make(chan struct{}, 1),
 		pools:      make([]poolStripe, cfg.Workers),
 	}
 	rt.parkCond = sync.NewCond(&rt.parkMu)
@@ -222,6 +232,7 @@ func New(cfg Config) *Runtime {
 	if cfg.Prioritize {
 		init = int32(cfg.Levels - 1)
 	}
+	rt.minAssign.Store(init)
 	for w := 0; w < cfg.Workers; w++ {
 		rt.assignment[w].Store(init)
 		wk := &worker{rt: rt, id: w, rng: rand.New(rand.NewSource(int64(w + 1)))}
@@ -353,16 +364,25 @@ func (rt *Runtime) wake() {
 // worker at its level scans.
 //
 // Placement uses effPrio, so a holder boosted by priority inheritance
-// re-enters circulation at its waiter's level. Resetting claimed here —
-// before the push publishes the task — opens the new dispatch round;
-// any stale duplicate entry that wins the claim simply resumes the task
-// in this entry's place (the resume channel serializes them).
+// re-enters circulation at its waiter's level. Resetting claimed opens
+// the new dispatch round; any stale duplicate entry that wins the claim
+// simply resumes the task in this entry's place (the resume channel
+// serializes them).
+//
+// Claim-reset ordering: the store must precede the queue push (a popper
+// that loses tryClaim drops the entry, which would strand the task),
+// but since touch-time helping claims producers directly through the
+// future's owner pointer — no queue pop required — the reset itself is
+// the publication point: the instant claimed goes false, another task
+// may win the claim and resume this one, overwriting its gctx's worker
+// fields. Every read of g therefore happens before the store, mirroring
+// park's capture-before-visible rule.
 func (rt *Runtime) submit(t *task, g *gctx) {
-	t.claimed.Store(false)
 	lvl := rt.effLevel(t.effPrio())
 	if g != nil {
 		if w := g.w; w != nil && int(rt.assignment[w.id].Load()) == lvl {
 			d := rt.levels[lvl].deques[w.id]
+			t.claimed.Store(false)
 			d.pushBottom(t)
 			if int(rt.assignment[w.id].Load()) != lvl {
 				if popped := d.popBottom(); popped != nil {
@@ -375,8 +395,26 @@ func (rt *Runtime) submit(t *task, g *gctx) {
 			return
 		}
 	}
+	t.claimed.Store(false)
 	rt.levels[lvl].inject.push(t)
 	rt.wake()
+	rt.kickMaster(lvl)
+}
+
+// kickMaster pokes the master when work lands at a level below every
+// worker's mandate — the one placement no scan reaches (workers help
+// upward only), which previously waited out the remainder of the
+// quantum. The send is non-blocking: concurrent kicks coalesce into the
+// buffered token, and the baseline configuration (no master) just
+// leaves the token unread.
+func (rt *Runtime) kickMaster(lvl int) {
+	if int32(lvl) >= rt.minAssign.Load() {
+		return
+	}
+	select {
+	case rt.masterKick <- struct{}{}:
+	default:
+	}
 }
 
 // spawn is the shared fcreate path behind Go and GoSelf: it wraps fn in
@@ -481,8 +519,10 @@ func (rt *Runtime) requeue(t *task) {
 // IO completion.
 func (rt *Runtime) requeueQuiet(t *task) {
 	t.claimed.Store(false)
-	rt.levels[rt.effLevel(t.effPrio())].inject.push(t)
+	lvl := rt.effLevel(t.effPrio())
+	rt.levels[lvl].inject.push(t)
 	rt.wakeSeq.Add(1)
+	rt.kickMaster(lvl)
 }
 
 // Kick broadcasts to parked workers that work published quietly (e.g.
@@ -688,6 +728,16 @@ func (rt *Runtime) master() {
 		case <-rt.masterStop:
 			return
 		case <-time.After(rt.cfg.Quantum):
+		case <-rt.masterKick:
+			// Event-driven path: work arrived below every worker's
+			// mandate. The interval since the last tick is too short for
+			// the utilization feedback to mean anything, so skip the
+			// desire update and rerun allocation with current desires —
+			// pending() sees the new work and the commit hands it cores
+			// now instead of at the next tick.
+			rt.stats.masterKicks.Add(1)
+			rt.reallocate(p)
+			continue
 		}
 		now := time.Now()
 		elapsed := now.Sub(lastNow).Nanoseconds()
@@ -740,59 +790,83 @@ func (rt *Runtime) master() {
 				L.desire = max(L.desire/rt.cfg.Gamma, 1)
 			}
 		}
-		// Allocate cores in priority order (highest level first). A level
-		// with nothing queued requests no cores — otherwise, with fewer
-		// workers than levels, the desire floor of 1 would let the top
-		// levels hold every core while idle and starve the rest.
-		remaining := p
+		rt.reallocate(p)
+	}
+}
+
+// reallocate is the master's allocation + commit step, shared by the
+// quantum tick and the event-driven kick: hand out cores in priority
+// order against the current desires and pending work, then commit the
+// worker→level assignment.
+func (rt *Runtime) reallocate(p int) {
+	// Allocate cores in priority order (highest level first). A level
+	// with nothing queued requests no cores — otherwise, with fewer
+	// workers than levels, the desire floor of 1 would let the top
+	// levels hold every core while idle and starve the rest.
+	remaining := p
+	for i := rt.cfg.Levels - 1; i >= 0; i-- {
+		L := rt.levels[i]
+		want := L.desire
+		if !L.pending() {
+			want = 0
+		}
+		L.alloc = min(want, remaining)
+		remaining -= L.alloc
+	}
+	// Leftover cores go to the highest level with pending work, so
+	// the machine stays work-conserving.
+	if remaining > 0 {
+		granted := false
 		for i := rt.cfg.Levels - 1; i >= 0; i-- {
-			L := rt.levels[i]
-			want := L.desire
-			if !L.pending() {
-				want = 0
-			}
-			L.alloc = min(want, remaining)
-			remaining -= L.alloc
-		}
-		// Leftover cores go to the highest level with pending work, so
-		// the machine stays work-conserving.
-		if remaining > 0 {
-			granted := false
-			for i := rt.cfg.Levels - 1; i >= 0; i-- {
-				if rt.levels[i].pending() {
-					rt.levels[i].alloc += remaining
-					granted = true
-					break
-				}
-			}
-			if !granted {
-				rt.levels[rt.cfg.Levels-1].alloc += remaining
+			if rt.levels[i].pending() {
+				rt.levels[i].alloc += remaining
+				granted = true
+				break
 			}
 		}
-		// Commit the assignment: contiguous blocks, highest level first.
-		// A changed assignment is itself a scheduling event: parked
-		// workers may now be mandated to serve a level with work.
-		changed := false
-		idx := 0
-		commit := func(i int32) {
-			if rt.assignment[idx].Swap(i) != i {
-				changed = true
-			}
-			idx++
+		if !granted {
+			rt.levels[rt.cfg.Levels-1].alloc += remaining
 		}
-		for i := rt.cfg.Levels - 1; i >= 0; i-- {
-			for n := 0; n < rt.levels[i].alloc && idx < p; n++ {
-				commit(int32(i))
-			}
+	}
+	// Publish the new scan floor before committing: a submitter racing
+	// with the commit either sees the old (higher) floor and kicks
+	// spuriously, or sees the new one while the commit that serves it is
+	// already in flight — never a missed kick with stranded work.
+	minLvl := int32(0)
+	idx := 0
+	for i := rt.cfg.Levels - 1; i >= 0; i-- {
+		if rt.levels[i].alloc > 0 && idx < p {
+			minLvl = int32(i)
+			idx += rt.levels[i].alloc
 		}
-		for ; idx < p; idx++ {
-			if rt.assignment[idx].Swap(0) != 0 {
-				changed = true
-			}
+	}
+	if idx < p {
+		minLvl = 0
+	}
+	rt.minAssign.Store(minLvl)
+	// Commit the assignment: contiguous blocks, highest level first.
+	// A changed assignment is itself a scheduling event: parked
+	// workers may now be mandated to serve a level with work.
+	changed := false
+	idx = 0
+	commit := func(i int32) {
+		if rt.assignment[idx].Swap(i) != i {
+			changed = true
 		}
-		if changed {
-			rt.wake()
+		idx++
+	}
+	for i := rt.cfg.Levels - 1; i >= 0; i-- {
+		for n := 0; n < rt.levels[i].alloc && idx < p; n++ {
+			commit(int32(i))
 		}
+	}
+	for ; idx < p; idx++ {
+		if rt.assignment[idx].Swap(0) != 0 {
+			changed = true
+		}
+	}
+	if changed {
+		rt.wake()
 	}
 }
 

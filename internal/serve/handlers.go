@@ -196,6 +196,15 @@ type hres struct {
 // to completion and finds its TryComplete returning false. A request
 // that already overspent its budget in the admission queue panics the
 // same DeadlineError without spawning the inner task at all.
+//
+// The timer is the early answer, not the enforcement: on a saturated
+// box the Go timer goroutine can be scheduled arbitrarily late (the
+// claim-helping scheduler keeps every worker busy without parking, so
+// nothing yields a P until preemption), and a job that overran its
+// budget could slip a 200 in before the timer fires. The inner task
+// therefore re-checks the budget at completion time and fails the
+// promise itself when the work finished late — a deadline miss is
+// answered 503 no matter which racer the Go runtime happened to run.
 func (s *Server) execDeadlined(c *icilk.Ctx, prio icilk.Priority, class string, ddl time.Duration, admitted time.Time, exec func(*icilk.Ctx) (int, string)) (int, string) {
 	remaining := ddl - time.Since(admitted)
 	if remaining <= 0 {
@@ -213,6 +222,12 @@ func (s *Server) execDeadlined(c *icilk.Ctx, prio icilk.Priority, class string, 
 			}()
 			st, tx = exec(c)
 		}()
+		if time.Since(admitted) > ddl {
+			// Finished, but past the budget: the miss stands even if the
+			// timer has not fired yet (first-writer-wins either way).
+			pr.TryFail(&icilk.DeadlineError{After: ddl, Prio: prio})
+			return 0
+		}
 		if pr.TryComplete(hres{status: st, text: tx}) {
 			cancel()
 		}

@@ -50,30 +50,60 @@ func (s Signature) Merge(other Signature) Signature {
 
 // Env is the typing context Γ: expression variables plus the priority
 // fragment (priority variables and assumed constraints). Env values are
-// persistent: extension returns a new Env.
+// persistent: extension returns a new Env. Alongside the types, Env
+// threads the usage recorder's ref-alias facts: a let-bound variable
+// known to denote a specific dcl site, so accesses through the alias
+// attribute to that site instead of widening its ceiling to top.
 type Env struct {
-	vars map[string]ast.Type
-	pctx *prio.Ctx
+	vars    map[string]ast.Type
+	aliases map[string]int // let-bound var → RefUsage site index it denotes
+	pctx    *prio.Ctx
 }
 
 // NewEnv returns an empty context over the given priority order.
 func NewEnv(order *prio.Order) *Env {
-	return &Env{vars: map[string]ast.Type{}, pctx: prio.NewCtx(order)}
+	return &Env{vars: map[string]ast.Type{}, aliases: map[string]int{}, pctx: prio.NewCtx(order)}
 }
 
-// WithVar returns Γ, x:τ.
+// WithVar returns Γ, x:τ. Rebinding x kills any ref-alias fact recorded
+// for an outer x — the new binding denotes an unknown value.
 func (g *Env) WithVar(x string, t ast.Type) *Env {
 	vars := make(map[string]ast.Type, len(g.vars)+1)
 	for k, v := range g.vars {
 		vars[k] = v
 	}
 	vars[x] = t
-	return &Env{vars: vars, pctx: g.pctx}
+	aliases := g.aliases
+	if _, shadowed := aliases[x]; shadowed {
+		aliases = make(map[string]int, len(g.aliases))
+		for k, v := range g.aliases {
+			aliases[k] = v
+		}
+		delete(aliases, x)
+	}
+	return &Env{vars: vars, aliases: aliases, pctx: g.pctx}
+}
+
+// withRefAlias records that x (already bound by WithVar) denotes the
+// dcl site with the given usage index.
+func (g *Env) withRefAlias(x string, site int) *Env {
+	aliases := make(map[string]int, len(g.aliases)+1)
+	for k, v := range g.aliases {
+		aliases[k] = v
+	}
+	aliases[x] = site
+	return &Env{vars: g.vars, aliases: aliases, pctx: g.pctx}
+}
+
+// refAlias returns the dcl site index x is known to denote, if any.
+func (g *Env) refAlias(x string) (int, bool) {
+	i, ok := g.aliases[x]
+	return i, ok
 }
 
 // WithPrioVar returns Γ, π prio, C.
 func (g *Env) WithPrioVar(pi string, c prio.Constraints) *Env {
-	return &Env{vars: g.vars, pctx: g.pctx.WithVar(pi).WithConstraints(c...)}
+	return &Env{vars: g.vars, aliases: g.aliases, pctx: g.pctx.WithVar(pi).WithConstraints(c...)}
 }
 
 // Lookup returns the type of x in Γ.
@@ -191,14 +221,23 @@ func (u *RefUsage) access(loc string, at prio.Prio) {
 	}
 }
 
-// directTarget records a successful direct access when the command's
-// target expression is a literal ref[s] (the shape ANF produces for
-// dcl-bound names); indirect targets were already counted as escapes by
-// the ref expression rule.
-func (u *RefUsage) directTarget(e ast.Expr, at prio.Prio) {
-	if r, ok := e.(ast.Ref); ok {
-		u.access(r.Loc, at)
-	}
+// accessAt records a direct access against a known site index — the
+// alias-resolved analogue of access.
+func (u *RefUsage) accessAt(site int, at prio.Prio) {
+	u.Sites[site].DirectUses++
+	u.Sites[site].Accesses = append(u.Sites[site].Accesses, at)
+}
+
+// useAt bumps a known site's use counter without a matching direct use;
+// an unbalanced useAt is an escape through the alias.
+func (u *RefUsage) useAt(site int) {
+	u.Sites[site].ExprUses++
+}
+
+// creditAt balances one use that the analysis fully accounts for (an
+// alias-forming let, whose flow is tracked rather than escaping).
+func (u *RefUsage) creditAt(site int) {
+	u.Sites[site].DirectUses++
 }
 
 // Checker checks λ4i programs against a priority order R.
@@ -220,6 +259,42 @@ type Checker struct {
 // New returns a Checker with priority checking enabled.
 func New(order *prio.Order) *Checker {
 	return &Checker{Order: order, CheckPriorities: true}
+}
+
+// directTarget records a successful direct access when the command's
+// target expression is a literal ref[s] (the shape ANF produces for
+// dcl-bound names) or a variable the context knows to alias one; other
+// targets were already counted as escapes by the ref expression rule.
+func (c *Checker) directTarget(g *Env, e ast.Expr, at prio.Prio) {
+	if c.Usage == nil {
+		return
+	}
+	switch e := e.(type) {
+	case ast.Ref:
+		c.Usage.access(e.Loc, at)
+	case ast.Var:
+		if i, ok := g.refAlias(e.Name); ok {
+			c.Usage.accessAt(i, at)
+		}
+	}
+}
+
+// aliasSite resolves an expression to the dcl site it denotes, if the
+// context can see that statically: a literal ref[s], or a variable
+// already known to alias one. Returns -1 otherwise.
+func (c *Checker) aliasSite(g *Env, e ast.Expr) int {
+	if c.Usage == nil {
+		return -1
+	}
+	switch e := e.(type) {
+	case ast.Ref:
+		return c.Usage.cur(e.Loc)
+	case ast.Var:
+		if i, ok := g.refAlias(e.Name); ok {
+			return i
+		}
+	}
+	return -1
 }
 
 // validPrio checks that a priority is well-formed under Γ.
@@ -276,6 +351,14 @@ func (c *Checker) Expr(g *Env, sig Signature, e ast.Expr) (ast.Type, error) {
 		t, ok := g.Lookup(e.Name)
 		if !ok {
 			return nil, errf(e, "unbound variable %s", e.Name)
+		}
+		// An occurrence of a ref alias is a use of the underlying cell;
+		// Get/Set/CAS balance it with accessAt when it is their direct
+		// target, so only genuinely escaping occurrences widen the site.
+		if c.Usage != nil {
+			if i, aliased := g.refAlias(e.Name); aliased {
+				c.Usage.useAt(i)
+			}
 		}
 		return t, nil
 
@@ -454,7 +537,19 @@ func (c *Checker) Expr(g *Env, sig Signature, e ast.Expr) (ast.Type, error) {
 		if err != nil {
 			return nil, err
 		}
-		return c.Expr(g.WithVar(e.X, t1), sig, e.E2)
+		g2 := g.WithVar(e.X, t1)
+		// Alias tracking (the first step of escape-analysis tightening):
+		// a let whose right-hand side is a visible dcl location — or a
+		// variable already aliasing one — binds a tracked alias rather
+		// than an escape. The RHS's use count is credited here; accesses
+		// through x attribute to the dcl site, so a counter captured only
+		// by closures at statically known priorities keeps its tight
+		// ceiling instead of widening to top.
+		if i := c.aliasSite(g, e.E1); i >= 0 {
+			c.Usage.creditAt(i)
+			g2 = g2.withRefAlias(e.X, i)
+		}
+		return c.Expr(g2, sig, e.E2)
 
 	case ast.Fix: // rule fix
 		if err := c.validType(g, e.T, e); err != nil {
@@ -529,7 +624,20 @@ func (c *Checker) Cmd(g *Env, sig Signature, m ast.Cmd, at prio.Prio) (ast.Type,
 		if ct.P != at {
 			return nil, errf(m, "bind of command at priority %s inside priority %s", ct.P, at)
 		}
-		return c.Cmd(g.WithVar(m.X, ct.T), sig, m.M, at)
+		g2 := g.WithVar(m.X, ct.T)
+		// The command-level let sugar elaborates to
+		// x ← cmd[at]{ret e}; m, so alias tracking must see through that
+		// shape too: a bind of a literal ret of a visible location (or of
+		// an existing alias) binds a tracked alias, not an escape.
+		if cv, ok := m.E.(ast.CmdVal); ok {
+			if r, ok := cv.M.(ast.Ret); ok {
+				if i := c.aliasSite(g, r.E); i >= 0 {
+					c.Usage.creditAt(i)
+					g2 = g2.withRefAlias(m.X, i)
+				}
+			}
+		}
+		return c.Cmd(g2, sig, m.M, at)
 
 	case ast.Fcreate: // rule Create
 		if err := c.validPrio(g, m.P, m); err != nil {
@@ -591,9 +699,7 @@ func (c *Checker) Cmd(g *Env, sig Signature, m ast.Cmd, at prio.Prio) (ast.Type,
 		if !ok {
 			return nil, errf(m, "dereference of non-reference type %s", et)
 		}
-		if c.Usage != nil {
-			c.Usage.directTarget(m.E, at)
-		}
+		c.directTarget(g, m.E, at)
 		return rt.T, nil
 
 	case ast.Set: // rule Set
@@ -612,9 +718,7 @@ func (c *Checker) Cmd(g *Env, sig Signature, m ast.Cmd, at prio.Prio) (ast.Type,
 		if !ast.TypeEqual(vt, rt.T) {
 			return nil, errf(m, "assignment of %s to %s reference", vt, rt.T)
 		}
-		if c.Usage != nil {
-			c.Usage.directTarget(m.L, at)
-		}
+		c.directTarget(g, m.L, at)
 		return rt.T, nil
 
 	case ast.CAS: // Section 3.3 extension
@@ -640,9 +744,7 @@ func (c *Checker) Cmd(g *Env, sig Signature, m ast.Cmd, at prio.Prio) (ast.Type,
 		if !ast.TypeEqual(newT, rt.T) {
 			return nil, errf(m, "cas new-value type %s does not match %s", newT, rt.T)
 		}
-		if c.Usage != nil {
-			c.Usage.directTarget(m.Ref, at)
-		}
+		c.directTarget(g, m.Ref, at)
 		return ast.NatT{}, nil
 	}
 	return nil, errf(m, "unknown command form %T", m)
